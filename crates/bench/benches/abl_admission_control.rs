@@ -1,0 +1,12 @@
+//! Regenerates the paper artifact `abl_admission_control` (§3.2.1 future
+//! work, implemented). Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{abl_admission_control, render_admission};
+
+fn main() {
+    let opt = bench_options();
+    header("abl_admission_control", &opt);
+    let rows = abl_admission_control(&opt);
+    println!("{}", render_admission(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `abl_burst_interval`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{abl_burst_interval, render_interval_sweep};
+
+fn main() {
+    let opt = bench_options();
+    header("abl_burst_interval", &opt);
+    let rows = abl_burst_interval(&opt);
+    println!("{}", render_interval_sweep(&rows));
+}

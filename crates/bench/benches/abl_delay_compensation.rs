@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `abl_delay_compensation`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{abl_delay_compensation, render_delay_compensation};
+
+fn main() {
+    let opt = bench_options();
+    header("abl_delay_compensation", &opt);
+    let rows = abl_delay_compensation(&opt);
+    println!("{}", render_delay_compensation(&rows));
+}

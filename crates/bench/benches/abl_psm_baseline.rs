@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `abl_psm_baseline`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{abl_psm_baseline, render_psm};
+
+fn main() {
+    let opt = bench_options();
+    header("abl_psm_baseline", &opt);
+    let rows = abl_psm_baseline(&opt);
+    println!("{}", render_psm(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `abl_schedule_unchanged`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{abl_schedule_unchanged, render_unchanged};
+
+fn main() {
+    let opt = bench_options();
+    header("abl_schedule_unchanged", &opt);
+    let rows = abl_schedule_unchanged(&opt);
+    println!("{}", render_unchanged(&rows));
+}

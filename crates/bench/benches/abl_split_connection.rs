@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `abl_split_connection`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{abl_split_connection, render_split};
+
+fn main() {
+    let opt = bench_options();
+    header("abl_split_connection", &opt);
+    let rows = abl_split_connection(&opt);
+    println!("{}", render_split(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `fig4_udp_video`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{fig4_udp_video, render_fig4};
+
+fn main() {
+    let opt = bench_options();
+    header("fig4_udp_video", &opt);
+    let rows = fig4_udp_video(&opt);
+    println!("{}", render_fig4(&rows));
+}

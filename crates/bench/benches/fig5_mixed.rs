@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `fig5_mixed`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{fig5_mixed, render_fig5};
+
+fn main() {
+    let opt = bench_options();
+    header("fig5_mixed", &opt);
+    let rows = fig5_mixed(&opt);
+    println!("{}", render_fig5(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `fig6_early_transition`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{fig6_early_transition, render_fig6};
+
+fn main() {
+    let opt = bench_options();
+    header("fig6_early_transition", &opt);
+    let rows = fig6_early_transition(&opt);
+    println!("{}", render_fig6(&rows));
+}

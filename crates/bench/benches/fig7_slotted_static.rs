@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `fig7_slotted_static`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{fig7_slotted_static, render_fig7};
+
+fn main() {
+    let opt = bench_options();
+    header("fig7_slotted_static", &opt);
+    let rows = fig7_slotted_static(&opt);
+    println!("{}", render_fig7(&rows));
+}

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the hot data structures: the event
+//! queue, schedule construction, the marking protocol, and the WNIC energy
+//! meter.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use powerburst_core::{build_schedule, BuilderConfig, ClientDemand, MarkCoordinator, SchedulePolicy};
+use powerburst_energy::{CardSpec, Wnic};
+use powerburst_net::HostAddr;
+use powerburst_sim::{EventQueue, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..1_000u64 {
+                    q.push(SimTime::from_us(i * 37 % 5_000), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("event_queue/push_cancel_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                let ids: Vec<_> =
+                    (0..1_000u64).map(|i| q.push(SimTime::from_us(i), i)).collect();
+                for id in ids.iter().step_by(2) {
+                    q.cancel(*id);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let demands: Vec<ClientDemand> = (0..10)
+        .map(|i| ClientDemand {
+            client: HostAddr(100 + i),
+            udp_bytes: 3_000 * (i as u64 + 1),
+            tcp_bytes: 1_000 * i as u64,
+            avg_pkt: 728,
+        })
+        .collect();
+    let cfg = BuilderConfig::default();
+
+    c.bench_function("schedule/dynamic_fixed_10_clients", |b| {
+        b.iter(|| {
+            black_box(build_schedule(
+                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+                &cfg,
+                black_box(&demands),
+                0,
+            ))
+        })
+    });
+
+    c.bench_function("schedule/variable_10_clients", |b| {
+        b.iter(|| {
+            black_box(build_schedule(
+                SchedulePolicy::DynamicVariable {
+                    min: SimDuration::from_ms(100),
+                    max: SimDuration::from_ms(500),
+                },
+                &cfg,
+                black_box(&demands),
+                0,
+            ))
+        })
+    });
+
+    c.bench_function("schedule/encode_decode_10_entries", |b| {
+        let s = build_schedule(
+            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            &cfg,
+            &demands,
+            0,
+        );
+        b.iter(|| {
+            let bytes = black_box(&s).encode();
+            black_box(powerburst_core::Schedule::decode(&bytes))
+        })
+    });
+}
+
+fn bench_marking(c: &mut Criterion) {
+    c.bench_function("marking/burst_forward_cycle", |b| {
+        let mc = MarkCoordinator::new();
+        b.iter(|| {
+            mc.on_burst_bytes(black_box(14_600));
+            mc.end_burst();
+            for _ in 0..10 {
+                black_box(mc.on_forward(1_460));
+            }
+        })
+    });
+}
+
+fn bench_energy_meter(c: &mut Criterion) {
+    c.bench_function("energy/wake_sleep_cycles_1k", |b| {
+        b.iter(|| {
+            let mut w = Wnic::new(CardSpec::WAVELAN_DSSS);
+            let mut t = SimTime::ZERO;
+            for _ in 0..1_000 {
+                t += SimDuration::from_ms(5);
+                w.wake(t);
+                t += SimDuration::from_ms(5);
+                w.on_receive(t, SimDuration::from_us(1_500));
+                w.sleep(t);
+            }
+            black_box(w.finish(t))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_schedule_build,
+    bench_marking,
+    bench_energy_meter
+);
+criterion_main!(benches);

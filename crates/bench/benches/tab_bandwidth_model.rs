@@ -1,0 +1,11 @@
+//! Regenerates the M1 bandwidth-microbenchmark table (§3.2.2).
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{render_bandwidth_model, tab_bandwidth_model};
+
+fn main() {
+    let opt = bench_options();
+    header("tab_bandwidth_model", &opt);
+    let cal = tab_bandwidth_model(&opt);
+    println!("{}", render_bandwidth_model(&cal));
+}

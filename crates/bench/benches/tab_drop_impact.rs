@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `tab_drop_impact`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{tab_drop_impact, render_drop_impact};
+
+fn main() {
+    let opt = bench_options();
+    header("tab_drop_impact", &opt);
+    let rows = tab_drop_impact(&opt);
+    println!("{}", render_drop_impact(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `tab_optimal`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{tab_optimal, render_optimal};
+
+fn main() {
+    let opt = bench_options();
+    header("tab_optimal", &opt);
+    let rows = tab_optimal(&opt);
+    println!("{}", render_optimal(&rows));
+}

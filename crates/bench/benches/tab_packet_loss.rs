@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `tab_packet_loss`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{tab_packet_loss, render_packet_loss};
+
+fn main() {
+    let opt = bench_options();
+    header("tab_packet_loss", &opt);
+    let rows = tab_packet_loss(&opt);
+    println!("{}", render_packet_loss(&rows));
+}

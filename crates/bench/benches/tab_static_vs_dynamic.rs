@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `tab_static_vs_dynamic`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{tab_static_vs_dynamic, render_static_vs_dynamic};
+
+fn main() {
+    let opt = bench_options();
+    header("tab_static_vs_dynamic", &opt);
+    let rows = tab_static_vs_dynamic(&opt);
+    println!("{}", render_static_vs_dynamic(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `tab_tcp_only`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{tab_tcp_only, render_tcp_only};
+
+fn main() {
+    let opt = bench_options();
+    header("tab_tcp_only", &opt);
+    let rows = tab_tcp_only(&opt);
+    println!("{}", render_tcp_only(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `tab_transition_penalty`. See `powerburst-scenario`'s
+//! `experiments` module for the experiment definition and DESIGN.md for the
+//! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
+
+use powerburst_bench::{bench_options, header};
+use powerburst_scenario::experiments::{tab_transition_penalty, render_transition_penalty};
+
+fn main() {
+    let opt = bench_options();
+    header("tab_transition_penalty", &opt);
+    let rows = tab_transition_penalty(&opt);
+    println!("{}", render_transition_penalty(&rows));
+}

@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the TCP implementation and the end-to-end
+//! simulation rate (simulated seconds per wall second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use powerburst_core::SchedulePolicy;
+use powerburst_net::{HostAddr, SockAddr};
+use powerburst_scenario::{run_scenario, ClientKind, ClientSpec, ScenarioConfig};
+use powerburst_sim::{SimDuration, SimTime};
+use powerburst_traffic::Fidelity;
+use powerburst_transport::{Loopback, TcpConfig, TcpEndpoint};
+
+fn bench_tcp_loopback(c: &mut Criterion) {
+    c.bench_function("tcp/loopback_1MB_lossless", |b| {
+        b.iter(|| {
+            let cfg = TcpConfig::default();
+            let a = TcpEndpoint::active(
+                SockAddr::new(HostAddr(1), 1),
+                SockAddr::new(HostAddr(2), 2),
+                cfg,
+            );
+            let srv = TcpEndpoint::passive(
+                SockAddr::new(HostAddr(2), 2),
+                SockAddr::new(HostAddr(1), 1),
+                cfg,
+            );
+            let mut lo = Loopback::new(a, srv, SimDuration::from_ms(2));
+            lo.a.connect(SimTime::ZERO);
+            lo.run(100);
+            let now = lo.now();
+            lo.a.send(now, Bytes::from(vec![0u8; 1 << 20]));
+            lo.run(2_000_000);
+            black_box(lo.b_received().len())
+        })
+    });
+
+    c.bench_function("tcp/loopback_256KB_5pct_loss", |b| {
+        b.iter(|| {
+            let cfg = TcpConfig::default();
+            let a = TcpEndpoint::active(
+                SockAddr::new(HostAddr(1), 1),
+                SockAddr::new(HostAddr(2), 2),
+                cfg,
+            );
+            let srv = TcpEndpoint::passive(
+                SockAddr::new(HostAddr(2), 2),
+                SockAddr::new(HostAddr(1), 1),
+                cfg,
+            );
+            let mut lo = Loopback::new(a, srv, SimDuration::from_ms(2))
+                .with_loss(|idx, _| idx % 20 == 13);
+            lo.a.connect(SimTime::ZERO);
+            lo.run(100);
+            let now = lo.now();
+            lo.a.send(now, Bytes::from(vec![0u8; 256 << 10]));
+            lo.run(2_000_000);
+            black_box(lo.b_received().len())
+        })
+    });
+}
+
+fn bench_scenario_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("ten_56k_clients_10s", |b| {
+        b.iter(|| {
+            let clients = (0..10)
+                .map(|_| {
+                    ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })
+                })
+                .collect();
+            let cfg = ScenarioConfig::new(
+                3,
+                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+                clients,
+            )
+            .with_duration(SimDuration::from_secs(10));
+            black_box(run_scenario(&cfg).trace_frames)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tcp_loopback, bench_scenario_rate);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shared plumbing for the paper-reproduction bench harnesses.
+//!
+//! Every table/figure of the paper's evaluation has a `harness = false`
+//! bench target in this crate; `cargo bench` regenerates them all. Two
+//! environment variables scale the runs:
+//!
+//! * `PB_BENCH_SECS` — simulated seconds per run (default 119, the
+//!   trailer length used throughout the paper);
+//! * `PB_SEED` — master seed (default 7).
+
+use powerburst_scenario::experiments::ExpOptions;
+use powerburst_sim::SimDuration;
+
+/// Experiment options from the environment (paper-scale defaults).
+pub fn bench_options() -> ExpOptions {
+    let mut opt = ExpOptions::default();
+    if let Ok(s) = std::env::var("PB_BENCH_SECS") {
+        if let Ok(secs) = s.parse::<u64>() {
+            opt.duration = SimDuration::from_secs(secs.max(5));
+        }
+    }
+    if let Ok(s) = std::env::var("PB_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            opt.seed = seed;
+        }
+    }
+    opt
+}
+
+/// Print a harness header with the options in force.
+pub fn header(name: &str, opt: &ExpOptions) {
+    println!(
+        "\n[{name}] seed={} duration={} threads={}\n",
+        opt.seed,
+        opt.duration,
+        opt.threads
+    );
+}

@@ -1,0 +1,13 @@
+//! # powerburst-client
+//!
+//! The mobile-client power daemon for the ICPP 2004 transparent-proxy
+//! reproduction: the "simple daemon" of §3.2.1 that reads schedule
+//! broadcasts, wakes the WNIC at its rendezvous points (with adaptive
+//! delay compensation, §3.3), sleeps on the marked packet, recovers from
+//! missed schedules, and hosts the unmodified client application.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+
+pub use daemon::{ClientConfig, ClientPowerStats, CompMode, PowerClient};

@@ -1,0 +1,35 @@
+//! # powerburst-core
+//!
+//! The paper's contribution: a **transparent proxy** that transforms
+//! ordinary downlink streams into scheduled bursts so that multiple mobile
+//! clients can sleep their WNICs between bursts.
+//!
+//! * [`proxy`] — the proxy node: interception with address spoofing, split
+//!   connections, per-client buffering, burst execution, schedule
+//!   broadcast; includes the pass-through ablation mode;
+//! * [`schedule`] — schedule wire format and the four construction
+//!   policies (dynamic fixed, dynamic variable, static equal, slotted
+//!   TCP/UDP static);
+//! * [`bandwidth`] — the fitted linear send-cost model (§3.2.2);
+//! * [`marking`] — the three-counter end-of-burst marking protocol
+//!   (§3.2.2) with its `forwarded ≤ sent` invariant;
+//! * [`queues`] — byte-capped per-client packet queues;
+//! * [`admission`] — the §3.2.1 future-work admission controller.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod bandwidth;
+pub mod marking;
+pub mod proxy;
+pub mod queues;
+pub mod schedule;
+
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionStats};
+pub use bandwidth::BandwidthModel;
+pub use marking::MarkCoordinator;
+pub use proxy::{Proxy, ProxyConfig, ProxyMode, ProxyStats, PROXY_AP, PROXY_LAN};
+pub use queues::PacketQueue;
+pub use schedule::{
+    build_schedule, BuilderConfig, ClientDemand, Schedule, ScheduleEntry, SchedulePolicy,
+};

@@ -1,0 +1,169 @@
+//! The packet-marking protocol (§3.2.2, *Packet Marking*).
+//!
+//! A burst is terminated by a packet whose IP ToS bit is set. For TCP the
+//! paper coordinates two threads through three shared variables per
+//! client-side socket: `s` (bytes sent by the bursting thread), `f` (bytes
+//! forwarded by the IPQ thread), and `m` (the byte number to be marked),
+//! with the invariant `f ≤ s`. When the bursting thread finishes a burst it
+//! copies `s` into `m`; the IPQ thread marks the packet that makes `f`
+//! reach `m` and resets `m`.
+//!
+//! [`MarkCoordinator`] is that protocol verbatim, on atomics (the paper's
+//! threads are our event handlers, but the shared-state discipline is kept
+//! so the invariant is machine-checkable). Retransmissions do not advance
+//! `f` — "for this case, `f` would not be incremented" — so a retransmitted
+//! byte range never produces a spurious mark.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel meaning "no mark requested".
+const NO_MARK: u64 = 0;
+
+/// Shared marking state for one client-side socket.
+#[derive(Debug, Default)]
+pub struct MarkCoordinator {
+    /// Bytes handed to the socket by the bursting thread (`s`).
+    sent: AtomicU64,
+    /// Bytes forwarded to the wire by the IPQ thread (`f`).
+    forwarded: AtomicU64,
+    /// Byte number to be marked (`m`); 0 = none pending.
+    mark: AtomicU64,
+}
+
+impl MarkCoordinator {
+    /// Fresh coordinator with all counters zero.
+    pub fn new() -> MarkCoordinator {
+        MarkCoordinator::default()
+    }
+
+    /// Bursting thread: `n` more bytes were queued on the socket.
+    pub fn on_burst_bytes(&self, n: u64) {
+        self.sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bursting thread: the burst is over — request a mark at the current
+    /// send position. Returns the mark offset (total bytes queued so far),
+    /// or `None` if nothing has ever been queued (nothing to mark).
+    pub fn end_burst(&self) -> Option<u64> {
+        let s = self.sent.load(Ordering::Relaxed);
+        if s == 0 {
+            return None;
+        }
+        self.mark.store(s, Ordering::Release);
+        Some(s)
+    }
+
+    /// IPQ thread: `n` fresh (non-retransmitted) bytes are about to go to
+    /// the wire. Returns `true` if the packet carrying them must be marked.
+    ///
+    /// # Panics
+    /// In debug builds, if the invariant `f ≤ s` would be violated —
+    /// forwarding bytes the bursting thread never queued.
+    pub fn on_forward(&self, n: u64) -> bool {
+        let f = self.forwarded.fetch_add(n, Ordering::Relaxed) + n;
+        debug_assert!(
+            f <= self.sent.load(Ordering::Relaxed),
+            "marking invariant violated: forwarded {f} > sent"
+        );
+        let m = self.mark.load(Ordering::Acquire);
+        if m != NO_MARK && f >= m {
+            self.mark.store(NO_MARK, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// IPQ thread: a retransmission went to the wire. Per the paper, `f`
+    /// is *not* incremented and no mark is produced.
+    pub fn on_retransmit(&self, _n: u64) -> bool {
+        false
+    }
+
+    /// Current `(sent, forwarded, mark)` snapshot, for assertions/telemetry.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.forwarded.load(Ordering::Relaxed),
+            self.mark.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Bytes queued but not yet forwarded (`s - f`).
+    pub fn backlog(&self) -> u64 {
+        let (s, f, _) = self.snapshot();
+        s - f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_fires_exactly_at_burst_boundary() {
+        let mc = MarkCoordinator::new();
+        mc.on_burst_bytes(3_000);
+        assert_eq!(mc.end_burst(), Some(3_000));
+        assert!(!mc.on_forward(1_460));
+        assert!(!mc.on_forward(1_460));
+        assert!(mc.on_forward(80), "final 80 bytes reach the mark");
+        // Mark consumed: nothing further marks.
+        mc.on_burst_bytes(1_000);
+        assert!(!mc.on_forward(1_000));
+    }
+
+    #[test]
+    fn empty_burst_requests_no_mark() {
+        let mc = MarkCoordinator::new();
+        assert_eq!(mc.end_burst(), None);
+    }
+
+    #[test]
+    fn retransmissions_never_mark_and_dont_advance_f() {
+        let mc = MarkCoordinator::new();
+        mc.on_burst_bytes(1_000);
+        mc.end_burst();
+        assert!(!mc.on_retransmit(1_000));
+        let (_, f, m) = mc.snapshot();
+        assert_eq!(f, 0);
+        assert_eq!(m, 1_000);
+        // The fresh copy still triggers the mark.
+        assert!(mc.on_forward(1_000));
+    }
+
+    #[test]
+    fn two_bursts_two_marks() {
+        let mc = MarkCoordinator::new();
+        mc.on_burst_bytes(500);
+        mc.end_burst();
+        assert!(mc.on_forward(500));
+        mc.on_burst_bytes(700);
+        mc.end_burst();
+        assert!(!mc.on_forward(300));
+        assert!(mc.on_forward(400));
+    }
+
+    #[test]
+    fn backlog_tracks_unforwarded() {
+        let mc = MarkCoordinator::new();
+        mc.on_burst_bytes(2_000);
+        assert_eq!(mc.backlog(), 2_000);
+        mc.on_forward(1_500);
+        assert_eq!(mc.backlog(), 500);
+    }
+
+    #[test]
+    fn second_end_burst_before_forwarding_moves_mark() {
+        // If a second burst ends before the first mark is reached, the mark
+        // moves to the new boundary (the last packet of the *latest* burst
+        // carries it) — matching "valid for exactly one burst interval".
+        let mc = MarkCoordinator::new();
+        mc.on_burst_bytes(1_000);
+        mc.end_burst();
+        mc.on_burst_bytes(1_000);
+        mc.end_burst();
+        assert!(!mc.on_forward(1_000), "old boundary no longer marks");
+        assert!(mc.on_forward(1_000), "new boundary marks");
+    }
+}

@@ -1,0 +1,860 @@
+//! The transparent, power-aware scheduling proxy — the paper's contribution.
+//!
+//! The proxy sits between the server-side Ethernet (iface [`PROXY_LAN`])
+//! and the access point (iface [`PROXY_AP`]). It is invisible to both ends:
+//!
+//! * **Interception & address spoofing** (§3.2.2, Figure 3): a client's SYN
+//!   toward a server is terminated at the proxy by a *client-side* endpoint
+//!   whose local address is spoofed to the server's, and a *server-side*
+//!   endpoint (spoofed to the client's address) opens the real connection.
+//!   Neither end ever sees the proxy's address. The Linux-bridge/IPQ
+//!   machinery of the paper becomes packet classification on the proxy's
+//!   two interfaces — the header rewriting is realized by construction.
+//!
+//! * **Buffering & bursting** (§3.1, §3.2): downlink data is buffered per
+//!   client ([`PacketQueue`] for datagrams, splice buffers for TCP) and
+//!   released in scheduled bursts, the last packet of each burst carrying
+//!   the ToS mark.
+//!
+//! * **Scheduling** (§3.2.1): at every scheduler rendezvous point the proxy
+//!   snapshots all queues, builds the next schedule under the configured
+//!   [`SchedulePolicy`], broadcasts it, and arms one timer per slot.
+//!
+//! * **Bandwidth constraints** (§3.2.2): slot budgets are converted to
+//!   bytes through the fitted linear [`BandwidthModel`] so a burst does not
+//!   overrun its slot.
+//!
+//! A `PassThrough` mode (ablation D3) disables the split connections and
+//!   simply buffers raw TCP segments like datagrams, demonstrating the
+//!   window-shrink slowdown the split design exists to avoid.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use powerburst_sim::{SimDuration, SimTime};
+
+use powerburst_net::{
+    ports, Ctx, HostAddr, IfaceId, Node, Packet, Proto, SockAddr, TcpFlags, TimerToken,
+};
+use powerburst_transport::{TcpConfig, TcpEndpoint, TcpEvent};
+
+use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionStats};
+use crate::bandwidth::BandwidthModel;
+use crate::marking::MarkCoordinator;
+use crate::queues::PacketQueue;
+use crate::schedule::{
+    build_schedule, BuilderConfig, ClientDemand, Schedule, SchedulePolicy,
+};
+
+/// Proxy interface toward the servers (the Fast Ethernet side).
+pub const PROXY_LAN: IfaceId = IfaceId(0);
+/// Proxy interface toward the access point.
+pub const PROXY_AP: IfaceId = IfaceId(1);
+
+const TOKEN_SRP: TimerToken = 1;
+const TOKEN_BURST_BASE: TimerToken = 0x100;
+const TOKEN_SPLICE_BASE: TimerToken = 0x1_0000;
+
+/// Connection-handling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyMode {
+    /// Split connections with address spoofing (the paper's design).
+    Split,
+    /// Buffer raw end-to-end TCP segments (ablation baseline): one
+    /// connection whose RTT now includes the burst interval.
+    PassThrough,
+}
+
+/// Proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// The proxy's own address (source of schedule broadcasts).
+    pub addr: SockAddr,
+    /// Scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Send-cost model (from calibration or the default).
+    pub bw: BandwidthModel,
+    /// TCP parameters for splice endpoints.
+    pub tcp: TcpConfig,
+    /// Known client hosts (the wireless subnet), in schedule order.
+    pub clients: Vec<HostAddr>,
+    /// Per-client buffer capacity, bytes (§3.2.2 sizes ~512 KB total).
+    pub queue_cap: usize,
+    /// Guard gap between slots.
+    pub guard: SimDuration,
+    /// Smallest slot worth scheduling.
+    pub min_slot: SimDuration,
+    /// Split vs pass-through.
+    pub mode: ProxyMode,
+    /// Emit the §5 "unchanged" flag when consecutive schedules match.
+    pub flag_unchanged: bool,
+    /// Optional §3.2.1 admission control.
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl ProxyConfig {
+    /// Reasonable defaults for `clients` behind one 11 Mbps cell.
+    pub fn new(addr: SockAddr, clients: Vec<HostAddr>, policy: SchedulePolicy) -> ProxyConfig {
+        ProxyConfig {
+            addr,
+            policy,
+            bw: BandwidthModel::DEFAULT_11MBPS,
+            tcp: TcpConfig::default(),
+            clients,
+            queue_cap: 256 * 1024,
+            guard: SimDuration::from_ms(1),
+            min_slot: SimDuration::from_ms(4),
+            mode: ProxyMode::Split,
+            flag_unchanged: false,
+            admission: None,
+        }
+    }
+}
+
+/// Counters the experiment harnesses read after a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProxyStats {
+    /// Schedule broadcasts sent.
+    pub schedules_sent: u64,
+    /// Client bursts executed (entries with data).
+    pub bursts: u64,
+    /// Datagram packets burst to clients.
+    pub udp_packets_sent: u64,
+    /// Datagram wire bytes burst.
+    pub udp_bytes_sent: u64,
+    /// TCP payload bytes fed into client-side endpoints during bursts.
+    pub tcp_bytes_fed: u64,
+    /// Packets dropped at full client queues.
+    pub queue_drops: u64,
+    /// Splices created (TCP connections intercepted).
+    pub splices_created: u64,
+    /// Schedules flagged unchanged.
+    pub unchanged_schedules: u64,
+}
+
+struct ClientState {
+    host: HostAddr,
+    /// Buffered datagrams (and raw TCP in pass-through mode).
+    queue: PacketQueue,
+    /// Splice indices belonging to this client.
+    splices: Vec<usize>,
+    /// End of this client's current burst slot: until then, splice frames
+    /// flow to the radio freely (the client is awake and listening).
+    burst_until: SimTime,
+}
+
+/// One intercepted TCP connection: the pair of spoofed endpoints plus the
+/// downlink burst buffer between them.
+struct Splice {
+    /// Which client this splice belongs to.
+    client_idx: usize,
+    /// Proxy↔client half; local address spoofed to the server's.
+    client_side: TcpEndpoint,
+    /// Proxy↔server half; local address spoofed to the client's.
+    server_side: TcpEndpoint,
+    /// Server data awaiting a burst slot.
+    pending: VecDeque<Bytes>,
+    pending_bytes: u64,
+    /// The §3.2.2 three-counter marking protocol for this socket.
+    mark: MarkCoordinator,
+    server_fin: bool,
+    client_fin: bool,
+    closed: bool,
+    /// Data/FIN frames emitted outside a burst window (cwnd growth, RTO
+    /// retransmissions): held until the client's next burst so they are
+    /// never transmitted at a sleeping radio.
+    held: Vec<Packet>,
+}
+
+/// The proxy node.
+pub struct Proxy {
+    cfg: ProxyConfig,
+    clients: Vec<ClientState>,
+    client_index: HashMap<HostAddr, usize>,
+    splices: Vec<Splice>,
+    splice_index: HashMap<(SockAddr, SockAddr), usize>,
+    /// Entries of the schedule currently in force (for burst timers).
+    current: Vec<crate::schedule::ScheduleEntry>,
+    /// Client index whose burst slot is executing right now, if any.
+    bursting: Option<usize>,
+    /// §3.2.1 admission controller, when configured.
+    admission: Option<AdmissionControl>,
+    prev_schedule: Option<Schedule>,
+    seq: u64,
+    /// Statistics.
+    pub stats: ProxyStats,
+}
+
+impl Proxy {
+    /// Build a proxy from its configuration.
+    pub fn new(cfg: ProxyConfig) -> Proxy {
+        let clients: Vec<ClientState> = cfg
+            .clients
+            .iter()
+            .map(|&host| ClientState {
+                host,
+                queue: PacketQueue::new(cfg.queue_cap),
+                splices: Vec::new(),
+                burst_until: SimTime::ZERO,
+            })
+            .collect();
+        let client_index = cfg
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (h, i))
+            .collect();
+        let admission = cfg
+            .admission
+            .map(|a| AdmissionControl::new(a, &cfg.bw, 728));
+        Proxy {
+            cfg,
+            clients,
+            client_index,
+            splices: Vec::new(),
+            splice_index: HashMap::new(),
+            current: Vec::new(),
+            bursting: None,
+            admission,
+            prev_schedule: None,
+            seq: 0,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Total packets dropped at client queues.
+    pub fn queue_drops(&self) -> u64 {
+        self.clients.iter().map(|c| c.queue.drops).sum()
+    }
+
+    /// The schedule policy in force.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.cfg.policy
+    }
+
+    /// Admission-control counters, if admission is configured.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|a| a.stats)
+    }
+
+    fn is_client(&self, h: HostAddr) -> bool {
+        self.client_index.contains_key(&h)
+    }
+
+    // ---- schedule construction and broadcast -------------------------------
+
+    fn demand_snapshot(&self) -> Vec<ClientDemand> {
+        self.clients
+            .iter()
+            .map(|c| {
+                let tcp_bytes: u64 = c
+                    .splices
+                    .iter()
+                    .map(|&i| {
+                        let s = &self.splices[i];
+                        s.pending_bytes
+                            + s.client_side.unsent()
+                            + s.held.iter().map(|p| p.wire_size() as u64).sum::<u64>()
+                    })
+                    .sum();
+                let avg_pkt = if !c.queue.is_empty() {
+                    c.queue.bytes() / c.queue.len()
+                } else {
+                    1_000
+                };
+                ClientDemand {
+                    client: c.host,
+                    udp_bytes: c.queue.bytes() as u64,
+                    tcp_bytes,
+                    avg_pkt,
+                }
+            })
+            .collect()
+    }
+
+    fn schedule_airtime_estimate(&self) -> SimDuration {
+        let payload = 19 + 12 * self.clients.len();
+        self.cfg.bw.send_time(payload + 28)
+    }
+
+    fn on_srp(&mut self, ctx: &mut Ctx<'_>) {
+        let demands = self.demand_snapshot();
+        if std::env::var("PB_DEBUG_SRP").is_ok() {
+            let total: u64 = demands.iter().map(|d| d.total()).sum();
+            if total > 0 || !self.splices.is_empty() {
+                eprintln!(
+                    "srp at {} demands={:?} splices={} held={:?}",
+                    ctx.now(),
+                    demands.iter().map(|d| d.total()).collect::<Vec<_>>(),
+                    self.splices.len(),
+                    self.splices.iter().map(|s| s.held.len()).collect::<Vec<_>>()
+                );
+            }
+        }
+        let bcfg = BuilderConfig {
+            schedule_airtime: self.schedule_airtime_estimate(),
+            guard: self.cfg.guard,
+            min_slot: self.cfg.min_slot,
+            bw: self.cfg.bw,
+        };
+        let mut sched = build_schedule(self.cfg.policy, &bcfg, &demands, self.seq);
+        self.seq += 1;
+        if self.cfg.flag_unchanged {
+            if let Some(prev) = &self.prev_schedule {
+                if prev.same_slots(&sched) {
+                    sched.unchanged = true;
+                    self.stats.unchanged_schedules += 1;
+                }
+            }
+        }
+
+        // Broadcast the schedule.
+        let payload = sched.encode();
+        let pkt = Packet::udp(
+            0,
+            self.cfg.addr,
+            SockAddr::new(HostAddr::BROADCAST, ports::SCHEDULE),
+            payload,
+        );
+        ctx.send_assigning(PROXY_AP, pkt);
+        self.stats.schedules_sent += 1;
+
+        // Arm burst timers and the next SRP.
+        for (i, e) in sched.entries.iter().enumerate() {
+            ctx.set_timer(e.rp_offset, TOKEN_BURST_BASE + i as TimerToken);
+        }
+        ctx.set_timer(sched.next_srp, TOKEN_SRP);
+        self.current = sched.entries.clone();
+        self.prev_schedule = Some(sched);
+    }
+
+    // ---- burst execution ----------------------------------------------------
+
+    fn run_burst(&mut self, ctx: &mut Ctx<'_>, entry_idx: usize) {
+        let Some(entry) = self.current.get(entry_idx).copied() else { return };
+        if entry.client.is_broadcast() {
+            if matches!(self.cfg.policy, SchedulePolicy::PsmBeacon { .. }) {
+                self.psm_burst(ctx, entry.duration);
+                return;
+            }
+            // Figure 7 slotted policy's TCP slot: all clients listen for
+            // the whole window and share its capacity.
+            let per_client = if self.clients.is_empty() {
+                entry.duration
+            } else {
+                entry.duration / self.clients.len() as u64
+            };
+            for ci in 0..self.clients.len() {
+                self.clients[ci].burst_until = ctx.now() + entry.duration;
+                self.bursting = Some(ci);
+                self.burst_tcp(ctx, ci, per_client, false);
+                self.bursting = None;
+            }
+            return;
+        }
+        let Some(&ci) = self.client_index.get(&entry.client) else { return };
+        self.clients[ci].burst_until = ctx.now() + entry.duration;
+        self.bursting = Some(ci);
+        let slotted = matches!(self.cfg.policy, SchedulePolicy::SlottedStatic { .. });
+        let mut remaining = entry.duration;
+        let sent_udp = self.burst_udp(ctx, ci, &mut remaining, slotted);
+        let sent_tcp = if slotted {
+            // Per-client slots carry only datagram traffic under Figure 7's
+            // slotted split; TCP goes in the shared slot.
+            0
+        } else {
+            self.burst_tcp(ctx, ci, remaining, true)
+        };
+        self.bursting = None;
+        if sent_udp > 0 || sent_tcp > 0 {
+            self.stats.bursts += 1;
+        }
+    }
+
+    /// The PSM baseline's shared delivery window: drain all clients'
+    /// queues **round-robin** (a PSM access point has no per-client
+    /// schedule, so frames interleave), setting each client's final frame's
+    /// mark — the More-Data-bit-cleared equivalent that lets it sleep.
+    /// Because of the interleaving, a client's last frame tends to land
+    /// near the end of the shared window: every client stays awake for
+    /// roughly everyone's traffic, which is the §2 argument against PSM
+    /// for multimedia.
+    fn psm_burst(&mut self, ctx: &mut Ctx<'_>, window: SimDuration) {
+        let n = self.clients.len();
+        for ci in 0..n {
+            self.clients[ci].burst_until = ctx.now() + window;
+        }
+        let mut remaining = window;
+        let mut out: Vec<(usize, Packet)> = Vec::new();
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for ci in 0..n {
+                let Some(size) = self.clients[ci].queue.peek_size() else { continue };
+                let cost = self.cfg.bw.send_time(size);
+                if cost > remaining {
+                    continue;
+                }
+                remaining -= cost;
+                let pkt = self.clients[ci].queue.pop().expect("peeked");
+                out.push((ci, pkt));
+                progress = true;
+            }
+        }
+        // Mark each client's final frame of the window.
+        let mut last_of: Vec<Option<usize>> = vec![None; n];
+        for (idx, (ci, _)) in out.iter().enumerate() {
+            last_of[*ci] = Some(idx);
+        }
+        for last in last_of.iter().flatten() {
+            out[*last].1.tos_mark = true;
+        }
+        let sent = out.len() as u64;
+        for (_, pkt) in out {
+            self.stats.udp_bytes_sent += pkt.wire_size() as u64;
+            ctx.send(PROXY_AP, pkt);
+        }
+        self.stats.udp_packets_sent += sent;
+        if sent > 0 {
+            self.stats.bursts += 1;
+        }
+        // Any buffered TCP shares the tail of the window, round-robin.
+        let tcp_share = remaining / (n.max(1) as u64);
+        for ci in 0..n {
+            self.bursting = Some(ci);
+            self.burst_tcp(ctx, ci, tcp_share, false);
+            self.bursting = None;
+        }
+    }
+
+    /// Burst datagrams to client `ci` within `remaining`; marks the last
+    /// datagram if no TCP data will follow in this slot. Returns packets sent.
+    fn burst_udp(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ci: usize,
+        remaining: &mut SimDuration,
+        mark_last: bool,
+    ) -> u64 {
+        let has_tcp_after = !mark_last
+            && self.clients[ci]
+                .splices
+                .iter()
+                .any(|&i| self.splices[i].pending_bytes + self.splices[i].client_side.unsent() > 0);
+        let mut sent = 0u64;
+        let mut last_pkt: Option<Packet> = None;
+        while let Some(size) = self.clients[ci].queue.peek_size() {
+            let cost = self.cfg.bw.send_time(size);
+            if cost > *remaining {
+                break;
+            }
+            *remaining -= cost;
+            let pkt = self.clients[ci].queue.pop().expect("peeked");
+            if let Some(prev) = last_pkt.replace(pkt) {
+                self.stats.udp_bytes_sent += prev.wire_size() as u64;
+                ctx.send(PROXY_AP, prev);
+                sent += 1;
+            }
+        }
+        if let Some(mut last) = last_pkt {
+            if !has_tcp_after {
+                last.tos_mark = true;
+                // The mark ends the client's listening window.
+                self.clients[ci].burst_until = ctx.now();
+            }
+            self.stats.udp_bytes_sent += last.wire_size() as u64;
+            ctx.send(PROXY_AP, last);
+            sent += 1;
+        }
+        self.stats.udp_packets_sent += sent;
+        sent
+    }
+
+    /// Burst buffered TCP data for client `ci`, up to `budget` of estimated
+    /// airtime: held frames (retransmissions, overflow from the previous
+    /// burst) go first, then fresh data is fed into the client-side
+    /// endpoints — but never more than their windows can emit *now*, so the
+    /// end-of-burst mark really lands on the last frame of the burst.
+    /// Returns bytes sent.
+    fn burst_tcp(&mut self, ctx: &mut Ctx<'_>, ci: usize, budget: SimDuration, mark: bool) -> u64 {
+        let mss = self.cfg.tcp.mss;
+        // Reserve airtime for the client's ACKs (one per two segments with
+        // delayed ACKs) — §3.2.2: overrunning the slot delays every
+        // subsequent client *and* the next schedule broadcast.
+        // Guarantee progress: a slot always carries at least one segment,
+        // even when it is smaller than one message's estimated cost
+        // (min_slot-sized slots for tiny queues).
+        let mut byte_budget = self
+            .cfg
+            .bw
+            .bytes_in_with_echo(budget, mss + 40, 40, 0.5)
+            .max(mss as u64);
+        let mut total = 0u64;
+        let mut last_touched: Option<usize> = None;
+        let mut last_held: Option<Packet> = None;
+        let splice_ids = self.clients[ci].splices.clone();
+        // Phase 1: release held frames (oldest data first). A mark that
+        // spilled into the hold queue belongs to a *previous* interval and
+        // is no longer the last frame of anything — strip it, or the
+        // client would sleep mid-burst.
+        for &sid in &splice_ids {
+            while !self.splices[sid].held.is_empty() && byte_budget > 0 {
+                let mut pkt = self.splices[sid].held.remove(0);
+                pkt.tos_mark = false;
+                byte_budget = byte_budget.saturating_sub(pkt.wire_size() as u64);
+                total += pkt.payload.len() as u64;
+                if let Some(prev) = last_held.replace(pkt) {
+                    ctx.send_assigning(PROXY_AP, prev);
+                }
+            }
+        }
+        // Phase 2: decide how much each splice gets, so the mark can be
+        // nominated *before* the final bytes hit the wire (segments are
+        // emitted the moment they are fed).
+        let mut feeds: Vec<(usize, u64)> = Vec::with_capacity(splice_ids.len());
+        for &sid in &splice_ids {
+            if byte_budget == 0 {
+                break;
+            }
+            let s = &self.splices[sid];
+            if s.closed {
+                continue;
+            }
+            // Feed no more than the endpoint can plausibly emit inside
+            // the slot: the windows open further as in-burst ACKs return
+            // (hence the headroom factor), but feeding far beyond them
+            // would re-nominate the end-of-burst mark onto bytes that
+            // cannot reach the air this interval.
+            let emit_capacity = (s.client_side.window_available() * 4).max(mss as u64);
+            let allow = byte_budget.min(emit_capacity).min(s.pending_bytes);
+            if allow > 0 {
+                byte_budget -= allow;
+                feeds.push((sid, allow));
+            }
+        }
+        if std::env::var("PB_DEBUG_BURST").is_ok() {
+            eprintln!(
+                "burst ci={ci} held_sent={} feeds={:?} budget_left={byte_budget}",
+                total, feeds
+            );
+        }
+        let last_feed = feeds.len().checked_sub(1);
+        for (k, &(sid, allow)) in feeds.iter().enumerate() {
+            let now = ctx.now();
+            let s = &mut self.splices[sid];
+            if mark && Some(k) == last_feed {
+                // §3.2.2 protocol: the bursting thread copies `s` into `m`
+                // at the end of its burst; here the burst boundary is known
+                // up front, so nominate it before emission.
+                s.mark.on_burst_bytes(allow);
+                let m = s.mark.end_burst().expect("non-empty burst");
+                if std::env::var("PB_DEBUG_BURST").is_ok() {
+                    eprintln!("  set_mark m={m} stream_len={} allow={allow}", s.client_side.stream_len());
+                }
+                s.client_side.set_mark(m);
+            } else {
+                s.mark.on_burst_bytes(allow);
+            }
+            let mut left = allow;
+            while left > 0 {
+                let mut chunk = s.pending.pop_front().expect("bytes tracked");
+                if chunk.len() as u64 > left {
+                    let rest = chunk.split_off(left as usize);
+                    s.pending.push_front(rest);
+                }
+                let n = chunk.len() as u64;
+                s.pending_bytes -= n;
+                left -= n;
+                s.client_side.send(now, chunk);
+            }
+            total += allow;
+            last_touched = Some(sid);
+        }
+        let _ = last_touched;
+        // If the burst carried only held frames, mark the last directly.
+        if mark && feeds.is_empty() {
+            if let Some(pkt) = last_held.as_mut() {
+                pkt.tos_mark = true;
+            }
+        }
+        if let Some(pkt) = last_held.take() {
+            ctx.send_assigning(PROXY_AP, pkt);
+        }
+        // Drain endpoint output inside the burst window.
+        for &sid in &splice_ids {
+            self.finish_splice_io(ctx, sid);
+        }
+        self.stats.tcp_bytes_fed += total;
+        total
+    }
+
+    // ---- splice lifecycle -----------------------------------------------------
+
+    fn create_splice(&mut self, client_sock: SockAddr, server_sock: SockAddr) -> usize {
+        let ci = self.client_index[&client_sock.host];
+        let idx = self.splices.len();
+        self.splices.push(Splice {
+            client_idx: ci,
+            client_side: TcpEndpoint::passive(server_sock, client_sock, self.cfg.tcp),
+            server_side: TcpEndpoint::active(client_sock, server_sock, self.cfg.tcp),
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            mark: MarkCoordinator::new(),
+            server_fin: false,
+            client_fin: false,
+            closed: false,
+            held: Vec::new(),
+        });
+        self.splice_index.insert((client_sock, server_sock), idx);
+        self.clients[ci].splices.push(idx);
+        self.stats.splices_created += 1;
+        idx
+    }
+
+    /// Move data between the two halves and drive both endpoints.
+    fn service_splice(&mut self, ctx: &mut Ctx<'_>, sid: usize) {
+        let now = ctx.now();
+        {
+            let s = &mut self.splices[sid];
+            // Uplink relay: client requests go straight to the server (only
+            // downlink data is burst-scheduled).
+            for chunk in s.client_side.take_delivered() {
+                if !s.server_fin {
+                    s.server_side.send(now, chunk);
+                }
+            }
+            // Downlink buffer: server data waits for a burst slot.
+            for chunk in s.server_side.take_delivered() {
+                s.pending_bytes += chunk.len() as u64;
+                s.pending.push_back(chunk);
+            }
+            for ev in s.server_side.take_events() {
+                if ev == TcpEvent::RemoteFin {
+                    s.server_fin = true;
+                }
+            }
+            for ev in s.client_side.take_events() {
+                if ev == TcpEvent::RemoteFin && !s.client_fin {
+                    s.client_fin = true;
+                    s.server_side.close(now);
+                }
+            }
+            // Propagate the server's FIN once every buffered byte has been
+            // handed to (and accepted by) the client side.
+            if s.server_fin
+                && !s.closed
+                && s.pending_bytes == 0
+                && s.client_side.unsent() == 0
+            {
+                s.closed = true;
+                s.client_side.close(now);
+            }
+        }
+        self.finish_splice_io(ctx, sid);
+    }
+
+    /// Drain endpoint wire output and re-arm their timers.
+    ///
+    /// Every client-bound frame — data, SYN-ACK, pure ACKs, FIN — is
+    /// released only during this client's burst slot; outside it frames
+    /// park in the splice's hold queue. A sleeping radio hears nothing, so
+    /// transmitting between bursts (as a naive forwarder would) only
+    /// produces losses and retransmission storms.
+    fn finish_splice_io(&mut self, ctx: &mut Ctx<'_>, sid: usize) {
+        let ci = self.splices[sid].client_idx;
+        let mut in_burst =
+            self.bursting == Some(ci) || ctx.now() < self.clients[ci].burst_until;
+        let mut close_window = false;
+        let s = &mut self.splices[sid];
+        for pkt in s.client_side.take_packets() {
+            if !in_burst {
+                // Dedup retransmitted copies of the same data segment
+                // (pure ACKs are never deduped: their ack fields differ).
+                let key = if pkt.payload.is_empty() {
+                    None
+                } else {
+                    pkt.tcp.map(|h| (h.seq, pkt.payload.len()))
+                };
+                let dup = key.is_some()
+                    && s.held
+                        .iter()
+                        .any(|q| q.tcp.map(|h| (h.seq, q.payload.len())) == key);
+                if !dup {
+                    s.held.push(pkt);
+                }
+            } else {
+                // The marked frame puts the client to sleep: nothing else
+                // may follow it onto the air this interval.
+                if pkt.tos_mark {
+                    in_burst = false;
+                    close_window = true;
+                }
+                ctx.send_assigning(PROXY_AP, pkt);
+            }
+        }
+        if close_window {
+            self.clients[ci].burst_until = ctx.now();
+        }
+        let s = &mut self.splices[sid];
+        for pkt in s.server_side.take_packets() {
+            ctx.send_assigning(PROXY_LAN, pkt);
+        }
+        let base = TOKEN_SPLICE_BASE + (sid as TimerToken) * 2;
+        ctx.cancel_timer(base);
+        if let Some(dl) = s.client_side.next_deadline() {
+            ctx.set_timer(dl.since(ctx.now()), base);
+        }
+        ctx.cancel_timer(base + 1);
+        if let Some(dl) = s.server_side.next_deadline() {
+            ctx.set_timer(dl.since(ctx.now()), base + 1);
+        }
+    }
+
+    // ---- packet classification -------------------------------------------------
+
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+        if pkt.dst.port == ports::SCHEDULE {
+            return; // our own broadcasts never come back, but be safe
+        }
+        if self.is_client(pkt.dst.host) {
+            // §3.2.1 admission: refuse packets of rejected flows outright.
+            if let Some(adm) = self.admission.as_mut() {
+                if !adm.offer((pkt.dst, pkt.src), pkt.wire_size(), ctx.now()) {
+                    return;
+                }
+            }
+            // Downlink data: buffer for the next burst.
+            let ci = self.client_index[&pkt.dst.host];
+            if !self.clients[ci].queue.push(pkt) {
+                self.stats.queue_drops += 1;
+            }
+        } else if iface == PROXY_AP {
+            // Uplink (stream feedback etc.): forward toward the servers.
+            ctx.send(PROXY_LAN, pkt);
+        } else {
+            // Server-to-server or unknown: bridge across.
+            ctx.send(PROXY_AP, pkt);
+        }
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+        if self.cfg.mode == ProxyMode::PassThrough {
+            if self.is_client(pkt.dst.host) {
+                let ci = self.client_index[&pkt.dst.host];
+                let has_payload = !pkt.payload.is_empty();
+                if has_payload {
+                    if !self.clients[ci].queue.push(pkt) {
+                        self.stats.queue_drops += 1;
+                    }
+                } else {
+                    // Control segments (SYN-ACK, bare ACKs, FIN) bypass the
+                    // queue so the handshake and ACK clock survive.
+                    ctx.send(PROXY_AP, pkt);
+                }
+            } else if iface == PROXY_AP {
+                ctx.send(PROXY_LAN, pkt);
+            } else {
+                ctx.send(PROXY_AP, pkt);
+            }
+            return;
+        }
+
+        if self.is_client(pkt.src.host) {
+            // Uplink: client ↔ proxy(spoofing server).
+            let key = (pkt.src, pkt.dst);
+            let sid = match self.splice_index.get(&key) {
+                Some(&sid) => sid,
+                None => {
+                    let is_syn = pkt
+                        .tcp
+                        .map(|h| h.flags.contains(TcpFlags::SYN) && !h.flags.contains(TcpFlags::ACK))
+                        .unwrap_or(false);
+                    if !is_syn {
+                        return; // stray segment for a dead splice
+                    }
+                    // §3.2.1 admission: refuse oversubscribing connections
+                    // with a reset, spoofed from the server.
+                    if let Some(adm) = self.admission.as_mut() {
+                        if !adm.offer((pkt.src, pkt.dst), pkt.wire_size(), ctx.now()) {
+                            let mut rst = Packet::tcp(
+                                0,
+                                pkt.dst,
+                                pkt.src,
+                                powerburst_net::TcpHeader {
+                                    seq: 0,
+                                    ack: 1,
+                                    flags: TcpFlags::RST,
+                                    window: 0,
+                                },
+                                bytes::Bytes::new(),
+                            );
+                            rst.id = 0;
+                            ctx.send_assigning(PROXY_AP, rst);
+                            return;
+                        }
+                    }
+                    self.create_splice(pkt.src, pkt.dst)
+                }
+            };
+            let now = ctx.now();
+            self.splices[sid].client_side.on_packet(now, &pkt);
+            // A fresh splice must also fire the server-side SYN (steps 5–6).
+            if self.splices[sid].server_side.state() == powerburst_transport::TcpState::Closed {
+                let now = ctx.now();
+                self.splices[sid].server_side.connect(now);
+            }
+            self.service_splice(ctx, sid);
+        } else if self.is_client(pkt.dst.host) {
+            // Downlink: server ↔ proxy(spoofing client).
+            let key = (pkt.dst, pkt.src);
+            if let Some(&sid) = self.splice_index.get(&key) {
+                let now = ctx.now();
+                self.splices[sid].server_side.on_packet(now, &pkt);
+                self.service_splice(ctx, sid);
+            }
+        } else if iface == PROXY_AP {
+            ctx.send(PROXY_LAN, pkt);
+        } else {
+            ctx.send(PROXY_AP, pkt);
+        }
+    }
+}
+
+impl Node for Proxy {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // First SRP fires immediately so clients can sync from time zero.
+        ctx.set_timer(SimDuration::from_ms(1), TOKEN_SRP);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+        match pkt.proto {
+            Proto::Udp => self.on_udp(ctx, iface, pkt),
+            Proto::Tcp => self.on_tcp(ctx, iface, pkt),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if token == TOKEN_SRP {
+            self.on_srp(ctx);
+        } else if (TOKEN_BURST_BASE..TOKEN_SPLICE_BASE).contains(&token) {
+            self.run_burst(ctx, (token - TOKEN_BURST_BASE) as usize);
+        } else if token >= TOKEN_SPLICE_BASE {
+            let rel = token - TOKEN_SPLICE_BASE;
+            let sid = (rel / 2) as usize;
+            if sid < self.splices.len() {
+                let now = ctx.now();
+                if rel.is_multiple_of(2) {
+                    self.splices[sid].client_side.on_tick(now);
+                } else {
+                    self.splices[sid].server_side.on_tick(now);
+                }
+                self.service_splice(ctx, sid);
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

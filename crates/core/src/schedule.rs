@@ -1,0 +1,623 @@
+//! Schedules: wire format and construction policies.
+//!
+//! §3.2.1: "The proxy broadcasts a schedule message as a UDP packet to all
+//! active clients at well-defined intervals. ... The schedule describes the
+//! length of each client's data burst and the order of the bursts, so that
+//! client *i* is assigned rendezvous point RP_i. ... The schedule will also
+//! contain the time at which the following schedule will be broadcast."
+//!
+//! Four policies are implemented:
+//!
+//! * **dynamic / fixed interval** (100 ms, 500 ms): each active client gets
+//!   a fraction of the interval proportional to its queue size;
+//! * **dynamic / variable interval**: each client gets enough time to empty
+//!   its queue, and the interval stretches (within bounds) to fit;
+//! * **static equal** (§4.3): every client gets the same permanent slot —
+//!   the baseline that beats dynamic when all fidelities are equal;
+//! * **slotted static TCP/UDP** (Figure 7): a fixed TCP slot during which
+//!   *all* clients listen, then equal per-client UDP slots.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use powerburst_sim::SimDuration;
+
+use powerburst_net::HostAddr;
+
+use crate::bandwidth::BandwidthModel;
+
+/// One slot in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// The client this slot belongs to; [`HostAddr::BROADCAST`] means all
+    /// clients must listen (the slotted policy's TCP slot).
+    pub client: HostAddr,
+    /// Rendezvous point: offset from the schedule's transmission.
+    pub rp_offset: SimDuration,
+    /// Length of the burst.
+    pub duration: SimDuration,
+}
+
+/// A complete schedule for one burst interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Monotone sequence number (burst-interval counter).
+    pub seq: u64,
+    /// Slots, in rendezvous order.
+    pub entries: Vec<ScheduleEntry>,
+    /// When the next schedule will be broadcast, relative to this one.
+    pub next_srp: SimDuration,
+    /// The §5 future-work flag: the next interval will reuse this schedule,
+    /// so clients may skip the next SRP wake-up.
+    pub unchanged: bool,
+    /// Static-policy flag: slots are permanent, so a client may sleep at
+    /// its slot's end even if no marked packet arrived (§4.3 static
+    /// schedules broadcast "a single (permanent) burst interval").
+    pub fixed_slots: bool,
+}
+
+impl Schedule {
+    /// Serialize to the broadcast payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(19 + 12 * self.entries.len());
+        b.put_u64(self.seq);
+        b.put_u8(self.unchanged as u8 | (self.fixed_slots as u8) << 1);
+        b.put_u16(self.entries.len() as u16);
+        b.put_u64(self.next_srp.as_us());
+        for e in &self.entries {
+            b.put_u32(e.client.0);
+            b.put_u32(e.rp_offset.as_us() as u32);
+            b.put_u32(e.duration.as_us() as u32);
+        }
+        b.freeze()
+    }
+
+    /// Parse a broadcast payload.
+    pub fn decode(p: &[u8]) -> Option<Schedule> {
+        if p.len() < 19 {
+            return None;
+        }
+        let seq = u64::from_be_bytes(p[0..8].try_into().ok()?);
+        let unchanged = p[8] & 1 != 0;
+        let fixed_slots = p[8] & 2 != 0;
+        let n = u16::from_be_bytes(p[9..11].try_into().ok()?) as usize;
+        let next_srp = SimDuration::from_us(u64::from_be_bytes(p[11..19].try_into().ok()?));
+        if p.len() < 19 + 12 * n {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 19 + 12 * i;
+            let client = HostAddr(u32::from_be_bytes(p[off..off + 4].try_into().ok()?));
+            let rp = u32::from_be_bytes(p[off + 4..off + 8].try_into().ok()?);
+            let dur = u32::from_be_bytes(p[off + 8..off + 12].try_into().ok()?);
+            entries.push(ScheduleEntry {
+                client,
+                rp_offset: SimDuration::from_us(rp as u64),
+                duration: SimDuration::from_us(dur as u64),
+            });
+        }
+        Some(Schedule { seq, entries, next_srp, unchanged, fixed_slots })
+    }
+
+    /// Slots that apply to `me` (own slots plus all-clients slots).
+    pub fn slots_for(&self, me: HostAddr) -> impl Iterator<Item = &ScheduleEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.client == me || e.client.is_broadcast())
+    }
+
+    /// True when the two schedules assign identical slots.
+    pub fn same_slots(&self, other: &Schedule) -> bool {
+        self.entries == other.entries && self.next_srp == other.next_srp
+    }
+}
+
+/// Scheduling policy selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulePolicy {
+    /// Dynamic schedule with a fixed burst interval; slots proportional to
+    /// queue sizes (§3.2.1 "fixed size" schedules).
+    DynamicFixed {
+        /// The burst interval (100 ms and 500 ms in the paper).
+        interval: SimDuration,
+    },
+    /// Dynamic schedule with a variable burst interval; every client gets
+    /// enough time to drain its queue.
+    DynamicVariable {
+        /// Smallest allowed interval (100 ms in the paper).
+        min: SimDuration,
+        /// Largest allowed interval (≈500 ms in the paper).
+        max: SimDuration,
+    },
+    /// Permanent equal slots for every known client (§4.3 baseline).
+    StaticEqual {
+        /// The burst interval.
+        interval: SimDuration,
+    },
+    /// Figure 7: a TCP slot (all clients awake) of `tcp_weight` of the
+    /// interval, then equal UDP slots.
+    SlottedStatic {
+        /// The burst interval (500 ms in the paper's Figure 7).
+        interval: SimDuration,
+        /// Fraction of the usable interval given to the TCP slot
+        /// (0.10 / 0.33 / 0.56 in the paper).
+        tcp_weight: f64,
+    },
+    /// 802.11 power-save-mode baseline (§2 related work): one shared
+    /// delivery window after each beacon during which *every* client
+    /// listens while the AP drains all buffered traffic — no per-client
+    /// rendezvous points. Demonstrates why PSM "is not a good match for
+    /// multimedia": each client pays for everyone's traffic.
+    PsmBeacon {
+        /// The beacon interval (100 ms in 802.11's default).
+        interval: SimDuration,
+    },
+}
+
+/// Per-client demand snapshot taken at schedule-construction time
+/// ("examining a snapshot of the packet queues for all clients").
+#[derive(Debug, Clone, Copy)]
+pub struct ClientDemand {
+    /// The client.
+    pub client: HostAddr,
+    /// Queued UDP wire bytes.
+    pub udp_bytes: u64,
+    /// Buffered TCP payload bytes awaiting burst.
+    pub tcp_bytes: u64,
+    /// Mean queued packet size (for per-message overhead estimation).
+    pub avg_pkt: usize,
+}
+
+impl ClientDemand {
+    /// Total queued bytes.
+    pub fn total(&self) -> u64 {
+        self.udp_bytes + self.tcp_bytes
+    }
+}
+
+/// Schedule construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BuilderConfig {
+    /// Estimated airtime of the schedule broadcast itself.
+    pub schedule_airtime: SimDuration,
+    /// Guard gap inserted between slots.
+    pub guard: SimDuration,
+    /// Smallest slot worth scheduling.
+    pub min_slot: SimDuration,
+    /// The send-cost model used to convert bytes to slot time.
+    pub bw: BandwidthModel,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        BuilderConfig {
+            schedule_airtime: SimDuration::from_ms(2),
+            guard: SimDuration::from_ms(1),
+            min_slot: SimDuration::from_ms(2),
+            bw: BandwidthModel::DEFAULT_11MBPS,
+        }
+    }
+}
+
+/// Build the schedule for the next burst interval.
+///
+/// `demands` must list **all** known clients in a stable order (schedules
+/// are deterministic); clients with zero demand get no slot under the
+/// dynamic policies but always get one under the static ones.
+pub fn build_schedule(
+    policy: SchedulePolicy,
+    cfg: &BuilderConfig,
+    demands: &[ClientDemand],
+    seq: u64,
+) -> Schedule {
+    match policy {
+        SchedulePolicy::DynamicFixed { interval } => {
+            build_fixed(interval, cfg, demands, seq)
+        }
+        SchedulePolicy::DynamicVariable { min, max } => {
+            build_variable(min, max, cfg, demands, seq)
+        }
+        SchedulePolicy::StaticEqual { interval } => build_static(interval, cfg, demands, seq),
+        SchedulePolicy::SlottedStatic { interval, tcp_weight } => {
+            build_slotted(interval, tcp_weight, cfg, demands, seq)
+        }
+        SchedulePolicy::PsmBeacon { interval } => build_psm(interval, cfg, demands, seq),
+    }
+}
+
+fn build_psm(
+    interval: SimDuration,
+    cfg: &BuilderConfig,
+    demands: &[ClientDemand],
+    seq: u64,
+) -> Schedule {
+    let total: u64 = demands.iter().map(|d| d.total()).sum();
+    if total == 0 {
+        return Schedule {
+            seq,
+            entries: Vec::new(),
+            next_srp: interval,
+            unchanged: false,
+            fixed_slots: true,
+        };
+    }
+    let avg = demands
+        .iter()
+        .map(|d| d.avg_pkt as u64)
+        .max()
+        .unwrap_or(1_000) as usize;
+    let overhead = cfg.schedule_airtime + cfg.guard * 2;
+    let window = drain_time(cfg, total, avg)
+        .max(cfg.min_slot)
+        .min(interval.saturating_sub(overhead));
+    let mut s = lay_out(vec![(HostAddr::BROADCAST, window)], cfg, interval, seq);
+    s.fixed_slots = true;
+    s
+}
+
+/// Time to drain `bytes` of messages averaging `avg_pkt`, per the model.
+fn drain_time(cfg: &BuilderConfig, bytes: u64, avg_pkt: usize) -> SimDuration {
+    if bytes == 0 {
+        return SimDuration::ZERO;
+    }
+    let avg = avg_pkt.max(64);
+    let msgs = bytes.div_ceil(avg as u64);
+    SimDuration::from_us(msgs * cfg.bw.send_time(avg).as_us())
+}
+
+fn lay_out(
+    entries: Vec<(HostAddr, SimDuration)>,
+    cfg: &BuilderConfig,
+    next_srp: SimDuration,
+    seq: u64,
+) -> Schedule {
+    let mut out = Vec::with_capacity(entries.len());
+    let mut cursor = cfg.schedule_airtime + cfg.guard;
+    for (client, dur) in entries {
+        out.push(ScheduleEntry { client, rp_offset: cursor, duration: dur });
+        cursor += dur + cfg.guard;
+    }
+    Schedule { seq, entries: out, next_srp, unchanged: false, fixed_slots: false }
+}
+
+fn build_fixed(
+    interval: SimDuration,
+    cfg: &BuilderConfig,
+    demands: &[ClientDemand],
+    seq: u64,
+) -> Schedule {
+    let active: Vec<&ClientDemand> = demands.iter().filter(|d| d.total() > 0).collect();
+    let total_bytes: u64 = active.iter().map(|d| d.total()).sum();
+    if active.is_empty() || total_bytes == 0 {
+        return Schedule { seq, entries: Vec::new(), next_srp: interval, unchanged: false, fixed_slots: false };
+    }
+    let overhead = cfg.schedule_airtime + cfg.guard * (active.len() as u64 + 1);
+    let usable = interval.saturating_sub(overhead);
+    let entries = active
+        .iter()
+        .map(|d| {
+            let share = SimDuration::from_us(
+                (usable.as_us() as u128 * d.total() as u128 / total_bytes as u128) as u64,
+            );
+            (d.client, share.max(cfg.min_slot))
+        })
+        .collect();
+    let mut s = lay_out(entries, cfg, interval, seq);
+    // min_slot padding can overflow the interval with many tiny queues;
+    // clamp trailing slots so the layout never crosses the SRP.
+    clamp_to_interval(&mut s, interval, cfg.guard);
+    s
+}
+
+fn build_variable(
+    min: SimDuration,
+    max: SimDuration,
+    cfg: &BuilderConfig,
+    demands: &[ClientDemand],
+    seq: u64,
+) -> Schedule {
+    let active: Vec<&ClientDemand> = demands.iter().filter(|d| d.total() > 0).collect();
+    if active.is_empty() {
+        return Schedule { seq, entries: Vec::new(), next_srp: min, unchanged: false, fixed_slots: false };
+    }
+    let mut slots: Vec<(HostAddr, SimDuration)> = active
+        .iter()
+        .map(|d| {
+            let t = drain_time(cfg, d.total(), d.avg_pkt).max(cfg.min_slot);
+            (d.client, t)
+        })
+        .collect();
+    let overhead = cfg.schedule_airtime + cfg.guard * (slots.len() as u64 + 1);
+    let needed: SimDuration =
+        slots.iter().fold(overhead, |acc, (_, d)| acc + *d);
+    let interval = needed.max(min).min(max);
+    if needed > interval {
+        // Demand exceeds the cap: shrink slots proportionally ("each client
+        // can empty its packet queue" no longer holds — overload).
+        let budget = interval.saturating_sub(overhead).as_us() as u128;
+        let total: u128 = slots.iter().map(|(_, d)| d.as_us() as u128).sum();
+        for (_, d) in &mut slots {
+            *d = SimDuration::from_us((d.as_us() as u128 * budget / total.max(1)) as u64)
+                .max(cfg.min_slot);
+        }
+    }
+    let mut s = lay_out(slots, cfg, interval, seq);
+    clamp_to_interval(&mut s, interval, cfg.guard);
+    s
+}
+
+fn build_static(
+    interval: SimDuration,
+    cfg: &BuilderConfig,
+    demands: &[ClientDemand],
+    seq: u64,
+) -> Schedule {
+    if demands.is_empty() {
+        return Schedule { seq, entries: Vec::new(), next_srp: interval, unchanged: false, fixed_slots: false };
+    }
+    let n = demands.len() as u64;
+    let overhead = cfg.schedule_airtime + cfg.guard * (n + 1);
+    let share = interval.saturating_sub(overhead) / n;
+    let entries = demands.iter().map(|d| (d.client, share)).collect();
+    let mut s = lay_out(entries, cfg, interval, seq);
+    s.fixed_slots = true;
+    s
+}
+
+fn build_slotted(
+    interval: SimDuration,
+    tcp_weight: f64,
+    cfg: &BuilderConfig,
+    demands: &[ClientDemand],
+    seq: u64,
+) -> Schedule {
+    assert!((0.0..1.0).contains(&tcp_weight), "tcp_weight must be in [0,1)");
+    if demands.is_empty() {
+        return Schedule { seq, entries: Vec::new(), next_srp: interval, unchanged: false, fixed_slots: false };
+    }
+    let n = demands.len() as u64;
+    let overhead = cfg.schedule_airtime + cfg.guard * (n + 2);
+    let usable = interval.saturating_sub(overhead);
+    let tcp_slot = SimDuration::from_us((usable.as_us() as f64 * tcp_weight) as u64);
+    let udp_share = usable.saturating_sub(tcp_slot) / n;
+    let mut entries = Vec::with_capacity(demands.len() + 1);
+    entries.push((HostAddr::BROADCAST, tcp_slot));
+    for d in demands {
+        entries.push((d.client, udp_share));
+    }
+    let mut s = lay_out(entries, cfg, interval, seq);
+    s.fixed_slots = true;
+    s
+}
+
+/// Trim slots that would run past the interval boundary.
+fn clamp_to_interval(s: &mut Schedule, interval: SimDuration, guard: SimDuration) {
+    let limit = interval.saturating_sub(guard);
+    s.entries.retain(|e| e.rp_offset < limit);
+    for e in &mut s.entries {
+        let end = e.rp_offset + e.duration;
+        if end > limit {
+            e.duration = limit.saturating_sub(e.rp_offset);
+        }
+    }
+    s.entries.retain(|e| !e.duration.is_zero());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(host: u32, udp: u64, tcp: u64) -> ClientDemand {
+        ClientDemand { client: HostAddr(host), udp_bytes: udp, tcp_bytes: tcp, avg_pkt: 1_000 }
+    }
+
+    fn cfg() -> BuilderConfig {
+        BuilderConfig::default()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = Schedule {
+            seq: 42,
+            entries: vec![
+                ScheduleEntry {
+                    client: HostAddr(7),
+                    rp_offset: SimDuration::from_ms(3),
+                    duration: SimDuration::from_ms(20),
+                },
+                ScheduleEntry {
+                    client: HostAddr::BROADCAST,
+                    rp_offset: SimDuration::from_ms(24),
+                    duration: SimDuration::from_ms(50),
+                },
+            ],
+            next_srp: SimDuration::from_ms(100),
+            unchanged: true,
+            fixed_slots: true,
+        };
+        let d = Schedule::decode(&s.encode()).unwrap();
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let s = Schedule {
+            seq: 1,
+            entries: vec![ScheduleEntry {
+                client: HostAddr(1),
+                rp_offset: SimDuration::from_ms(1),
+                duration: SimDuration::from_ms(1),
+            }],
+            next_srp: SimDuration::from_ms(100),
+            unchanged: false,
+            fixed_slots: false,
+        };
+        let b = s.encode();
+        assert!(Schedule::decode(&b[..b.len() - 1]).is_none());
+        assert!(Schedule::decode(&b[..5]).is_none());
+    }
+
+    #[test]
+    fn fixed_slots_proportional_to_queues() {
+        let s = build_schedule(
+            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            &cfg(),
+            &[demand(1, 30_000, 0), demand(2, 10_000, 0)],
+            0,
+        );
+        assert_eq!(s.entries.len(), 2);
+        let d1 = s.entries[0].duration.as_us() as f64;
+        let d2 = s.entries[1].duration.as_us() as f64;
+        assert!((d1 / d2 - 3.0).abs() < 0.2, "ratio {}", d1 / d2);
+        assert_eq!(s.next_srp, SimDuration::from_ms(100));
+    }
+
+    #[test]
+    fn fixed_skips_idle_clients() {
+        let s = build_schedule(
+            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            &cfg(),
+            &[demand(1, 0, 0), demand(2, 5_000, 0)],
+            0,
+        );
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[0].client, HostAddr(2));
+    }
+
+    #[test]
+    fn slots_never_overlap_and_fit_interval() {
+        for interval_ms in [100u64, 500] {
+            let demands: Vec<ClientDemand> =
+                (0..10).map(|i| demand(i, 1_000 * (i as u64 + 1), 0)).collect();
+            let s = build_schedule(
+                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(interval_ms) },
+                &cfg(),
+                &demands,
+                0,
+            );
+            let mut cursor = SimDuration::ZERO;
+            for e in &s.entries {
+                assert!(e.rp_offset >= cursor, "overlap at {:?}", e);
+                cursor = e.rp_offset + e.duration;
+            }
+            assert!(cursor <= SimDuration::from_ms(interval_ms), "spill {cursor}");
+        }
+    }
+
+    #[test]
+    fn variable_interval_tracks_demand() {
+        let small = build_schedule(
+            SchedulePolicy::DynamicVariable {
+                min: SimDuration::from_ms(100),
+                max: SimDuration::from_ms(500),
+            },
+            &cfg(),
+            &[demand(1, 2_000, 0)],
+            0,
+        );
+        assert_eq!(small.next_srp, SimDuration::from_ms(100), "clamped up to min");
+        let big = build_schedule(
+            SchedulePolicy::DynamicVariable {
+                min: SimDuration::from_ms(100),
+                max: SimDuration::from_ms(500),
+            },
+            &cfg(),
+            &[demand(1, 120_000, 0), demand(2, 120_000, 0)],
+            0,
+        );
+        assert!(big.next_srp > SimDuration::from_ms(100));
+        assert!(big.next_srp <= SimDuration::from_ms(500));
+    }
+
+    #[test]
+    fn variable_overload_scales_slots_down() {
+        let s = build_schedule(
+            SchedulePolicy::DynamicVariable {
+                min: SimDuration::from_ms(100),
+                max: SimDuration::from_ms(500),
+            },
+            &cfg(),
+            &(0..10).map(|i| demand(i, 500_000, 0)).collect::<Vec<_>>(),
+            0,
+        );
+        assert_eq!(s.next_srp, SimDuration::from_ms(500));
+        let end = s.entries.last().map(|e| e.rp_offset + e.duration).unwrap();
+        assert!(end <= SimDuration::from_ms(500));
+    }
+
+    #[test]
+    fn static_equal_gives_every_client_a_slot() {
+        let s = build_schedule(
+            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            &cfg(),
+            &[demand(1, 0, 0), demand(2, 9_999, 0), demand(3, 5, 0)],
+            0,
+        );
+        assert_eq!(s.entries.len(), 3);
+        let d0 = s.entries[0].duration;
+        assert!(s.entries.iter().all(|e| e.duration == d0), "equal slots");
+    }
+
+    #[test]
+    fn static_schedules_are_identical_across_intervals() {
+        let demands = [demand(1, 100, 0), demand(2, 50_000, 0)];
+        let a = build_schedule(
+            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            &cfg(),
+            &demands,
+            0,
+        );
+        let b = build_schedule(
+            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            &cfg(),
+            &[demand(1, 999_999, 0), demand(2, 0, 0)],
+            1,
+        );
+        assert!(a.same_slots(&b), "static layout ignores demand");
+    }
+
+    #[test]
+    fn slotted_static_has_tcp_slot_first() {
+        let s = build_schedule(
+            SchedulePolicy::SlottedStatic {
+                interval: SimDuration::from_ms(500),
+                tcp_weight: 0.33,
+            },
+            &cfg(),
+            &(0..4).map(|i| demand(i, 1_000, 0)).collect::<Vec<_>>(),
+            0,
+        );
+        assert_eq!(s.entries.len(), 5);
+        assert!(s.entries[0].client.is_broadcast());
+        let tcp = s.entries[0].duration.as_us() as f64;
+        let total_usable: f64 = s.entries.iter().map(|e| e.duration.as_us() as f64).sum();
+        let w = tcp / total_usable;
+        assert!((w - 0.33).abs() < 0.05, "tcp weight {w}");
+    }
+
+    #[test]
+    fn slots_for_includes_broadcast() {
+        let s = build_schedule(
+            SchedulePolicy::SlottedStatic {
+                interval: SimDuration::from_ms(500),
+                tcp_weight: 0.10,
+            },
+            &cfg(),
+            &[demand(1, 0, 0), demand(2, 0, 0)],
+            0,
+        );
+        let mine: Vec<_> = s.slots_for(HostAddr(1)).collect();
+        assert_eq!(mine.len(), 2, "own slot + broadcast TCP slot");
+    }
+
+    #[test]
+    fn empty_demands_yield_empty_schedule() {
+        let s = build_schedule(
+            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            &cfg(),
+            &[],
+            3,
+        );
+        assert!(s.entries.is_empty());
+        assert_eq!(s.seq, 3);
+    }
+}

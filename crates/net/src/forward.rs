@@ -1,0 +1,110 @@
+//! Plain packet forwarding: a static router table and an Ethernet switch.
+//!
+//! The paper's testbed hangs the multimedia server, the web server, and the
+//! proxy off 100 Mbps Fast Ethernet. [`Switch`] models that segment as a
+//! store-and-forward element with a static host→port table (no MAC
+//! learning needed: the topology never changes mid-run).
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use crate::addr::{HostAddr, IfaceId};
+use crate::node::{Ctx, Node};
+use crate::packet::Packet;
+
+/// A static destination-host → interface routing table.
+#[derive(Debug, Clone, Default)]
+pub struct StaticRouter {
+    routes: HashMap<HostAddr, IfaceId>,
+    default_iface: Option<IfaceId>,
+}
+
+impl StaticRouter {
+    /// Empty table with no default.
+    pub fn new() -> StaticRouter {
+        StaticRouter::default()
+    }
+
+    /// Route `host` out `iface`.
+    pub fn add_route(&mut self, host: HostAddr, iface: IfaceId) -> &mut Self {
+        self.routes.insert(host, iface);
+        self
+    }
+
+    /// Fallback interface for unknown destinations.
+    pub fn set_default(&mut self, iface: IfaceId) -> &mut Self {
+        self.default_iface = Some(iface);
+        self
+    }
+
+    /// Resolve the output interface for a destination.
+    pub fn route(&self, host: HostAddr) -> Option<IfaceId> {
+        self.routes.get(&host).copied().or(self.default_iface)
+    }
+}
+
+/// A store-and-forward switch node.
+pub struct Switch {
+    router: StaticRouter,
+    /// Frames forwarded (diagnostics).
+    pub forwarded: u64,
+    /// Frames with no route (diagnostics; they are dropped).
+    pub unroutable: u64,
+}
+
+impl Switch {
+    /// New switch with the given table.
+    pub fn new(router: StaticRouter) -> Switch {
+        Switch { router, forwarded: 0, unroutable: 0 }
+    }
+}
+
+impl Node for Switch {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+        match self.router.route(pkt.dst.host) {
+            Some(out) if out != iface => {
+                self.forwarded += 1;
+                ctx.send(out, pkt);
+            }
+            Some(_) => {
+                // Would hairpin back out the ingress port; drop silently,
+                // as a real switch would.
+                self.unroutable += 1;
+            }
+            None => {
+                self.unroutable += 1;
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve_with_default() {
+        let mut r = StaticRouter::new();
+        r.add_route(HostAddr(1), IfaceId(0)).set_default(IfaceId(9));
+        assert_eq!(r.route(HostAddr(1)), Some(IfaceId(0)));
+        assert_eq!(r.route(HostAddr(99)), Some(IfaceId(9)));
+    }
+
+    #[test]
+    fn no_default_means_none() {
+        let r = StaticRouter::new();
+        assert_eq!(r.route(HostAddr(1)), None);
+    }
+
+    #[test]
+    fn later_route_overrides() {
+        let mut r = StaticRouter::new();
+        r.add_route(HostAddr(1), IfaceId(0));
+        r.add_route(HostAddr(1), IfaceId(2));
+        assert_eq!(r.route(HostAddr(1)), Some(IfaceId(2)));
+    }
+}

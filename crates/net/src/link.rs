@@ -1,0 +1,177 @@
+//! Wired point-to-point links.
+//!
+//! The paper's servers, proxy, and access point sit on 100 Mbps Fast
+//! Ethernet. Each link direction serializes frames at the configured rate
+//! and adds a propagation delay; backlog beyond `max_backlog` is dropped
+//! tail-first (in practice the wired side is never the bottleneck, but the
+//! model is honest about it).
+
+use powerburst_sim::{SimDuration, SimTime};
+
+use crate::addr::{IfaceId, NodeId};
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Line rate, bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation + switching delay.
+    pub delay: SimDuration,
+    /// Maximum tolerated transmit backlog per direction.
+    pub max_backlog: SimDuration,
+}
+
+impl LinkSpec {
+    /// 100 Mbps Fast Ethernet with a small switch latency.
+    pub const FAST_ETHERNET: LinkSpec = LinkSpec {
+        bandwidth_bps: 100_000_000.0,
+        delay: SimDuration::from_us(50),
+        max_backlog: SimDuration::from_ms(200),
+    };
+}
+
+/// One endpoint of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The attached node.
+    pub node: NodeId,
+    /// That node's interface number.
+    pub iface: IfaceId,
+}
+
+/// Outcome of a wired transmit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Frame will arrive at the peer at `arrive`.
+    Sent {
+        /// Arrival instant at the remote endpoint.
+        arrive: SimTime,
+    },
+    /// Dropped due to backlog overflow.
+    Dropped,
+}
+
+/// A bidirectional point-to-point link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    spec: LinkSpec,
+    ends: [Endpoint; 2],
+    busy_until: [SimTime; 2],
+    /// Frames dropped per direction.
+    pub drops: [u64; 2],
+}
+
+impl Link {
+    /// Create a link between two endpoints.
+    pub fn new(a: Endpoint, b: Endpoint, spec: LinkSpec) -> Link {
+        Link {
+            spec,
+            ends: [a, b],
+            busy_until: [SimTime::ZERO; 2],
+            drops: [0; 2],
+        }
+    }
+
+    /// Which direction index sends *from* this endpoint, if attached.
+    pub fn direction_from(&self, node: NodeId, iface: IfaceId) -> Option<usize> {
+        let ep = Endpoint { node, iface };
+        if self.ends[0] == ep {
+            Some(0)
+        } else if self.ends[1] == ep {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    /// The endpoint that receives traffic sent in direction `dir`.
+    pub fn peer(&self, dir: usize) -> Endpoint {
+        self.ends[1 - dir]
+    }
+
+    /// Attempt to send `bytes` in direction `dir` at `now`.
+    pub fn transmit(&mut self, now: SimTime, dir: usize, bytes: usize) -> WireOutcome {
+        let start = now.max(self.busy_until[dir]);
+        if start.since(now) > self.spec.max_backlog {
+            self.drops[dir] += 1;
+            return WireOutcome::Dropped;
+        }
+        let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.spec.bandwidth_bps);
+        let end = start + tx;
+        self.busy_until[dir] = end;
+        WireOutcome::Sent { arrive: end + self.spec.delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u32, i: u8) -> Endpoint {
+        Endpoint { node: NodeId(n), iface: IfaceId(i) }
+    }
+
+    #[test]
+    fn direction_resolution() {
+        let l = Link::new(ep(1, 0), ep(2, 1), LinkSpec::FAST_ETHERNET);
+        assert_eq!(l.direction_from(NodeId(1), IfaceId(0)), Some(0));
+        assert_eq!(l.direction_from(NodeId(2), IfaceId(1)), Some(1));
+        assert_eq!(l.direction_from(NodeId(3), IfaceId(0)), None);
+        assert_eq!(l.peer(0), ep(2, 1));
+        assert_eq!(l.peer(1), ep(1, 0));
+    }
+
+    #[test]
+    fn transmit_adds_serialization_and_delay() {
+        let mut l = Link::new(ep(1, 0), ep(2, 0), LinkSpec::FAST_ETHERNET);
+        // 1250 bytes at 100 Mbps = 100 us; +50 us delay.
+        let WireOutcome::Sent { arrive } = l.transmit(SimTime::ZERO, 0, 1250) else {
+            panic!()
+        };
+        assert_eq!(arrive.as_us(), 150);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = Link::new(ep(1, 0), ep(2, 0), LinkSpec::FAST_ETHERNET);
+        let WireOutcome::Sent { arrive: a } = l.transmit(SimTime::ZERO, 0, 125_000) else {
+            panic!()
+        };
+        let WireOutcome::Sent { arrive: b } = l.transmit(SimTime::ZERO, 1, 1250) else {
+            panic!()
+        };
+        // Reverse direction isn't delayed by forward traffic.
+        assert!(b < a);
+    }
+
+    #[test]
+    fn backlog_overflow_drops() {
+        let spec = LinkSpec {
+            bandwidth_bps: 1_000_000.0, // slow link
+            delay: SimDuration::ZERO,
+            max_backlog: SimDuration::from_ms(10),
+        };
+        let mut l = Link::new(ep(1, 0), ep(2, 0), spec);
+        let mut dropped = 0;
+        for _ in 0..100 {
+            if l.transmit(SimTime::ZERO, 0, 10_000) == WireOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0);
+        assert_eq!(l.drops[0], dropped);
+        assert_eq!(l.drops[1], 0);
+    }
+
+    #[test]
+    fn queued_sends_serialize() {
+        let mut l = Link::new(ep(1, 0), ep(2, 0), LinkSpec::FAST_ETHERNET);
+        let WireOutcome::Sent { arrive: a1 } = l.transmit(SimTime::ZERO, 0, 1250) else {
+            panic!()
+        };
+        let WireOutcome::Sent { arrive: a2 } = l.transmit(SimTime::ZERO, 0, 1250) else {
+            panic!()
+        };
+        assert_eq!((a2 - a1).as_us(), 100);
+    }
+}

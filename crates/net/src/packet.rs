@@ -1,0 +1,222 @@
+//! The packet model.
+//!
+//! Packets carry real header fields — addresses, a TCP header when the
+//! protocol is TCP, and the **type-of-service mark bit** the proxy sets on
+//! the last packet of each burst (§3.2.1: "marking the type-of-service bit
+//! in the IP header of the last packet so that the client knows when to
+//! transition its WNIC back to low-power mode"). Payloads are
+//! [`bytes::Bytes`] so queuing, sniffing, and retransmission share one
+//! allocation.
+
+use bytes::Bytes;
+use std::fmt;
+
+use crate::addr::SockAddr;
+
+/// IP header size we charge on the wire, bytes.
+pub const IP_HEADER: usize = 20;
+/// UDP header size, bytes.
+pub const UDP_HEADER: usize = 8;
+/// TCP header size (no options), bytes.
+pub const TCP_HEADER: usize = 20;
+
+/// Transport protocol discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// User Datagram Protocol.
+    Udp,
+    /// Transmission Control Protocol.
+    Tcp,
+}
+
+/// TCP control flags (only the ones the simulation uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// Synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0b0001);
+    /// Acknowledgment field significant.
+    pub const ACK: TcpFlags = TcpFlags(0b0010);
+    /// No more data from sender.
+    pub const FIN: TcpFlags = TcpFlags(0b0100);
+    /// Reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0b1000);
+
+    /// Flag union.
+    #[inline]
+    pub const fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// True if every flag in `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        (self.0 & other.0) == other.0
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (bit, name) in [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+        ] {
+            if self.contains(bit) {
+                if any {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// TCP header fields carried by TCP packets.
+///
+/// Sequence and acknowledgment numbers are 64-bit: the simulation uses the
+/// absolute stream offset (+1 for the SYN) as the sequence space, which
+/// sidesteps 32-bit wraparound modeling. Real TCP's wrap arithmetic is
+/// orthogonal to everything the paper measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpHeader {
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: u64,
+    /// Cumulative acknowledgment number (valid when ACK set).
+    pub ack: u64,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window, bytes.
+    pub window: u32,
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Globally unique id (assigned via `Ctx::alloc_packet_id`), used by
+    /// the sniffer and for retransmission bookkeeping.
+    pub id: u64,
+    /// Source socket address. The transparent proxy rewrites this —
+    /// that is the "address spoofing" of §3.2.
+    pub src: SockAddr,
+    /// Destination socket address.
+    pub dst: SockAddr,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// TCP header when `proto == Tcp`.
+    pub tcp: Option<TcpHeader>,
+    /// End-of-burst mark (IP ToS bit repurposed by the proxy).
+    pub tos_mark: bool,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// A UDP datagram.
+    pub fn udp(id: u64, src: SockAddr, dst: SockAddr, payload: Bytes) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            proto: Proto::Udp,
+            tcp: None,
+            tos_mark: false,
+            payload,
+        }
+    }
+
+    /// A TCP segment.
+    pub fn tcp(id: u64, src: SockAddr, dst: SockAddr, header: TcpHeader, payload: Bytes) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            proto: Proto::Tcp,
+            tcp: Some(header),
+            tos_mark: false,
+            payload,
+        }
+    }
+
+    /// Bytes this packet occupies at the IP layer (headers + payload).
+    /// Link-layer framing is part of the medium's airtime model instead.
+    pub fn wire_size(&self) -> usize {
+        let transport = match self.proto {
+            Proto::Udp => UDP_HEADER,
+            Proto::Tcp => TCP_HEADER,
+        };
+        IP_HEADER + transport + self.payload.len()
+    }
+
+    /// True if this is a broadcast packet.
+    pub fn is_broadcast(&self) -> bool {
+        self.dst.host.is_broadcast()
+    }
+
+    /// The TCP header, panicking if not TCP — for use after a proto check.
+    pub fn tcp_header(&self) -> &TcpHeader {
+        self.tcp.as_ref().expect("not a TCP packet")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{HostAddr, SockAddr};
+
+    fn sa(h: u32, p: u16) -> SockAddr {
+        SockAddr::new(HostAddr(h), p)
+    }
+
+    #[test]
+    fn udp_wire_size() {
+        let p = Packet::udp(1, sa(1, 10), sa(2, 20), Bytes::from(vec![0u8; 100]));
+        assert_eq!(p.wire_size(), 20 + 8 + 100);
+    }
+
+    #[test]
+    fn tcp_wire_size() {
+        let h = TcpHeader { seq: 0, ack: 0, flags: TcpFlags::SYN, window: 65535 };
+        let p = Packet::tcp(1, sa(1, 10), sa(2, 20), h, Bytes::new());
+        assert_eq!(p.wire_size(), 20 + 20);
+    }
+
+    #[test]
+    fn flags_union_and_contains() {
+        let synack = TcpFlags::SYN.union(TcpFlags::ACK);
+        assert!(synack.contains(TcpFlags::SYN));
+        assert!(synack.contains(TcpFlags::ACK));
+        assert!(!synack.contains(TcpFlags::FIN));
+        assert_eq!(format!("{synack}"), "SYN|ACK");
+        assert_eq!(format!("{}", TcpFlags::default()), "-");
+    }
+
+    #[test]
+    fn broadcast_packet() {
+        let p = Packet::udp(
+            1,
+            sa(1, 10),
+            SockAddr::new(HostAddr::BROADCAST, 7001),
+            Bytes::new(),
+        );
+        assert!(p.is_broadcast());
+    }
+
+    #[test]
+    fn payload_sharing_is_cheap() {
+        let body = Bytes::from(vec![7u8; 1460]);
+        let p1 = Packet::udp(1, sa(1, 1), sa(2, 2), body.clone());
+        let p2 = p1.clone();
+        // Same underlying buffer (Bytes refcount), not a deep copy.
+        assert_eq!(p1.payload.as_ptr(), p2.payload.as_ptr());
+        assert_eq!(body.as_ptr(), p2.payload.as_ptr());
+    }
+}

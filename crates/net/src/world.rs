@@ -1,0 +1,708 @@
+//! The discrete-event world: nodes, links, the wireless medium, and the
+//! event loop that ties them together.
+//!
+//! Topology follows the paper's Figure 1: servers and the proxy on wired
+//! links, an access point bridging onto a shared wireless medium, clients
+//! (and a monitoring station) on the radio side. The world is fully
+//! deterministic: one master seed derives every per-node and per-medium RNG
+//! stream, and all event ties break by insertion order.
+
+use std::collections::HashMap;
+
+use powerburst_sim::rng::streams;
+use powerburst_sim::{derive_rng, ClockModel, EventQueue, SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use powerburst_energy::{CardSpec, EnergyReport, Wnic};
+
+use crate::addr::{HostAddr, IfaceId, NodeId};
+use crate::link::{Endpoint, Link, LinkSpec, WireOutcome};
+use crate::medium::{AirtimeModel, Medium, TxOutcome};
+use crate::node::{Ctx, Ev, Node, TimerToken};
+use crate::packet::Packet;
+use crate::sniffer::{Delivery, Sniffer, SnifferRecord};
+
+/// Per-node frame counters maintained by the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Frames delivered to this node over the radio.
+    pub rx_frames: u64,
+    /// Bytes delivered to this node over the radio.
+    pub rx_bytes: u64,
+    /// Airtime of frames delivered to this node.
+    pub rx_airtime: SimDuration,
+    /// Unicast frames addressed to this node that it slept through.
+    pub missed_frames: u64,
+    /// Bytes it slept through.
+    pub missed_bytes: u64,
+    /// Airtime of frames it slept through.
+    pub missed_airtime: SimDuration,
+    /// Broadcast frames this node slept through.
+    pub missed_broadcasts: u64,
+    /// Frames this node transmitted over the radio.
+    pub tx_frames: u64,
+    /// Airtime of its transmissions.
+    pub tx_airtime: SimDuration,
+    /// Frames addressed to this node dropped at the AP transmit queue.
+    pub queue_drops: u64,
+}
+
+/// Per-node configuration at construction time.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Host address owned by this node, if traffic is addressed to it.
+    pub host: Option<HostAddr>,
+    /// Local clock model.
+    pub clock: ClockModel,
+    /// A WNIC spec makes this node a *live* radio client: it genuinely
+    /// sleeps and misses frames. `None` on a wireless node means the radio
+    /// is always listening (the paper's methodology: clients capture
+    /// everything and energy is computed postmortem).
+    pub wnic: Option<CardSpec>,
+}
+
+impl NodeConfig {
+    /// A wired node owning `host`.
+    pub fn wired(host: HostAddr) -> NodeConfig {
+        NodeConfig { host: Some(host), clock: ClockModel::perfect(), wnic: None }
+    }
+
+    /// An infrastructure node (switch/AP/shaper) owning no host address.
+    pub fn infrastructure() -> NodeConfig {
+        NodeConfig { host: None, clock: ClockModel::perfect(), wnic: None }
+    }
+}
+
+struct NodeSlot {
+    node: Box<dyn Node>,
+    clock: ClockModel,
+    rng: StdRng,
+    host: Option<HostAddr>,
+    wnic: Option<Wnic>,
+    wireless_iface: Option<IfaceId>,
+    stats: NodeStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Attachment {
+    Wired { link: usize },
+    Wireless,
+}
+
+/// The simulation world.
+pub struct World {
+    seed: u64,
+    now: SimTime,
+    started: bool,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeSlot>,
+    host_index: HashMap<HostAddr, NodeId>,
+    attachments: HashMap<(NodeId, IfaceId), Attachment>,
+    links: Vec<Link>,
+    medium: Option<Medium>,
+    medium_rng: StdRng,
+    /// Node that bridges the radio to the wired side (the access point).
+    infrastructure: Option<NodeId>,
+    sniffer: Sniffer,
+    timer_index: HashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
+    packet_seq: u64,
+    send_buf: Vec<(IfaceId, Packet)>,
+}
+
+impl World {
+    /// A new empty world with the given master seed.
+    pub fn new(seed: u64) -> World {
+        World {
+            seed,
+            now: SimTime::ZERO,
+            started: false,
+            queue: EventQueue::with_capacity(1024),
+            nodes: Vec::new(),
+            host_index: HashMap::new(),
+            attachments: HashMap::new(),
+            links: Vec::new(),
+            medium: None,
+            medium_rng: derive_rng(seed, streams::AP_DELAY),
+            infrastructure: None,
+            sniffer: Sniffer::new(),
+            timer_index: HashMap::new(),
+            packet_seq: 0,
+            send_buf: Vec::new(),
+        }
+    }
+
+    /// The master seed this world was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a node. Ids are assigned densely in insertion order.
+    pub fn add_node(&mut self, node: Box<dyn Node>, cfg: NodeConfig) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        if let Some(h) = cfg.host {
+            assert!(
+                self.host_index.insert(h, id).is_none(),
+                "host {h} assigned to two nodes"
+            );
+        }
+        self.nodes.push(NodeSlot {
+            node,
+            clock: cfg.clock,
+            rng: derive_rng(self.seed, streams::NODE_BASE + id.0 as u64),
+            host: cfg.host,
+            wnic: cfg.wnic.map(Wnic::new),
+            wireless_iface: None,
+            stats: NodeStats::default(),
+        });
+        id
+    }
+
+    /// Connect two node interfaces with a wired link.
+    pub fn add_link(&mut self, a: Endpoint, b: Endpoint, spec: LinkSpec) {
+        let idx = self.links.len();
+        self.links.push(Link::new(a, b, spec));
+        let prev_a = self.attachments.insert((a.node, a.iface), Attachment::Wired { link: idx });
+        let prev_b = self.attachments.insert((b.node, b.iface), Attachment::Wired { link: idx });
+        assert!(prev_a.is_none() && prev_b.is_none(), "iface attached twice");
+    }
+
+    /// Install the (single) shared wireless medium, naming the access-point
+    /// node that bridges radio traffic toward wired hosts.
+    pub fn set_medium(&mut self, airtime: AirtimeModel, max_backlog: SimDuration, ap: NodeId) {
+        assert!(self.medium.is_none(), "medium already installed");
+        self.medium = Some(Medium::new(airtime, max_backlog));
+        self.infrastructure = Some(ap);
+    }
+
+    /// Mark `iface` on `node` as the node's radio interface.
+    pub fn attach_wireless(&mut self, node: NodeId, iface: IfaceId) {
+        let prev = self.attachments.insert((node, iface), Attachment::Wireless);
+        assert!(prev.is_none(), "iface attached twice");
+        self.nodes[node.index()].wireless_iface = Some(iface);
+    }
+
+    /// The host address a node owns.
+    pub fn host_of(&self, id: NodeId) -> Option<HostAddr> {
+        self.nodes[id.index()].host
+    }
+
+    /// Engine counters for a node.
+    pub fn stats(&self, id: NodeId) -> &NodeStats {
+        &self.nodes[id.index()].stats
+    }
+
+    /// Energy report for a live-radio node as of the current time.
+    pub fn wnic_report(&mut self, id: NodeId) -> Option<EnergyReport> {
+        let now = self.now;
+        self.nodes[id.index()].wnic.as_mut().map(|w| w.report_at(now))
+    }
+
+    /// The captured wireless trace so far.
+    pub fn sniffer(&self) -> &Sniffer {
+        &self.sniffer
+    }
+
+    /// Take ownership of the captured trace.
+    pub fn take_trace(&mut self) -> Vec<SnifferRecord> {
+        self.sniffer.take()
+    }
+
+    /// Frames dropped at the medium's transmit queue.
+    pub fn medium_drops(&self) -> u64 {
+        self.medium.as_ref().map(|m| m.drops).unwrap_or(0)
+    }
+
+    /// Airtime carried by the medium (utilization numerator).
+    pub fn medium_carried_airtime(&self) -> SimDuration {
+        self.medium.as_ref().map(|m| m.carried_airtime).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Downcast a node to its concrete type.
+    ///
+    /// # Panics
+    /// If the node is not a `T`.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.index()]
+            .node
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node has a different concrete type")
+    }
+
+    /// Run the event loop until simulated `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: SimTime) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.with_node(NodeId(i as u32), |n, ctx| n.on_start(ctx));
+            }
+        }
+        loop {
+            match self.queue.peek_time() {
+                Some(ev_t) if ev_t <= t => {
+                    let (ev_t, ev) = self.queue.pop().expect("peeked");
+                    debug_assert!(ev_t >= self.now, "event from the past");
+                    self.now = ev_t;
+                    self.dispatch(ev);
+                }
+                _ => break,
+            }
+        }
+        self.now = t;
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Timer { node, token } => {
+                // Keep the cancellation index from growing without bound.
+                if let Some(ids) = self.timer_index.get_mut(&(node, token)) {
+                    if !ids.is_empty() {
+                        ids.remove(0);
+                    }
+                    if ids.is_empty() {
+                        self.timer_index.remove(&(node, token));
+                    }
+                }
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            Ev::WireArrive { node, iface, pkt } => {
+                self.with_node(node, |n, ctx| n.on_packet(ctx, iface, pkt));
+            }
+            Ev::RadioArrive { pkt, from, airtime } => {
+                self.radio_deliver(pkt, from, airtime);
+            }
+        }
+    }
+
+    /// Run a handler on a node, then route the sends it buffered.
+    fn with_node<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, id: NodeId, f: F) {
+        let mut sends = std::mem::take(&mut self.send_buf);
+        debug_assert!(sends.is_empty());
+        {
+            let slot = &mut self.nodes[id.index()];
+            let mut ctx = Ctx {
+                now: self.now,
+                node: id,
+                clock: &slot.clock,
+                rng: &mut slot.rng,
+                wnic: slot.wnic.as_mut(),
+                queue: &mut self.queue,
+                timer_index: &mut self.timer_index,
+                sends: &mut sends,
+                packet_seq: &mut self.packet_seq,
+            };
+            f(&mut *slot.node, &mut ctx);
+        }
+        for (iface, pkt) in sends.drain(..) {
+            self.route_send(id, iface, pkt);
+        }
+        self.send_buf = sends;
+    }
+
+    /// Route one outbound frame onto its attachment.
+    fn route_send(&mut self, from: NodeId, iface: IfaceId, pkt: Packet) {
+        let att = *self
+            .attachments
+            .get(&(from, iface))
+            .unwrap_or_else(|| panic!("node {from:?} iface {iface:?} not attached"));
+        match att {
+            Attachment::Wired { link } => {
+                let l = &mut self.links[link];
+                let dir = l
+                    .direction_from(from, iface)
+                    .expect("attachment table and link endpoints agree");
+                match l.transmit(self.now, dir, pkt.wire_size()) {
+                    WireOutcome::Sent { arrive } => {
+                        let peer = l.peer(dir);
+                        self.queue.push(
+                            arrive,
+                            Ev::WireArrive { node: peer.node, iface: peer.iface, pkt },
+                        );
+                    }
+                    WireOutcome::Dropped => { /* counted on the link */ }
+                }
+            }
+            Attachment::Wireless => {
+                let med = self.medium.as_mut().expect("wireless send without a medium");
+                match med.transmit(self.now, pkt.wire_size(), &mut self.medium_rng) {
+                    TxOutcome::Sent { finish, airtime } => {
+                        self.queue.push(finish, Ev::RadioArrive { pkt, from, airtime });
+                    }
+                    TxOutcome::Dropped => {
+                        self.sniffer.record(SnifferRecord::of(
+                            self.now,
+                            &pkt,
+                            SimDuration::ZERO,
+                            Delivery::QueueDrop,
+                        ));
+                        if let Some(&dst) = self.host_index.get(&pkt.dst.host) {
+                            self.nodes[dst.index()].stats.queue_drops += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A frame's airtime completed: bill the transmitter, record it, and
+    /// deliver to listening receivers.
+    fn radio_deliver(&mut self, pkt: Packet, from: NodeId, airtime: SimDuration) {
+        let now = self.now;
+        // Channel corruption: the frame burned its airtime but nobody
+        // decodes it (the §4.3 lossy-channel validation knob).
+        let loss_prob = self
+            .medium
+            .as_ref()
+            .map(|m| m.airtime_model().loss_prob)
+            .unwrap_or(0.0);
+        if loss_prob > 0.0 {
+            use rand::Rng;
+            if self.medium_rng.random::<f64>() < loss_prob {
+                self.sniffer
+                    .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
+                // Transmit energy is still paid.
+                let s = &mut self.nodes[from.index()];
+                s.stats.tx_frames += 1;
+                s.stats.tx_airtime += airtime;
+                if let Some(w) = s.wnic.as_mut() {
+                    w.on_transmit(now, airtime);
+                }
+                return;
+            }
+        }
+        // Transmit-side energy (client uplink: TCP ACKs, stream feedback).
+        {
+            let s = &mut self.nodes[from.index()];
+            s.stats.tx_frames += 1;
+            s.stats.tx_airtime += airtime;
+            if let Some(w) = s.wnic.as_mut() {
+                w.on_transmit(now, airtime);
+            }
+        }
+
+        if pkt.is_broadcast() {
+            self.sniffer
+                .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Broadcast));
+            let n = self.nodes.len();
+            for i in 0..n {
+                let id = NodeId(i as u32);
+                if id == from {
+                    continue;
+                }
+                let slot = &mut self.nodes[i];
+                let Some(wiface) = slot.wireless_iface else { continue };
+                if Some(id) == self.infrastructure {
+                    continue; // the AP originated or bridged it; don't echo back
+                }
+                let listening = match slot.wnic.as_mut() {
+                    Some(w) => w.is_listening(now),
+                    None => true,
+                };
+                if listening {
+                    slot.stats.rx_frames += 1;
+                    slot.stats.rx_bytes += pkt.wire_size() as u64;
+                    slot.stats.rx_airtime += airtime;
+                    if let Some(w) = slot.wnic.as_mut() {
+                        w.on_receive(now, airtime);
+                    }
+                    let cloned = pkt.clone();
+                    self.with_node(id, |n, ctx| n.on_packet(ctx, wiface, cloned));
+                } else {
+                    slot.stats.missed_broadcasts += 1;
+                }
+            }
+            return;
+        }
+
+        // Unicast: find the owner of the destination host.
+        let target = self.host_index.get(&pkt.dst.host).copied();
+        match target {
+            Some(id) if self.nodes[id.index()].wireless_iface.is_some() && Some(id) != self.infrastructure => {
+                let slot = &mut self.nodes[id.index()];
+                let wiface = slot.wireless_iface.expect("checked");
+                let listening = match slot.wnic.as_mut() {
+                    Some(w) => w.is_listening(now),
+                    None => true,
+                };
+                if listening {
+                    slot.stats.rx_frames += 1;
+                    slot.stats.rx_bytes += pkt.wire_size() as u64;
+                    slot.stats.rx_airtime += airtime;
+                    if let Some(w) = slot.wnic.as_mut() {
+                        w.on_receive(now, airtime);
+                    }
+                    self.sniffer
+                        .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
+                    self.with_node(id, |n, ctx| n.on_packet(ctx, wiface, pkt));
+                } else {
+                    slot.stats.missed_frames += 1;
+                    slot.stats.missed_bytes += pkt.wire_size() as u64;
+                    slot.stats.missed_airtime += airtime;
+                    self.sniffer
+                        .record(SnifferRecord::of(now, &pkt, airtime, Delivery::MissedAsleep));
+                }
+            }
+            _ => {
+                // Uplink toward a wired host (or unknown): bridge via the AP.
+                match self.infrastructure {
+                    Some(ap) if ap != from => {
+                        let wiface = self.nodes[ap.index()]
+                            .wireless_iface
+                            .expect("AP must have a radio iface");
+                        self.sniffer
+                            .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
+                        self.with_node(ap, |n, ctx| n.on_packet(ctx, wiface, pkt));
+                    }
+                    _ => {
+                        self.sniffer
+                            .record(SnifferRecord::of(now, &pkt, airtime, Delivery::NoSuchHost));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SockAddr;
+    use crate::node::{Ctx, Node};
+    use bytes::Bytes;
+    use std::any::Any;
+
+    /// Sends one UDP packet to a peer at start, counts what it receives.
+    struct Chatter {
+        peer: SockAddr,
+        me: SockAddr,
+        received: Vec<(SimTime, u64)>,
+        send_at_start: bool,
+    }
+
+    impl Node for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if self.send_at_start {
+                let id = ctx.alloc_packet_id();
+                ctx.send(
+                    IfaceId(0),
+                    Packet::udp(id, self.me, self.peer, Bytes::from(vec![0u8; 100])),
+                );
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, pkt: Packet) {
+            self.received.push((ctx.now(), pkt.id));
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn chatter(me: SockAddr, peer: SockAddr, send: bool) -> Box<Chatter> {
+        Box::new(Chatter { peer, me, received: Vec::new(), send_at_start: send })
+    }
+
+    #[test]
+    fn wired_round_delivery() {
+        let mut w = World::new(1);
+        let ha = HostAddr(1);
+        let hb = HostAddr(2);
+        let a = w.add_node(
+            chatter(SockAddr::new(ha, 1), SockAddr::new(hb, 2), true),
+            NodeConfig::wired(ha),
+        );
+        let b = w.add_node(
+            chatter(SockAddr::new(hb, 2), SockAddr::new(ha, 1), false),
+            NodeConfig::wired(hb),
+        );
+        w.add_link(
+            Endpoint { node: a, iface: IfaceId(0) },
+            Endpoint { node: b, iface: IfaceId(0) },
+            LinkSpec::FAST_ETHERNET,
+        );
+        w.run_until(SimTime::from_ms(10));
+        let bn = w.node_mut::<Chatter>(b);
+        assert_eq!(bn.received.len(), 1);
+        // 148 bytes at 100Mbps ≈ 12us + 50us delay.
+        assert!(bn.received[0].0.as_us() >= 50 && bn.received[0].0.as_us() < 200);
+    }
+
+    /// AP that bridges wired <-> wireless, used by radio tests here.
+    struct MiniAp;
+    impl Node for MiniAp {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+            // 0 = wired, 1 = radio: forward to the other side.
+            let out = if iface == IfaceId(0) { IfaceId(1) } else { IfaceId(0) };
+            ctx.send(out, pkt);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn radio_world() -> (World, NodeId, NodeId, NodeId) {
+        // server (wired) -- AP -- client (radio)
+        let mut w = World::new(7);
+        let hs = HostAddr(1);
+        let hc = HostAddr(10);
+        let server = w.add_node(
+            chatter(SockAddr::new(hs, 1), SockAddr::new(hc, 2), true),
+            NodeConfig::wired(hs),
+        );
+        let ap = w.add_node(Box::new(MiniAp), NodeConfig::infrastructure());
+        let client = w.add_node(
+            chatter(SockAddr::new(hc, 2), SockAddr::new(hs, 1), false),
+            NodeConfig {
+                host: Some(hc),
+                clock: ClockModel::perfect(),
+                wnic: Some(CardSpec::WAVELAN_DSSS),
+            },
+        );
+        w.add_link(
+            Endpoint { node: server, iface: IfaceId(0) },
+            Endpoint { node: ap, iface: IfaceId(0) },
+            LinkSpec::FAST_ETHERNET,
+        );
+        w.set_medium(AirtimeModel::DSSS_11MBPS, SimDuration::from_ms(500), ap);
+        w.attach_wireless(ap, IfaceId(1));
+        w.attach_wireless(client, IfaceId(0));
+        (w, server, ap, client)
+    }
+
+    #[test]
+    fn radio_delivery_to_awake_client() {
+        let (mut w, _s, _ap, client) = radio_world();
+        w.run_until(SimTime::from_ms(50));
+        assert_eq!(w.node_mut::<Chatter>(client).received.len(), 1);
+        assert_eq!(w.stats(client).rx_frames, 1);
+        assert_eq!(w.stats(client).missed_frames, 0);
+        let rep = w.wnic_report(client).unwrap();
+        assert!(rep.rx > SimDuration::ZERO);
+        // Sniffer saw the downlink frame.
+        assert!(w
+            .sniffer()
+            .records()
+            .iter()
+            .any(|r| r.delivery == Delivery::Delivered));
+    }
+
+    /// Client that sleeps immediately and never wakes.
+    struct Sleeper;
+    impl Node for Sleeper {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.radio_sleep();
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _iface: IfaceId, _pkt: Packet) {
+            panic!("a sleeping radio must not receive");
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn sleeping_client_misses_frames() {
+        let mut w = World::new(9);
+        let hs = HostAddr(1);
+        let hc = HostAddr(10);
+        let server = w.add_node(
+            chatter(SockAddr::new(hs, 1), SockAddr::new(hc, 2), true),
+            NodeConfig::wired(hs),
+        );
+        let ap = w.add_node(Box::new(MiniAp), NodeConfig::infrastructure());
+        let client = w.add_node(
+            Box::new(Sleeper),
+            NodeConfig {
+                host: Some(hc),
+                clock: ClockModel::perfect(),
+                wnic: Some(CardSpec::WAVELAN_DSSS),
+            },
+        );
+        w.add_link(
+            Endpoint { node: server, iface: IfaceId(0) },
+            Endpoint { node: ap, iface: IfaceId(0) },
+            LinkSpec::FAST_ETHERNET,
+        );
+        w.set_medium(AirtimeModel::DSSS_11MBPS, SimDuration::from_ms(500), ap);
+        w.attach_wireless(ap, IfaceId(1));
+        w.attach_wireless(client, IfaceId(0));
+        w.run_until(SimTime::from_ms(50));
+        assert_eq!(w.stats(client).missed_frames, 1);
+        assert_eq!(w.stats(client).rx_frames, 0);
+        assert!(w
+            .sniffer()
+            .records()
+            .iter()
+            .any(|r| r.delivery == Delivery::MissedAsleep));
+        // Sleeping client burns roughly sleep power.
+        let rep = w.wnic_report(client).unwrap();
+        assert!(rep.sleep >= SimDuration::from_ms(49));
+    }
+
+    #[test]
+    fn uplink_bridges_to_wired_host() {
+        let mut w = World::new(11);
+        let hs = HostAddr(1);
+        let hc = HostAddr(10);
+        // Server is silent; client sends at start.
+        let server = w.add_node(
+            chatter(SockAddr::new(hs, 1), SockAddr::new(hc, 2), false),
+            NodeConfig::wired(hs),
+        );
+        let ap = w.add_node(Box::new(MiniAp), NodeConfig::infrastructure());
+        let client = w.add_node(
+            chatter(SockAddr::new(hc, 2), SockAddr::new(hs, 1), true),
+            NodeConfig {
+                host: Some(hc),
+                clock: ClockModel::perfect(),
+                wnic: Some(CardSpec::WAVELAN_DSSS),
+            },
+        );
+        w.add_link(
+            Endpoint { node: server, iface: IfaceId(0) },
+            Endpoint { node: ap, iface: IfaceId(0) },
+            LinkSpec::FAST_ETHERNET,
+        );
+        w.set_medium(AirtimeModel::DSSS_11MBPS, SimDuration::from_ms(500), ap);
+        w.attach_wireless(ap, IfaceId(1));
+        w.attach_wireless(client, IfaceId(0));
+        w.run_until(SimTime::from_ms(50));
+        assert_eq!(w.node_mut::<Chatter>(server).received.len(), 1);
+        // Client paid transmit energy.
+        assert!(w.stats(client).tx_frames == 1);
+        let rep = w.wnic_report(client).unwrap();
+        assert!(rep.tx > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let (mut w, _s, _a, _c) = radio_world();
+            w.run_until(SimTime::from_ms(50));
+            w.take_trace()
+                .iter()
+                .map(|r| (r.t, r.pkt_id, r.wire_size))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two nodes")]
+    fn duplicate_host_panics() {
+        let mut w = World::new(1);
+        let h = HostAddr(5);
+        w.add_node(
+            chatter(SockAddr::new(h, 1), SockAddr::new(h, 1), false),
+            NodeConfig::wired(h),
+        );
+        w.add_node(
+            chatter(SockAddr::new(h, 1), SockAddr::new(h, 1), false),
+            NodeConfig::wired(h),
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! Topology assembly and scenario execution.
+//!
+//! Builds the paper's Figure-1 architecture: servers on Fast Ethernet, the
+//! transparent proxy bridging toward the access point, clients (and the
+//! implicit monitoring station — the engine sniffer) on the shared radio
+//! medium; runs the workload; and collects per-client results through the
+//! postmortem analyzer.
+
+use powerburst_client::{ClientConfig, PowerClient};
+use powerburst_core::{Proxy, ProxyConfig, PROXY_AP, PROXY_LAN};
+use powerburst_energy::{naive_energy_mj, CardSpec};
+use powerburst_net::{
+    ports, AccessPoint, Endpoint, HostAddr, IfaceId, NodeConfig, NodeId, Pipe, SockAddr,
+    StaticRouter, Switch, World, AP_WIRED,
+};
+use powerburst_sim::rng::streams;
+use powerburst_sim::{derive_rng, ClockModel, SimTime};
+use powerburst_trace::{analyze_client, utilization, PolicyParams};
+use powerburst_traffic::{
+    generate_script, App, ByteServer, FtpClientApp, StreamSpec, VideoClientApp, VideoServer,
+    WebClientApp,
+};
+use powerburst_transport::TcpConfig;
+
+use crate::config::{ClientKind, RadioMode, ScenarioConfig};
+use crate::results::{
+    AppMetrics, ClientResult, FtpSummary, LiveSummary, ScenarioResult, WebSummary,
+};
+
+/// Well-known host numbering in assembled scenarios.
+pub mod hosts {
+    use powerburst_net::HostAddr;
+    /// The streaming (Real) server.
+    pub const VIDEO_SERVER: HostAddr = HostAddr(1);
+    /// The web/ftp byte server.
+    pub const BYTE_SERVER: HostAddr = HostAddr(2);
+    /// The proxy itself (source of schedule broadcasts).
+    pub const PROXY: HostAddr = HostAddr(3);
+    /// Client `i` lives at `CLIENT_BASE + i`.
+    pub const CLIENT_BASE: u32 = 100;
+
+    /// Host address of client `i`.
+    pub fn client(i: usize) -> HostAddr {
+        HostAddr(CLIENT_BASE + i as u32)
+    }
+}
+
+/// Handles to the assembled world, for harnesses that need mid-run access.
+pub struct Assembled {
+    /// The world, ready to run.
+    pub world: World,
+    /// The proxy's node id.
+    pub proxy: NodeId,
+    /// Client node ids, in spec order.
+    pub clients: Vec<NodeId>,
+    /// The video server's node id.
+    pub video_server: NodeId,
+    /// The byte server's node id.
+    pub byte_server: NodeId,
+}
+
+/// Build the world for a scenario without running it.
+pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
+    let mut world = World::new(cfg.seed);
+    let n = cfg.clients.len();
+
+    // --- traffic provisioning ------------------------------------------------
+    // §4.1: requests are spaced "roughly one second apart in order to
+    // spread traffic". The jitter matters: exact multiples of the frame
+    // interval would re-synchronize every stream's frame emissions.
+    let mut stagger_rng = derive_rng(cfg.seed, streams::TRAFFIC_BASE + 999);
+    let mut streams_v = Vec::new();
+    for (i, spec) in cfg.clients.iter().enumerate() {
+        if let ClientKind::Video { fidelity } = spec.kind {
+            use rand::Rng;
+            let jitter = powerburst_sim::SimDuration::from_us(
+                stagger_rng.random_range(0..250_000),
+            );
+            streams_v.push(StreamSpec {
+                client: SockAddr::new(hosts::client(i), ports::MEDIA),
+                fidelity,
+                start: SimTime::ZERO + cfg.stagger * (i as u64 + 1) + jitter,
+                duration: cfg.duration,
+                flow: i as u64,
+            });
+        }
+    }
+    let streams = streams_v;
+    let mut traffic_rng = derive_rng(cfg.seed, streams::TRAFFIC_BASE);
+    let video_server = world.add_node(
+        Box::new(VideoServer::new(
+            SockAddr::new(hosts::VIDEO_SERVER, ports::MEDIA),
+            streams,
+            cfg.adapt,
+            &mut traffic_rng,
+        )),
+        NodeConfig::wired(hosts::VIDEO_SERVER),
+    );
+    let byte_server = world.add_node(
+        Box::new(ByteServer::new(
+            SockAddr::new(hosts::BYTE_SERVER, ports::HTTP),
+            TcpConfig::default(),
+        )),
+        NodeConfig::wired(hosts::BYTE_SERVER),
+    );
+
+    // --- switch ---------------------------------------------------------------
+    let mut router = StaticRouter::new();
+    router.add_route(hosts::VIDEO_SERVER, IfaceId(0));
+    router.add_route(hosts::BYTE_SERVER, IfaceId(1));
+    router.set_default(IfaceId(2)); // clients / unknown → proxy side
+    let switch = world.add_node(Box::new(Switch::new(router)), NodeConfig::infrastructure());
+
+    // --- proxy ------------------------------------------------------------------
+    let client_hosts: Vec<HostAddr> = (0..n).map(hosts::client).collect();
+    let mut pcfg = ProxyConfig::new(
+        SockAddr::new(hosts::PROXY, ports::SCHEDULE),
+        client_hosts.clone(),
+        cfg.policy,
+    );
+    pcfg.bw = cfg.bw;
+    pcfg.mode = cfg.proxy_mode;
+    pcfg.flag_unchanged = cfg.flag_unchanged;
+    pcfg.admission = cfg.admission;
+    let proxy = world.add_node(
+        Box::new(Proxy::new(pcfg)),
+        NodeConfig { host: Some(hosts::PROXY), clock: ClockModel::perfect(), wnic: None },
+    );
+
+    // --- access point -------------------------------------------------------------
+    let ap = world.add_node(
+        Box::new(AccessPoint::new(cfg.net.ap_delay)),
+        NodeConfig::infrastructure(),
+    );
+
+    // --- wiring ----------------------------------------------------------------------
+    world.add_link(
+        Endpoint { node: video_server, iface: IfaceId(0) },
+        Endpoint { node: switch, iface: IfaceId(0) },
+        cfg.net.wired,
+    );
+    world.add_link(
+        Endpoint { node: byte_server, iface: IfaceId(0) },
+        Endpoint { node: switch, iface: IfaceId(1) },
+        cfg.net.wired,
+    );
+    match cfg.pipe {
+        Some(pspec) => {
+            let pipe = world.add_node(Box::new(Pipe::new(pspec)), NodeConfig::infrastructure());
+            world.add_link(
+                Endpoint { node: switch, iface: IfaceId(2) },
+                Endpoint { node: pipe, iface: IfaceId(0) },
+                cfg.net.wired,
+            );
+            world.add_link(
+                Endpoint { node: pipe, iface: IfaceId(1) },
+                Endpoint { node: proxy, iface: PROXY_LAN },
+                cfg.net.wired,
+            );
+        }
+        None => {
+            world.add_link(
+                Endpoint { node: switch, iface: IfaceId(2) },
+                Endpoint { node: proxy, iface: PROXY_LAN },
+                cfg.net.wired,
+            );
+        }
+    }
+    world.add_link(
+        Endpoint { node: proxy, iface: PROXY_AP },
+        Endpoint { node: ap, iface: AP_WIRED },
+        cfg.net.wired,
+    );
+    world.set_medium(cfg.net.airtime, cfg.net.medium_backlog, ap);
+    world.attach_wireless(ap, powerburst_net::AP_RADIO);
+
+    // --- clients --------------------------------------------------------------------------
+    let mut clock_rng = derive_rng(cfg.seed, streams::CLOCK);
+    let mut client_ids = Vec::with_capacity(n);
+    for (i, spec) in cfg.clients.iter().enumerate() {
+        let host = hosts::client(i);
+        let app: Box<dyn App> = match &spec.kind {
+            ClientKind::Video { .. } => Box::new(VideoClientApp::new(
+                SockAddr::new(host, ports::MEDIA),
+                SockAddr::new(hosts::VIDEO_SERVER, ports::MEDIA),
+                i as u64,
+            )),
+            ClientKind::Web { script } => {
+                let mut rng = derive_rng(cfg.seed, streams::TRAFFIC_BASE + 100 + i as u64);
+                let pages = generate_script(script, &mut rng);
+                Box::new(WebClientApp::new(
+                    host,
+                    SockAddr::new(hosts::BYTE_SERVER, ports::HTTP),
+                    TcpConfig::default(),
+                    pages,
+                ))
+            }
+            ClientKind::Ftp { size } => Box::new(FtpClientApp::new(
+                SockAddr::new(host, 9_000),
+                SockAddr::new(hosts::BYTE_SERVER, ports::HTTP),
+                TcpConfig::default(),
+                *size,
+            )),
+        };
+        let mut ccfg = ClientConfig::new(host);
+        ccfg.early_transition = spec.early_transition;
+        ccfg.skip_unchanged = spec.skip_unchanged;
+        ccfg.comp = spec.comp;
+        let node = world.add_node(
+            Box::new(PowerClient::new(ccfg, app)),
+            NodeConfig {
+                host: Some(host),
+                clock: ClockModel::sample(
+                    &mut clock_rng,
+                    cfg.net.clock_offset_us,
+                    cfg.net.clock_drift_ppm,
+                ),
+                wnic: match cfg.radio {
+                    RadioMode::Monitor => None,
+                    RadioMode::Live => Some(CardSpec::WAVELAN_DSSS),
+                },
+            },
+        );
+        world.attach_wireless(node, IfaceId(0));
+        client_ids.push(node);
+    }
+
+    Assembled { world, proxy, clients: client_ids, video_server, byte_server }
+}
+
+/// Run a scenario to completion and collect results.
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    let mut a = assemble(cfg);
+    a.world.run_until(SimTime::ZERO + cfg.duration);
+
+    let trace = a.world.take_trace();
+    let card = CardSpec::WAVELAN_DSSS;
+    let end = SimTime::ZERO + cfg.duration;
+
+    let mut clients = Vec::with_capacity(cfg.clients.len());
+    let mut downshifts = 0u32;
+    for (i, spec) in cfg.clients.iter().enumerate() {
+        let host = hosts::client(i);
+        let node = a.clients[i];
+        let policy = PolicyParams {
+            early_transition: spec.early_transition,
+            skip_unchanged: spec.skip_unchanged,
+            ..PolicyParams::default()
+        };
+        let post = analyze_client(&trace, host, end, &policy);
+
+        let live = match cfg.radio {
+            RadioMode::Monitor => None,
+            RadioMode::Live => {
+                let stats = *a.world.stats(node);
+                let rep = a.world.wnic_report(node).expect("live radio");
+                let naive = naive_energy_mj(
+                    &card,
+                    cfg.duration,
+                    stats.rx_airtime + stats.missed_airtime,
+                    stats.tx_airtime,
+                );
+                Some(LiveSummary {
+                    energy_mj: rep.total_mj,
+                    naive_mj: naive,
+                    saved: rep.saved_vs(naive),
+                    missed_frames: stats.missed_frames,
+                    rx_frames: stats.rx_frames,
+                })
+            }
+        };
+
+        let (daemon, app) = {
+            let pc = a.world.node_mut::<PowerClient>(node);
+            let daemon = pc.stats;
+            let app = match &spec.kind {
+                ClientKind::Video { .. } => AppMetrics {
+                    video: Some(pc.app_mut::<VideoClientApp>().stats()),
+                    ..AppMetrics::default()
+                },
+                ClientKind::Web { .. } => {
+                    let b = pc.app_mut::<WebClientApp>().stats();
+                    let max = b
+                        .object_latencies_s
+                        .iter()
+                        .copied()
+                        .fold(0.0f64, f64::max);
+                    AppMetrics {
+                        web: Some(WebSummary {
+                            objects_done: b.objects_done,
+                            pages_done: b.pages_done,
+                            bytes: b.bytes_received,
+                            mean_latency_s: b.mean_latency_s(),
+                            max_latency_s: max,
+                        }),
+                        ..AppMetrics::default()
+                    }
+                }
+                ClientKind::Ftp { .. } => {
+                    let f = pc.app_mut::<FtpClientApp>();
+                    AppMetrics {
+                        ftp: Some(FtpSummary {
+                            done: f.done(),
+                            transfer_s: f.transfer_time().map(|d| d.as_secs_f64()),
+                            received: f.received,
+                        }),
+                        ..AppMetrics::default()
+                    }
+                }
+            };
+            (daemon, app)
+        };
+
+        clients.push(ClientResult {
+            host,
+            label: spec.kind.label(),
+            is_video: spec.kind.is_video(),
+            post,
+            live,
+            daemon,
+            app,
+        });
+    }
+
+    {
+        let n_streams = cfg.clients.iter().filter(|c| c.kind.is_video()).count();
+        let vs = a.world.node_mut::<VideoServer>(a.video_server);
+        for s in 0..n_streams {
+            downshifts += vs.downshifts(s);
+        }
+    }
+
+    let (proxy_stats, admission) = {
+        let p = a.world.node_mut::<Proxy>(a.proxy);
+        (p.stats, p.admission_stats())
+    };
+    ScenarioResult {
+        clients,
+        proxy: proxy_stats,
+        medium_drops: a.world.medium_drops(),
+        utilization: utilization(&trace, cfg.duration),
+        trace_frames: trace.len(),
+        duration: cfg.duration,
+        downshifts,
+        admission,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClientKind, ClientSpec, ScenarioConfig};
+    use powerburst_core::SchedulePolicy;
+    use powerburst_sim::SimDuration;
+    use powerburst_traffic::Fidelity;
+
+    fn video_cfg(n: usize, secs: u64) -> ScenarioConfig {
+        let clients = (0..n)
+            .map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 }))
+            .collect();
+        ScenarioConfig::new(
+            42,
+            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            clients,
+        )
+        .with_duration(SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn single_video_client_end_to_end() {
+        let r = run_scenario(&video_cfg(1, 20));
+        let c = &r.clients[0];
+        assert!(r.trace_frames > 100, "traffic flowed: {} frames", r.trace_frames);
+        assert!(c.post.delivered > 50, "delivered {}", c.post.delivered);
+        assert!(c.post.schedules_seen > 50, "schedules {}", c.post.schedules_seen);
+        assert!(
+            c.saved_pct() > 40.0,
+            "low-rate stream must save energy, got {:.1}% (post: {:?})",
+            c.saved_pct(),
+            c.post
+        );
+        assert!(c.loss_pct() < 5.0, "loss {}", c.loss_pct());
+        assert!(r.proxy.schedules_sent > 50);
+        assert!(r.proxy.udp_packets_sent > 50);
+    }
+
+    #[test]
+    fn three_mixed_clients_end_to_end() {
+        let mut cfg = video_cfg(2, 20);
+        cfg.clients.push(ClientSpec::new(ClientKind::Ftp { size: 300_000 }));
+        let r = run_scenario(&cfg);
+        assert_eq!(r.clients.len(), 3);
+        let ftp = r.clients[2].app.ftp.expect("ftp metrics");
+        assert!(ftp.done, "ftp finished: {ftp:?}");
+        for c in &r.clients {
+            assert!(c.saved_pct() > 20.0, "{}: {:.1}%", c.label, c.saved_pct());
+        }
+        assert!(r.proxy.splices_created >= 1);
+        assert!(r.proxy.tcp_bytes_fed >= 300_000);
+    }
+}

@@ -1,0 +1,274 @@
+//! Experiment configuration: network parameters, client specifications,
+//! and scenario assembly inputs.
+
+use powerburst_core::{AdmissionConfig, BandwidthModel, ProxyMode, SchedulePolicy};
+use powerburst_net::{ApDelayParams, AirtimeModel, LinkSpec, PipeSpec};
+use powerburst_sim::SimDuration;
+use powerburst_traffic::{AdaptConfig, Fidelity, WebScriptConfig};
+
+/// Physical-network parameters (the testbed of §4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Wired segment (100 Mbps Fast Ethernet in the paper).
+    pub wired: LinkSpec,
+    /// Radio airtime model (11 Mbps DSSS).
+    pub airtime: AirtimeModel,
+    /// AP transmit-queue bound, expressed as backlog time.
+    pub medium_backlog: SimDuration,
+    /// AP forwarding-delay process (drives delay compensation).
+    pub ap_delay: ApDelayParams,
+    /// Max client clock offset, microseconds (uniform ±).
+    pub clock_offset_us: i64,
+    /// Max client clock drift, ppm (uniform ±).
+    pub clock_drift_ppm: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            wired: LinkSpec::FAST_ETHERNET,
+            airtime: AirtimeModel::DSSS_11MBPS,
+            medium_backlog: SimDuration::from_ms(150),
+            ap_delay: ApDelayParams::default(),
+            clock_offset_us: 5_000,
+            clock_drift_ppm: 50.0,
+        }
+    }
+}
+
+/// What a client does during the run.
+#[derive(Debug, Clone)]
+pub enum ClientKind {
+    /// Streams a video of the given fidelity (RealOne ↔ RealServer).
+    Video {
+        /// Requested stream fidelity.
+        fidelity: Fidelity,
+    },
+    /// Browses the web with a pre-generated script.
+    Web {
+        /// Script-generation parameters.
+        script: WebScriptConfig,
+    },
+    /// Downloads one large file over TCP.
+    Ftp {
+        /// Transfer size, bytes.
+        size: u64,
+    },
+}
+
+impl ClientKind {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            ClientKind::Video { fidelity } => format!("video-{}", fidelity.label()),
+            ClientKind::Web { .. } => "web".to_string(),
+            ClientKind::Ftp { size } => format!("ftp-{}MB", size / 1_000_000),
+        }
+    }
+
+    /// Is this a UDP (video) client?
+    pub fn is_video(&self) -> bool {
+        matches!(self, ClientKind::Video { .. })
+    }
+}
+
+/// Per-client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Workload.
+    pub kind: ClientKind,
+    /// Early-transition amount (§3.3).
+    pub early_transition: SimDuration,
+    /// Honor the §5 `unchanged` optimization.
+    pub skip_unchanged: bool,
+    /// Delay-compensation algorithm (the §3.3 adaptive default, or the
+    /// fixed-anchor ablation baseline).
+    pub comp: powerburst_client::CompMode,
+}
+
+impl ClientSpec {
+    /// A client with the paper's default 6 ms early transition.
+    pub fn new(kind: ClientKind) -> ClientSpec {
+        ClientSpec {
+            kind,
+            early_transition: SimDuration::from_ms(6),
+            skip_unchanged: false,
+            comp: powerburst_client::CompMode::Adaptive,
+        }
+    }
+}
+
+/// How client radios are modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioMode {
+    /// The paper's methodology: radios stay listening for the whole run
+    /// (every frame is captured); energy and losses come from the
+    /// postmortem replay of the trace.
+    Monitor,
+    /// Radios genuinely sleep: frames arriving during sleep are lost on
+    /// the air (TCP must retransmit). Used by the drop-impact experiments.
+    Live,
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed (drives every random stream).
+    pub seed: u64,
+    /// Network parameters.
+    pub net: NetworkConfig,
+    /// Proxy scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Proxy connection mode (split vs pass-through ablation).
+    pub proxy_mode: ProxyMode,
+    /// Proxy send-cost model.
+    pub bw: BandwidthModel,
+    /// Emit the §5 unchanged flag.
+    pub flag_unchanged: bool,
+    /// The clients.
+    pub clients: Vec<ClientSpec>,
+    /// Radio modeling.
+    pub radio: RadioMode,
+    /// Run duration (the paper's trailer is 1:59).
+    pub duration: SimDuration,
+    /// Video stream start stagger (§4.1: "requests were spaced roughly one
+    /// second apart").
+    pub stagger: SimDuration,
+    /// RealServer adaptation behaviour.
+    pub adapt: AdaptConfig,
+    /// Optional DummyNet pipe between the servers and the proxy (§4.3).
+    pub pipe: Option<PipeSpec>,
+    /// Optional §3.2.1 admission control at the proxy.
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl ScenarioConfig {
+    /// A scenario with paper-standard network settings.
+    pub fn new(seed: u64, policy: SchedulePolicy, clients: Vec<ClientSpec>) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            net: NetworkConfig::default(),
+            policy,
+            proxy_mode: ProxyMode::Split,
+            bw: BandwidthModel::DEFAULT_11MBPS,
+            flag_unchanged: false,
+            clients,
+            radio: RadioMode::Monitor,
+            duration: SimDuration::from_secs(119),
+            stagger: SimDuration::from_secs(1),
+            adapt: AdaptConfig::default(),
+            pipe: None,
+            admission: None,
+        }
+    }
+
+    /// Shorten the run (tests and smoke benches).
+    pub fn with_duration(mut self, d: SimDuration) -> ScenarioConfig {
+        self.duration = d;
+        self
+    }
+}
+
+/// The paper's five Figure-4 access patterns for ten video clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoPattern {
+    /// All ten clients at 56 kbps.
+    All56,
+    /// All ten at 256 kbps.
+    All256,
+    /// All ten at 512 kbps.
+    All512,
+    /// Five at 56 kbps, five at 512 kbps.
+    Half56Half512,
+    /// Five at 56 kbps plus one-ish of each fidelity ("All").
+    Mixed,
+}
+
+impl VideoPattern {
+    /// The fidelities assigned to `n` clients under this pattern.
+    pub fn fidelities(self, n: usize) -> Vec<Fidelity> {
+        use Fidelity::*;
+        let base: Vec<Fidelity> = match self {
+            VideoPattern::All56 => vec![K56],
+            VideoPattern::All256 => vec![K256],
+            VideoPattern::All512 => vec![K512],
+            VideoPattern::Half56Half512 => vec![K56, K512],
+            VideoPattern::Mixed => vec![K56, K56, K56, K56, K56, K56, K128, K256, K512, K128],
+        };
+        (0..n)
+            .map(|i| match self {
+                VideoPattern::Half56Half512 => {
+                    if i < n / 2 {
+                        K56
+                    } else {
+                        K512
+                    }
+                }
+                _ => base[i % base.len()],
+            })
+            .collect()
+    }
+
+    /// Paper bar label.
+    pub fn label(self) -> &'static str {
+        match self {
+            VideoPattern::All56 => "56K",
+            VideoPattern::All256 => "256K",
+            VideoPattern::All512 => "512K",
+            VideoPattern::Half56Half512 => "56K_512K",
+            VideoPattern::Mixed => "All",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_cover_ten_clients() {
+        for p in [
+            VideoPattern::All56,
+            VideoPattern::All256,
+            VideoPattern::All512,
+            VideoPattern::Half56Half512,
+            VideoPattern::Mixed,
+        ] {
+            let f = p.fidelities(10);
+            assert_eq!(f.len(), 10, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn half_split_is_half() {
+        let f = VideoPattern::Half56Half512.fidelities(10);
+        assert_eq!(f.iter().filter(|x| **x == Fidelity::K56).count(), 5);
+        assert_eq!(f.iter().filter(|x| **x == Fidelity::K512).count(), 5);
+    }
+
+    #[test]
+    fn uniform_patterns_are_uniform() {
+        assert!(VideoPattern::All512
+            .fidelities(10)
+            .iter()
+            .all(|f| *f == Fidelity::K512));
+    }
+
+    #[test]
+    fn labels_match_paper_bars() {
+        assert_eq!(VideoPattern::All56.label(), "56K");
+        assert_eq!(VideoPattern::Half56Half512.label(), "56K_512K");
+        assert_eq!(VideoPattern::Mixed.label(), "All");
+    }
+
+    #[test]
+    fn client_kind_labels() {
+        assert_eq!(
+            ClientKind::Video { fidelity: Fidelity::K256 }.label(),
+            "video-256K"
+        );
+        assert_eq!(ClientKind::Ftp { size: 2_000_000 }.label(), "ftp-2MB");
+        assert!(ClientKind::Video { fidelity: Fidelity::K56 }.is_video());
+        assert!(!ClientKind::Ftp { size: 1 }.is_video());
+    }
+}

@@ -1,0 +1,34 @@
+//! # powerburst-scenario
+//!
+//! Experiment assembly for the ICPP 2004 transparent-proxy reproduction:
+//! builds the paper's testbed topology (Figure 1), runs workloads, and
+//! collects per-client energy/loss results through the paper's postmortem
+//! methodology.
+//!
+//! * [`config`] — scenario/network/client configuration and the Figure-4
+//!   video access patterns;
+//! * [`build`] — topology assembly ([`assemble`]) and execution
+//!   ([`run_scenario`]);
+//! * [`results`] — per-client and per-run result structures;
+//! * [`calibrate`] — the §3.2.2 bandwidth microbenchmark (M1);
+//! * [`experiments`] — one function per paper table/figure (E1–E10, A1–A3);
+//! * [`report`] — text-table rendering for harness output.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod calibrate;
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod results;
+
+pub use build::{assemble, hosts, run_scenario, Assembled};
+pub use calibrate::{calibrate, Calibration, DEFAULT_SIZES};
+pub use config::{
+    ClientKind, ClientSpec, NetworkConfig, RadioMode, ScenarioConfig, VideoPattern,
+};
+pub use report::{banner, fmt_pct, fmt_summary, Table};
+pub use results::{
+    AppMetrics, ClientResult, FtpSummary, LiveSummary, ScenarioResult, WebSummary,
+};

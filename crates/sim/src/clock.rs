@@ -1,0 +1,151 @@
+//! Per-node clock models.
+//!
+//! The paper's delay-compensation algorithm (§3.3) exists because "the
+//! clocks on the proxy and a client may not be perfectly synchronized" and
+//! access-point delays vary. We model each node's local clock as the true
+//! simulation time plus a constant offset and a constant frequency error
+//! (drift, in parts-per-million). Clients schedule their wake-ups in local
+//! time; the engine converts local durations back to true durations, so a
+//! fast clock genuinely wakes the client early and a slow one late.
+
+use rand::Rng;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Local timestamp on some node's clock, microseconds. Signed because an
+/// offset can place local time before the simulation origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LocalTime(pub i64);
+
+impl LocalTime {
+    /// Microseconds between two local timestamps, saturating at zero.
+    pub fn since(self, earlier: LocalTime) -> SimDuration {
+        SimDuration::from_us((self.0 - earlier.0).max(0) as u64)
+    }
+}
+
+/// A node clock: `local = true * (1 + drift_ppm * 1e-6) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Constant offset from true time, microseconds.
+    pub offset_us: i64,
+    /// Frequency error in parts per million. Positive runs fast.
+    pub drift_ppm: f64,
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        ClockModel { offset_us: 0, drift_ppm: 0.0 }
+    }
+}
+
+impl ClockModel {
+    /// A perfect clock.
+    pub const fn perfect() -> Self {
+        ClockModel { offset_us: 0, drift_ppm: 0.0 }
+    }
+
+    /// Sample a realistic laptop clock: offset uniform in ±`max_offset_us`,
+    /// drift uniform in ±`max_drift_ppm` (crystal oscillators are typically
+    /// within ±50 ppm).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, max_offset_us: i64, max_drift_ppm: f64) -> Self {
+        let offset_us = if max_offset_us == 0 {
+            0
+        } else {
+            rng.random_range(-max_offset_us..=max_offset_us)
+        };
+        let drift_ppm = if max_drift_ppm == 0.0 {
+            0.0
+        } else {
+            rng.random_range(-max_drift_ppm..=max_drift_ppm)
+        };
+        ClockModel { offset_us, drift_ppm }
+    }
+
+    /// Convert a true simulation instant to this node's local clock reading.
+    pub fn to_local(&self, t: SimTime) -> LocalTime {
+        let scaled = t.as_us() as f64 * (1.0 + self.drift_ppm * 1e-6);
+        LocalTime(scaled.round() as i64 + self.offset_us)
+    }
+
+    /// Convert a duration measured on this clock into true duration.
+    /// A fast clock (positive drift) ticks more local microseconds per true
+    /// microsecond, so local durations shrink when mapped back.
+    pub fn local_to_true_duration(&self, d: SimDuration) -> SimDuration {
+        let scale = 1.0 + self.drift_ppm * 1e-6;
+        SimDuration::from_us((d.as_us() as f64 / scale).round() as u64)
+    }
+
+    /// Convert a true duration into the duration this clock would measure.
+    pub fn true_to_local_duration(&self, d: SimDuration) -> SimDuration {
+        let scale = 1.0 + self.drift_ppm * 1e-6;
+        SimDuration::from_us((d.as_us() as f64 * scale).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = ClockModel::perfect();
+        assert_eq!(c.to_local(SimTime::from_ms(5)), LocalTime(5_000));
+        assert_eq!(
+            c.local_to_true_duration(SimDuration::from_ms(7)),
+            SimDuration::from_ms(7)
+        );
+    }
+
+    #[test]
+    fn offset_shifts_local_time() {
+        let c = ClockModel { offset_us: 1_000, drift_ppm: 0.0 };
+        assert_eq!(c.to_local(SimTime::ZERO), LocalTime(1_000));
+        assert_eq!(c.to_local(SimTime::from_ms(1)), LocalTime(2_000));
+    }
+
+    #[test]
+    fn fast_clock_measures_longer_durations() {
+        let c = ClockModel { offset_us: 0, drift_ppm: 100.0 };
+        let one_true_sec = SimDuration::from_secs(1);
+        let local = c.true_to_local_duration(one_true_sec);
+        assert_eq!(local.as_us(), 1_000_100);
+        // And a local second is slightly less than a true second.
+        let back = c.local_to_true_duration(SimDuration::from_secs(1));
+        assert!(back.as_us() < 1_000_000);
+        assert!(back.as_us() > 999_000);
+    }
+
+    #[test]
+    fn round_trip_duration_is_close() {
+        let c = ClockModel { offset_us: -3_000, drift_ppm: -42.0 };
+        let d = SimDuration::from_ms(500);
+        let rt = c.true_to_local_duration(c.local_to_true_duration(d));
+        let err = (rt.as_us() as i64 - d.as_us() as i64).abs();
+        assert!(err <= 1, "round trip error {err}us");
+    }
+
+    #[test]
+    fn sample_respects_bounds() {
+        let mut rng = derive_rng(9, 9);
+        for _ in 0..100 {
+            let c = ClockModel::sample(&mut rng, 10_000, 50.0);
+            assert!(c.offset_us.abs() <= 10_000);
+            assert!(c.drift_ppm.abs() <= 50.0);
+        }
+    }
+
+    #[test]
+    fn sample_zero_bounds_is_perfect() {
+        let mut rng = derive_rng(9, 10);
+        let c = ClockModel::sample(&mut rng, 0, 0.0);
+        assert_eq!(c, ClockModel::perfect());
+    }
+
+    #[test]
+    fn local_time_since_saturates() {
+        assert_eq!(LocalTime(5).since(LocalTime(10)), SimDuration::ZERO);
+        assert_eq!(LocalTime(10).since(LocalTime(5)), SimDuration::from_us(5));
+    }
+}

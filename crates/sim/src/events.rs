@@ -1,0 +1,243 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events
+//! by `(time, sequence)` so that two events scheduled for the same instant
+//! pop in the order they were pushed. This tie-break is what makes whole
+//! simulation runs bit-for-bit reproducible across platforms — `BinaryHeap`
+//! alone gives no guarantee for equal keys.
+//!
+//! Cancellation is supported via tombstones: [`EventQueue::cancel`] records
+//! the event id and the entry is skipped when it surfaces. This keeps
+//! `cancel` O(1) at the cost of leaving the entry in the heap until it
+//! reaches the top, which is the standard trade-off for timer wheels in
+//! discrete-event simulators.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number, mostly useful in logs.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    /// Sequence numbers still pending (pushed, not yet popped/cancelled).
+    pending: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    live: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedule `item` at `time`. Returns a handle for cancellation.
+    pub fn push(&mut self, time: SimTime, item: T) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, item });
+        self.pending.insert(seq);
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancel a previously pushed event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped or already cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending.remove(&id.0) {
+            return false; // unknown, already popped, or already cancelled
+        }
+        self.cancelled.insert(id.0);
+        self.live -= 1;
+        true
+    }
+
+    /// Remove and return the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // tombstoned
+            }
+            self.pending.remove(&entry.seq);
+            self.live -= 1;
+            return Some((entry.time, entry.item));
+        }
+        None
+    }
+
+    /// The time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(3), "c");
+        q.push(SimTime::from_ms(1), "a");
+        q.push(SimTime::from_ms(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_ms(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_ms(1), "a");
+        q.push(SimTime::from_ms(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_ms(1), "a");
+        q.push(SimTime::from_ms(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(9)));
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(1), 1);
+        q.push(SimTime::from_ms(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_stable() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(10), 1);
+        q.push(SimTime::from_ms(10), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_ms(10), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

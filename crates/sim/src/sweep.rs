@@ -1,0 +1,120 @@
+//! Parallel parameter-sweep runner.
+//!
+//! Each simulation run is deterministic and single-threaded (a discrete-
+//! event simulation must process events in global time order), so the
+//! parallelism in this workspace is **across runs**: the experiment
+//! harnesses fan configurations out over a scoped thread pool fed by a
+//! crossbeam channel, rayon-style. Results come back in input order
+//! regardless of completion order, so tables are reproducible.
+
+use crossbeam::channel;
+
+/// Run `f` over every config, using up to `threads` worker threads.
+/// Results are returned in the same order as `configs`.
+///
+/// `threads == 0` or `1`, or a single config, runs inline on the caller
+/// thread (useful under `cargo test` and for debugging).
+pub fn parallel_sweep<C, R, F>(configs: Vec<C>, threads: usize, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return configs.iter().map(&f).collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, &C)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((idx, cfg)) = job_rx.recv() {
+                    let r = f(cfg);
+                    if res_tx.send((idx, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        for (idx, cfg) in configs.iter().enumerate() {
+            job_tx.send((idx, cfg)).expect("workers alive");
+        }
+        drop(job_tx);
+        while let Ok((idx, r)) = res_rx.recv() {
+            out[idx] = Some(r);
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect()
+}
+
+/// Pick a default worker count: the available parallelism, capped so sweeps
+/// don't oversubscribe small CI machines.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_input_empty_output() {
+        let out: Vec<u32> = parallel_sweep(Vec::<u32>::new(), 4, |c| *c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let configs: Vec<u64> = (0..100).collect();
+        let out = parallel_sweep(configs.clone(), 8, |c| c * 2);
+        let expect: Vec<u64> = configs.iter().map(|c| c * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn inline_path_matches_parallel_path() {
+        let configs: Vec<u64> = (0..37).collect();
+        let seq = parallel_sweep(configs.clone(), 1, |c| c * c + 1);
+        let par = parallel_sweep(configs, 4, |c| c * c + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn all_jobs_execute_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let configs: Vec<usize> = (0..64).collect();
+        let out = parallel_sweep(configs, 6, |c| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            *c
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = parallel_sweep(vec![1, 2], 32, |c| c + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the simulation substrate: the event queue against a
+//! reference model, clock conversions, and the least-squares fit.
+
+use proptest::prelude::*;
+
+use powerburst_sim::{ClockModel, EventQueue, LinearFit, SimDuration, SimTime, Summary};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    CancelNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..10_000).prop_map(Op::Push),
+        Just(Op::Pop),
+        (0usize..64).prop_map(Op::CancelNth),
+    ]
+}
+
+proptest! {
+    /// The queue behaves exactly like a sorted reference list with stable
+    /// FIFO tie-breaking and tombstone cancellation.
+    #[test]
+    fn event_queue_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut q = EventQueue::new();
+        // Reference: Vec of (time, seq, value, alive) — popped by (time, seq).
+        let mut model: Vec<(u64, u64, u64, bool)> = Vec::new();
+        let mut ids = Vec::new();
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    let id = q.push(SimTime::from_us(t), seq);
+                    model.push((t, seq, seq, true));
+                    ids.push((id, seq));
+                    seq += 1;
+                }
+                Op::Pop => {
+                    let expect = model
+                        .iter()
+                        .filter(|e| e.3)
+                        .min_by_key(|e| (e.0, e.1))
+                        .map(|e| (e.0, e.2));
+                    let got = q.pop().map(|(t, v)| (t.as_us(), v));
+                    prop_assert_eq!(got, expect);
+                    if let Some((_, v)) = expect {
+                        let e = model.iter_mut().find(|e| e.2 == v).unwrap();
+                        e.3 = false;
+                    }
+                }
+                Op::CancelNth(n) => {
+                    if let Some(&(id, v)) = ids.get(n) {
+                        let alive = model.iter().find(|e| e.2 == v).map(|e| e.3).unwrap_or(false);
+                        let cancelled = q.cancel(id);
+                        prop_assert_eq!(cancelled, alive);
+                        if let Some(e) = model.iter_mut().find(|e| e.2 == v) {
+                            e.3 = false;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.iter().filter(|e| e.3).count());
+        }
+    }
+
+    /// Local-duration round trips stay within one microsecond.
+    #[test]
+    fn clock_duration_round_trip(
+        offset in -1_000_000i64..1_000_000,
+        drift in -500.0f64..500.0,
+        d_us in 0u64..10_000_000,
+    ) {
+        let c = ClockModel { offset_us: offset, drift_ppm: drift };
+        let d = SimDuration::from_us(d_us);
+        let rt = c.true_to_local_duration(c.local_to_true_duration(d));
+        let err = (rt.as_us() as i64 - d_us as i64).abs();
+        prop_assert!(err <= 1, "round-trip error {err}us for drift {drift}ppm");
+    }
+
+    /// Local time is monotone in true time regardless of skew.
+    #[test]
+    fn clock_is_monotone(
+        offset in -1_000_000i64..1_000_000,
+        drift in -500.0f64..500.0,
+        t1 in 0u64..1_000_000_000,
+        dt in 1u64..1_000_000,
+    ) {
+        let c = ClockModel { offset_us: offset, drift_ppm: drift };
+        let a = c.to_local(SimTime::from_us(t1));
+        let b = c.to_local(SimTime::from_us(t1 + dt));
+        prop_assert!(b > a);
+    }
+
+    /// Fitting points generated from a known line recovers it.
+    #[test]
+    fn linear_fit_recovers_line(
+        alpha in -1_000.0f64..1_000.0,
+        beta in -50.0f64..50.0,
+        n in 3usize..40,
+    ) {
+        let pts: Vec<(f64, f64)> =
+            (0..n).map(|i| (i as f64 * 10.0, alpha + beta * i as f64 * 10.0)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        prop_assert!((f.alpha - alpha).abs() < 1e-6 * (1.0 + alpha.abs()));
+        prop_assert!((f.beta - beta).abs() < 1e-8 * (1.0 + beta.abs()).max(1e3));
+    }
+
+    /// Summary invariants: min ≤ mean ≤ max, std ≥ 0.
+    #[test]
+    fn summary_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::from_iter(xs.iter().copied());
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+    }
+}

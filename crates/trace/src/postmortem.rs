@@ -1,0 +1,613 @@
+//! Postmortem energy/loss analysis — the paper's measurement methodology.
+//!
+//! §3.1: "We collect a trace of the wireless-side activity using a packet
+//! sniffer running on a mobile computer known as the monitoring station.
+//! This trace is read by a simulator postmortem in order to determine
+//! energy used per client. This is compared to the total energy used by a
+//! naive client, which keeps its WNIC in high-power mode for the duration
+//! of the trace."
+//!
+//! [`analyze_client`] replays the captured trace against the client power
+//! policy (schedule handling, rendezvous wake-ups with an early-transition
+//! amount, sleep-on-mark, miss recovery) and integrates WNIC energy over
+//! the resulting mode timeline. Frames that arrive while the replayed
+//! client is asleep are the "packets lost" the paper reports (§4.3).
+
+use powerburst_core::Schedule;
+use powerburst_energy::{naive_energy_mj, CardSpec, Wnic};
+use powerburst_net::{ports, Delivery, HostAddr, SnifferRecord};
+use powerburst_sim::{EventQueue, SimDuration, SimTime};
+
+/// Client power-policy parameters used in the replay.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyParams {
+    /// Early-transition amount (Figure 6 sweeps 0–10 ms).
+    pub early_transition: SimDuration,
+    /// WNIC sleep→idle transition time.
+    pub wake_transition: SimDuration,
+    /// Patience past the predicted schedule arrival before declaring a miss.
+    pub miss_slack: SimDuration,
+    /// Gaps shorter than this are not worth sleeping.
+    pub min_sleep: SimDuration,
+    /// Honor the §5 `unchanged` flag: reuse the schedule for the following
+    /// interval and skip its SRP wake-up entirely.
+    pub skip_unchanged: bool,
+    /// Card power model.
+    pub card: CardSpec,
+}
+
+impl Default for PolicyParams {
+    fn default() -> Self {
+        PolicyParams {
+            early_transition: SimDuration::from_ms(6),
+            wake_transition: SimDuration::from_ms(2),
+            miss_slack: SimDuration::from_ms(15),
+            min_sleep: SimDuration::from_ms(5),
+            skip_unchanged: false,
+            card: CardSpec::WAVELAN_DSSS,
+        }
+    }
+}
+
+/// Result of replaying one client against the trace.
+#[derive(Debug, Clone, Copy)]
+pub struct PostmortemReport {
+    /// Energy under the power policy, millijoules.
+    pub energy_mj: f64,
+    /// Energy of the naive (always high-power) client, millijoules.
+    pub naive_mj: f64,
+    /// Fraction of energy saved versus naive.
+    pub saved: f64,
+    /// Time asleep.
+    pub sleep: SimDuration,
+    /// Time awake (incl. wake transitions).
+    pub awake: SimDuration,
+    /// Sleep→idle transitions.
+    pub transitions: u64,
+    /// Unicast frames addressed to the client that it received.
+    pub delivered: u64,
+    /// Unicast frames addressed to the client that arrived while asleep.
+    pub missed: u64,
+    /// Frames dropped at the AP queue before ever reaching the air.
+    pub ap_drops: u64,
+    /// Schedule broadcasts received.
+    pub schedules_seen: u64,
+    /// Scheduled SRP wake-ups where no schedule arrived.
+    pub schedules_missed: u64,
+    /// SRP wake-ups skipped under the §5 unchanged optimization.
+    pub skipped_srp_wakes: u64,
+    /// Awake time spent waiting for predicted packets ("Early", Fig. 6).
+    pub early_wait: SimDuration,
+    /// Awake time caused by missed schedules ("MissedSched", Fig. 6).
+    pub missed_sched_wait: SimDuration,
+    /// Payload-ish bytes delivered (wire bytes of received data frames).
+    pub bytes_delivered: u64,
+}
+
+impl PostmortemReport {
+    /// Missed fraction of addressed frames.
+    pub fn loss_fraction(&self) -> f64 {
+        let total = self.delivered + self.missed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.missed as f64 / total as f64
+    }
+
+    /// Energy (mJ) wasted on early waits, relative to sleeping instead.
+    pub fn early_waste_mj(&self, card: &CardSpec) -> f64 {
+        (card.idle_mw - card.sleep_mw) * self.early_wait.as_secs_f64()
+    }
+
+    /// Energy (mJ) wasted on missed schedules, relative to sleeping.
+    pub fn missed_waste_mj(&self, card: &CardSpec) -> f64 {
+        (card.idle_mw - card.sleep_mw) * self.missed_sched_wait.as_secs_f64()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WokeFor {
+    Srp,
+    Burst,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PEv {
+    WakeSlot { gen: u64, idx: usize },
+    WakeSrp { gen: u64 },
+    MissDeadline { gen: u64 },
+    SlotEnd { gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MySlot {
+    duration: SimDuration,
+    sleep_at_end: bool,
+}
+
+struct Replay {
+    p: PolicyParams,
+    client: HostAddr,
+    wnic: Wnic,
+    heap: EventQueue<PEv>,
+    gen: u64,
+    slots: Vec<MySlot>,
+    planned_wakes: Vec<SimTime>,
+    pending: Option<(Schedule, SimTime)>,
+    in_burst: bool,
+    woke_for: Option<(WokeFor, SimTime)>,
+    miss_since: Option<SimTime>,
+    synced: bool,
+    // accounting
+    delivered: u64,
+    missed: u64,
+    ap_drops: u64,
+    schedules_seen: u64,
+    schedules_missed: u64,
+    skipped_srp_wakes: u64,
+    early_wait: SimDuration,
+    missed_sched_wait: SimDuration,
+    bytes_delivered: u64,
+    naive_rx_airtime: SimDuration,
+    tx_airtime: SimDuration,
+}
+
+impl Replay {
+    fn new(client: HostAddr, p: PolicyParams) -> Replay {
+        Replay {
+            p,
+            client,
+            wnic: Wnic::new(p.card),
+            heap: EventQueue::new(),
+            gen: 0,
+            slots: Vec::new(),
+            planned_wakes: Vec::new(),
+            pending: None,
+            in_burst: false,
+            woke_for: None,
+            miss_since: None,
+            synced: false,
+            delivered: 0,
+            missed: 0,
+            ap_drops: 0,
+            schedules_seen: 0,
+            schedules_missed: 0,
+            skipped_srp_wakes: 0,
+            early_wait: SimDuration::ZERO,
+            missed_sched_wait: SimDuration::ZERO,
+            bytes_delivered: 0,
+            naive_rx_airtime: SimDuration::ZERO,
+            tx_airtime: SimDuration::ZERO,
+        }
+    }
+
+    fn lead(&self) -> SimDuration {
+        self.p.early_transition + self.p.wake_transition
+    }
+
+    fn sleep_if_idle(&mut self, t: SimTime) {
+        if std::env::var("PB_DEBUG_REPLAY").is_ok() {
+            eprintln!(
+                "[replay {}] sleep_if_idle t={t} in_burst={} miss={} synced={} woke={:?} wakes={:?}",
+                self.client.0, self.in_burst, self.miss_since.is_some(), self.synced,
+                self.woke_for, self.planned_wakes
+            );
+        }
+        if self.in_burst || self.miss_since.is_some() || !self.synced {
+            return;
+        }
+        // Expecting a schedule any moment (the SRP wake already fired):
+        // sleeping now would turn a late mark into a missed interval.
+        if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Srp) {
+            return;
+        }
+        // Keep wakes at exactly `t` (imminent slot = stay awake).
+        self.planned_wakes.retain(|&w| w >= t);
+        match self.planned_wakes.iter().min() {
+            Some(&w) if w.since(t) < self.p.min_sleep => {}
+            _ => self.wnic.sleep(t),
+        }
+    }
+
+    fn account_arrival(&mut self, t: SimTime) {
+        if let Some((_, listen_start)) = self.woke_for.take() {
+            self.early_wait += t.since(listen_start);
+        }
+    }
+
+    fn apply_schedule(&mut self, sched: Schedule, arrival: SimTime, t: SimTime) {
+        self.account_arrival(t);
+        if let Some(since) = self.miss_since.take() {
+            self.missed_sched_wait += t.since(since);
+        }
+        // A deferred schedule whose own interval has already elapsed is
+        // useless: its rendezvous points are in the past and the following
+        // schedule is imminent. Stay awake and wait for a fresh one.
+        if t > arrival + sched.next_srp {
+            self.gen += 1; // invalidate stale wake-ups
+            self.slots.clear();
+            self.planned_wakes.clear();
+            self.miss_since = Some(t);
+            return;
+        }
+        self.synced = true;
+        self.gen += 1;
+        let gen = self.gen;
+        self.slots.clear();
+        self.planned_wakes.clear();
+        let lead = self.lead();
+        let mine: Vec<_> = sched.slots_for(self.client).cloned().collect();
+        for e in &mine {
+            // A schedule applied late (deferred past its own burst) must
+            // not arm wake-ups for slots that already completed — the mark
+            // that released it *was* that burst's end.
+            if arrival + e.rp_offset + e.duration <= t {
+                continue;
+            }
+            let idx = self.slots.len();
+            self.slots.push(MySlot {
+                duration: e.duration,
+                sleep_at_end: e.client.is_broadcast() || sched.fixed_slots,
+            });
+            let wake_at = (arrival + e.rp_offset.saturating_sub(lead)).max(t);
+            self.heap.push(wake_at, PEv::WakeSlot { gen, idx });
+            self.planned_wakes.push(wake_at);
+        }
+        // §5 optimization: an unchanged schedule is reused for the next
+        // interval and its SRP wake is skipped entirely.
+        if sched.unchanged && self.p.skip_unchanged && !mine.is_empty() {
+            self.skipped_srp_wakes += 1;
+            for e in &mine {
+                let idx = self.slots.len();
+                self.slots.push(MySlot {
+                    duration: e.duration,
+                    sleep_at_end: e.client.is_broadcast() || sched.fixed_slots,
+                });
+                let wake_at =
+                    (arrival + sched.next_srp + e.rp_offset.saturating_sub(lead)).max(t);
+                self.heap.push(wake_at, PEv::WakeSlot { gen, idx });
+                self.planned_wakes.push(wake_at);
+            }
+            let srp_at = ((arrival + sched.next_srp * 2) - lead).max(t);
+            self.heap.push(srp_at, PEv::WakeSrp { gen });
+            self.planned_wakes.push(srp_at);
+        } else {
+            let srp_at = (arrival + sched.next_srp.saturating_sub(lead)).max(t);
+            self.heap.push(srp_at, PEv::WakeSrp { gen });
+            self.planned_wakes.push(srp_at);
+        }
+        self.sleep_if_idle(t);
+    }
+
+    fn on_policy_event(&mut self, t: SimTime, ev: PEv) {
+        match ev {
+            PEv::WakeSlot { gen, idx } => {
+                if gen != self.gen {
+                    return;
+                }
+                self.wnic.wake(t);
+                let Some(slot) = self.slots.get(idx).copied() else { return };
+                self.woke_for = Some((WokeFor::Burst, t + self.p.wake_transition));
+                if slot.sleep_at_end {
+                    // Fixed slots end on their own clock: linger briefly
+                    // for late frames, then sleep without needing a mark.
+                    self.heap.push(
+                        t + self.lead() + slot.duration + SimDuration::from_ms(2),
+                        PEv::SlotEnd { gen },
+                    );
+                } else {
+                    self.in_burst = true;
+                }
+            }
+            PEv::WakeSrp { gen } => {
+                if gen != self.gen {
+                    return;
+                }
+                self.wnic.wake(t);
+                self.woke_for = Some((WokeFor::Srp, t + self.p.wake_transition));
+                self.heap
+                    .push(t + self.lead() + self.p.miss_slack, PEv::MissDeadline { gen });
+            }
+            PEv::MissDeadline { gen } => {
+                if gen != self.gen {
+                    return;
+                }
+                if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Srp) {
+                    self.schedules_missed += 1;
+                    self.woke_for = None;
+                    self.miss_since = Some(t);
+                }
+            }
+            PEv::SlotEnd { gen } => {
+                if gen != self.gen {
+                    return;
+                }
+                // Only the burst expectation ends with the slot; an SRP
+                // expectation (the SRP wake may already have fired) must
+                // survive or the client would sleep through the schedule.
+                if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Burst) {
+                    self.woke_for = None;
+                }
+                if let Some((sched, arrival)) = self.pending.take() {
+                    self.in_burst = false;
+                    self.apply_schedule(sched, arrival, t);
+                } else {
+                    self.sleep_if_idle(t);
+                }
+            }
+        }
+    }
+
+    fn on_record(&mut self, rec: &SnifferRecord) {
+        let t = rec.t;
+        if rec.delivery == Delivery::QueueDrop {
+            if rec.dst.host == self.client {
+                self.ap_drops += 1;
+            }
+            return;
+        }
+        if rec.src.host == self.client {
+            // The client's own uplink (ACKs, receiver reports): billed as
+            // transmit energy for both the policy and the naive client.
+            self.wnic.on_transmit(t, rec.airtime);
+            self.tx_airtime += rec.airtime;
+            return;
+        }
+        if rec.delivery == Delivery::Broadcast {
+            // Naive client hears broadcasts too.
+            self.naive_rx_airtime += rec.airtime;
+            let is_sched = rec.dst.port == ports::SCHEDULE;
+            if self.wnic.is_listening(t) {
+                self.wnic.on_receive(t, rec.airtime);
+                if is_sched {
+                    if let Some(payload) = &rec.payload {
+                        if let Some(sched) = Schedule::decode(payload) {
+                            self.schedules_seen += 1;
+                            if self.in_burst && self.pending.is_none() {
+                                // Rule (1): defer until the marked packet —
+                                // but the schedule did arrive, so the SRP
+                                // wait is over and no miss may be declared.
+                                if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Srp) {
+                                    self.account_arrival(t);
+                                }
+                                self.pending = Some((sched, t));
+                            } else {
+                                self.in_burst = false;
+                                self.pending = None;
+                                self.apply_schedule(sched, t, t);
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        if rec.dst.host == self.client {
+            self.naive_rx_airtime += rec.airtime;
+            if self.wnic.is_listening(t) {
+                self.delivered += 1;
+                self.bytes_delivered += rec.wire_size as u64;
+                self.wnic.on_receive(t, rec.airtime);
+                if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Burst) {
+                    self.account_arrival(t);
+                }
+                if rec.tos_mark {
+                    self.in_burst = false;
+                    if let Some((sched, arrival)) = self.pending.take() {
+                        self.apply_schedule(sched, arrival, t);
+                    } else {
+                        self.sleep_if_idle(t);
+                    }
+                }
+            } else {
+                self.missed += 1;
+            }
+        }
+    }
+}
+
+/// Replay `records` (time-ordered) for `client`, ending the billing window
+/// at `run_end`.
+pub fn analyze_client(
+    records: &[SnifferRecord],
+    client: HostAddr,
+    run_end: SimTime,
+    p: &PolicyParams,
+) -> PostmortemReport {
+    let mut r = Replay::new(client, *p);
+    for rec in records {
+        // Fire policy timers due before this frame.
+        while let Some(evt) = r.heap.peek_time() {
+            if evt > rec.t {
+                break;
+            }
+            let (t, ev) = r.heap.pop().expect("peeked");
+            r.on_policy_event(t, ev);
+        }
+        r.on_record(rec);
+    }
+    // Drain remaining policy events up to the end of the window.
+    while let Some(evt) = r.heap.peek_time() {
+        if evt > run_end {
+            break;
+        }
+        let (t, ev) = r.heap.pop().expect("peeked");
+        r.on_policy_event(t, ev);
+    }
+    if let Some(since) = r.miss_since.take() {
+        r.missed_sched_wait += run_end.since(since);
+    }
+    let energy = r.wnic.report_at(run_end);
+    let naive = naive_energy_mj(
+        &p.card,
+        run_end.since(SimTime::ZERO),
+        r.naive_rx_airtime,
+        r.tx_airtime,
+    );
+    PostmortemReport {
+        energy_mj: energy.total_mj,
+        naive_mj: naive,
+        saved: if naive > 0.0 { 1.0 - energy.total_mj / naive } else { 0.0 },
+        sleep: energy.sleep,
+        awake: energy.awake + energy.waking,
+        transitions: energy.wake_transitions,
+        delivered: r.delivered,
+        missed: r.missed,
+        ap_drops: r.ap_drops,
+        schedules_seen: r.schedules_seen,
+        schedules_missed: r.schedules_missed,
+        skipped_srp_wakes: r.skipped_srp_wakes,
+        early_wait: r.early_wait,
+        missed_sched_wait: r.missed_sched_wait,
+        bytes_delivered: r.bytes_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use powerburst_core::{Schedule, ScheduleEntry};
+    use powerburst_net::{Packet, SockAddr};
+
+    const CLIENT: HostAddr = HostAddr(10);
+    const PROXY: HostAddr = HostAddr(1);
+
+    fn sched_record(t: SimTime, sched: &Schedule) -> SnifferRecord {
+        let pkt = Packet::udp(
+            0,
+            SockAddr::new(PROXY, ports::SCHEDULE),
+            SockAddr::new(HostAddr::BROADCAST, ports::SCHEDULE),
+            sched.encode(),
+        );
+        SnifferRecord::of(t, &pkt, SimDuration::from_us(1_000), Delivery::Broadcast)
+    }
+
+    fn data_record(t: SimTime, mark: bool) -> SnifferRecord {
+        let mut pkt = Packet::udp(
+            0,
+            SockAddr::new(PROXY, 554),
+            SockAddr::new(CLIENT, 554),
+            Bytes::from(vec![0u8; 500]),
+        );
+        pkt.tos_mark = mark;
+        SnifferRecord::of(t, &pkt, SimDuration::from_us(1_300), Delivery::Delivered)
+    }
+
+    fn simple_schedule(rp_ms: u64, dur_ms: u64, interval_ms: u64) -> Schedule {
+        Schedule {
+            seq: 0,
+            entries: vec![ScheduleEntry {
+                client: CLIENT,
+                rp_offset: SimDuration::from_ms(rp_ms),
+                duration: SimDuration::from_ms(dur_ms),
+            }],
+            next_srp: SimDuration::from_ms(interval_ms),
+            unchanged: false,
+            fixed_slots: false,
+        }
+    }
+
+    /// Build a well-behaved periodic trace: schedule every 100ms, a small
+    /// burst (2 packets, second marked) a few ms after each schedule.
+    fn periodic_trace(intervals: u64) -> Vec<SnifferRecord> {
+        let mut recs = Vec::new();
+        let mut sched = simple_schedule(10, 10, 100);
+        for k in 0..intervals {
+            sched.seq = k;
+            let t0 = SimTime::from_ms(5 + 100 * k);
+            recs.push(sched_record(t0, &sched));
+            recs.push(data_record(t0 + SimDuration::from_ms(10), false));
+            recs.push(data_record(t0 + SimDuration::from_ms(12), true));
+        }
+        recs
+    }
+
+    #[test]
+    fn well_behaved_trace_saves_energy_and_loses_nothing() {
+        let recs = periodic_trace(50);
+        let end = SimTime::from_ms(5 + 100 * 50);
+        let rep = analyze_client(&recs, CLIENT, end, &PolicyParams::default());
+        assert_eq!(rep.missed, 0, "no losses on a punctual trace");
+        assert_eq!(rep.delivered, 100);
+        assert_eq!(rep.schedules_seen, 50);
+        assert_eq!(rep.schedules_missed, 0);
+        assert!(rep.saved > 0.5, "saved {}", rep.saved);
+        assert!(rep.sleep > rep.awake, "mostly asleep");
+        assert!(rep.transitions >= 50, "wakes for schedule + burst");
+    }
+
+    #[test]
+    fn naive_exceeds_policy_energy() {
+        let recs = periodic_trace(20);
+        let end = SimTime::from_ms(5 + 100 * 20);
+        let rep = analyze_client(&recs, CLIENT, end, &PolicyParams::default());
+        assert!(rep.naive_mj > rep.energy_mj);
+    }
+
+    #[test]
+    fn late_schedule_causes_miss_and_waste() {
+        let mut recs = Vec::new();
+        let mut sched = simple_schedule(10, 10, 100);
+        // Two punctual intervals (with data bursts), then the third
+        // schedule arrives 60ms late.
+        for k in 0..2u64 {
+            sched.seq = k;
+            let t0 = SimTime::from_ms(5 + 100 * k);
+            recs.push(sched_record(t0, &sched));
+            recs.push(data_record(t0 + SimDuration::from_ms(10), false));
+            recs.push(data_record(t0 + SimDuration::from_ms(12), true));
+        }
+        sched.seq = 2;
+        recs.push(sched_record(SimTime::from_ms(5 + 200 + 60), &sched));
+        // End the window before the post-recovery SRP would fire, so the
+        // end-of-trace tail doesn't register as a second miss.
+        let rep = analyze_client(
+            &recs,
+            CLIENT,
+            SimTime::from_ms(300),
+            &PolicyParams::default(),
+        );
+        assert_eq!(rep.schedules_missed, 1);
+        assert!(rep.missed_sched_wait >= SimDuration::from_ms(30));
+    }
+
+    #[test]
+    fn data_while_asleep_is_missed() {
+        let mut recs = periodic_trace(3);
+        // Inject a stray packet mid-sleep (t=80ms into interval 0: the
+        // client slept after its 17ms mark and wakes ~97ms).
+        recs.push(data_record(SimTime::from_ms(60), false));
+        recs.sort_by_key(|r| r.t);
+        let rep = analyze_client(
+            &recs,
+            CLIENT,
+            SimTime::from_ms(305),
+            &PolicyParams::default(),
+        );
+        assert_eq!(rep.missed, 1);
+        assert!(rep.loss_fraction() > 0.0);
+    }
+
+    #[test]
+    fn zero_early_transition_wastes_less_when_punctual() {
+        let recs = periodic_trace(50);
+        let end = SimTime::from_ms(5 + 100 * 50);
+        let p0 = PolicyParams { early_transition: SimDuration::ZERO, ..PolicyParams::default() };
+        let p8 =
+            PolicyParams { early_transition: SimDuration::from_ms(8), ..PolicyParams::default() };
+        let r0 = analyze_client(&recs, CLIENT, end, &p0);
+        let r8 = analyze_client(&recs, CLIENT, end, &p8);
+        // On a perfectly punctual trace, waking earlier only wastes energy.
+        assert!(r0.early_wait < r8.early_wait);
+        assert!(r0.energy_mj < r8.energy_mj);
+    }
+
+    #[test]
+    fn empty_trace_is_all_naive() {
+        let rep = analyze_client(&[], CLIENT, SimTime::from_secs(10), &PolicyParams::default());
+        // Never synced: stays awake the whole run, saving nothing.
+        assert_eq!(rep.sleep, SimDuration::ZERO);
+        assert!(rep.saved.abs() < 1e-9);
+    }
+}

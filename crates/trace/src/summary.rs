@@ -1,0 +1,267 @@
+//! Trace summaries and export.
+//!
+//! Utilities the experiment harnesses use on top of the raw capture:
+//! per-client traffic accounting, medium utilization, and a JSON-lines
+//! export of capture rows for offline inspection (the stand-in for keeping
+//! the paper's raw `tcpdump` files).
+
+use powerburst_net::{Delivery, HostAddr, Proto, SnifferRecord};
+use powerburst_sim::{SimDuration, SimTime};
+
+/// Per-client traffic totals extracted from a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientTraffic {
+    /// Downlink frames addressed to the client that made it to the air.
+    pub frames: u64,
+    /// Downlink wire bytes.
+    pub bytes: u64,
+    /// Downlink airtime.
+    pub airtime: SimDuration,
+    /// Marked (end-of-burst) frames.
+    pub marks: u64,
+    /// Frames the live client slept through (live-mode runs only).
+    pub missed_live: u64,
+    /// Frames dropped at the AP queue.
+    pub ap_drops: u64,
+    /// Uplink frames sent by the client.
+    pub uplink_frames: u64,
+}
+
+/// Compute traffic totals for one client.
+pub fn client_traffic(records: &[SnifferRecord], client: HostAddr) -> ClientTraffic {
+    let mut t = ClientTraffic::default();
+    for r in records {
+        if r.src.host == client {
+            t.uplink_frames += 1;
+            continue;
+        }
+        if r.dst.host != client {
+            continue;
+        }
+        match r.delivery {
+            Delivery::QueueDrop => t.ap_drops += 1,
+            Delivery::MissedAsleep => {
+                t.missed_live += 1;
+                t.frames += 1;
+                t.bytes += r.wire_size as u64;
+                t.airtime += r.airtime;
+            }
+            Delivery::Delivered => {
+                t.frames += 1;
+                t.bytes += r.wire_size as u64;
+                t.airtime += r.airtime;
+                if r.tos_mark {
+                    t.marks += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Whole-trace medium statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MediumSummary {
+    /// Frames on the air.
+    pub frames: u64,
+    /// Total airtime.
+    pub airtime: SimDuration,
+    /// Schedule broadcasts.
+    pub broadcasts: u64,
+    /// Frames dropped at the transmit queue.
+    pub queue_drops: u64,
+    /// Capture span (first..last timestamp).
+    pub span: SimDuration,
+}
+
+/// Summarize medium activity.
+pub fn medium_summary(records: &[SnifferRecord]) -> MediumSummary {
+    let mut s = MediumSummary::default();
+    let mut first: Option<SimTime> = None;
+    let mut last = SimTime::ZERO;
+    for r in records {
+        match r.delivery {
+            Delivery::QueueDrop => {
+                s.queue_drops += 1;
+                continue;
+            }
+            Delivery::Broadcast => s.broadcasts += 1,
+            _ => {}
+        }
+        s.frames += 1;
+        s.airtime += r.airtime;
+        first.get_or_insert(r.t);
+        last = last.max(r.t);
+    }
+    if let Some(f) = first {
+        s.span = last.since(f);
+    }
+    s
+}
+
+/// Medium utilization over `window` (fraction of time carrying frames).
+pub fn utilization(records: &[SnifferRecord], window: SimDuration) -> f64 {
+    if window.is_zero() {
+        return 0.0;
+    }
+    medium_summary(records).airtime.as_secs_f64() / window.as_secs_f64()
+}
+
+/// One serializable capture row (tcpdump-line equivalent).
+#[derive(Debug)]
+pub struct TraceRow {
+    /// Capture timestamp, seconds.
+    pub t_s: f64,
+    /// Packet id.
+    pub id: u64,
+    /// Source `host:port`.
+    pub src: String,
+    /// Destination `host:port`.
+    pub dst: String,
+    /// `"udp"` or `"tcp"`.
+    pub proto: &'static str,
+    /// Wire bytes.
+    pub bytes: usize,
+    /// Airtime, microseconds.
+    pub airtime_us: u64,
+    /// End-of-burst mark.
+    pub mark: bool,
+    /// Delivery outcome.
+    pub delivery: &'static str,
+}
+
+impl TraceRow {
+    /// Convert a sniffer record.
+    pub fn from_record(r: &SnifferRecord) -> TraceRow {
+        TraceRow {
+            t_s: r.t.as_secs_f64(),
+            id: r.pkt_id,
+            src: r.src.to_string(),
+            dst: r.dst.to_string(),
+            proto: match r.proto {
+                Proto::Udp => "udp",
+                Proto::Tcp => "tcp",
+            },
+            bytes: r.wire_size,
+            airtime_us: r.airtime.as_us(),
+            mark: r.tos_mark,
+            delivery: match r.delivery {
+                Delivery::Delivered => "delivered",
+                Delivery::MissedAsleep => "missed",
+                Delivery::Broadcast => "broadcast",
+                Delivery::QueueDrop => "qdrop",
+                Delivery::NoSuchHost => "nohost",
+                Delivery::Corrupted => "corrupt",
+            },
+        }
+    }
+}
+
+impl TraceRow {
+    /// Render as one JSON object (all fields are numbers, booleans, or
+    /// strings that never need escaping, so this is hand-rolled rather
+    /// than pulling in a JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"t_s\":{:.6},\"id\":{},\"src\":\"{}\",\"dst\":\"{}\",",
+                "\"proto\":\"{}\",\"bytes\":{},\"airtime_us\":{},",
+                "\"mark\":{},\"delivery\":\"{}\"}}"
+            ),
+            self.t_s,
+            self.id,
+            self.src,
+            self.dst,
+            self.proto,
+            self.bytes,
+            self.airtime_us,
+            self.mark,
+            self.delivery
+        )
+    }
+}
+
+/// Render the trace as JSON-lines (one row per frame).
+pub fn to_jsonl(records: &[SnifferRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96);
+    for r in records {
+        out.push_str(&TraceRow::from_record(r).to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use powerburst_net::{Packet, SockAddr};
+
+    fn rec(src: u32, dst: u32, mark: bool, delivery: Delivery, t_ms: u64) -> SnifferRecord {
+        let mut pkt = Packet::udp(
+            1,
+            SockAddr::new(HostAddr(src), 1),
+            SockAddr::new(HostAddr(dst), 2),
+            Bytes::from(vec![0u8; 100]),
+        );
+        pkt.tos_mark = mark;
+        SnifferRecord::of(
+            SimTime::from_ms(t_ms),
+            &pkt,
+            SimDuration::from_us(900),
+            delivery,
+        )
+    }
+
+    #[test]
+    fn client_traffic_separates_directions() {
+        let recs = vec![
+            rec(1, 10, false, Delivery::Delivered, 1),
+            rec(1, 10, true, Delivery::Delivered, 2),
+            rec(10, 1, false, Delivery::Delivered, 3),
+            rec(1, 11, false, Delivery::Delivered, 4),
+            rec(1, 10, false, Delivery::MissedAsleep, 5),
+            rec(1, 10, false, Delivery::QueueDrop, 6),
+        ];
+        let t = client_traffic(&recs, HostAddr(10));
+        assert_eq!(t.frames, 3);
+        assert_eq!(t.marks, 1);
+        assert_eq!(t.missed_live, 1);
+        assert_eq!(t.ap_drops, 1);
+        assert_eq!(t.uplink_frames, 1);
+    }
+
+    #[test]
+    fn medium_summary_counts() {
+        let recs = vec![
+            rec(1, 10, false, Delivery::Delivered, 0),
+            rec(1, 11, false, Delivery::Broadcast, 50),
+            rec(1, 10, false, Delivery::QueueDrop, 60),
+        ];
+        let s = medium_summary(&recs);
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.broadcasts, 1);
+        assert_eq!(s.queue_drops, 1);
+        assert_eq!(s.span, SimDuration::from_ms(50));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let recs = vec![rec(1, 10, false, Delivery::Delivered, 0)];
+        let u = utilization(&recs, SimDuration::from_ms(9));
+        assert!((u - 0.1).abs() < 1e-9, "u {u}");
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record() {
+        let recs = vec![
+            rec(1, 10, false, Delivery::Delivered, 0),
+            rec(1, 10, true, Delivery::MissedAsleep, 1),
+        ];
+        let s = to_jsonl(&recs);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("\"delivery\":\"missed\""));
+        assert!(s.contains("\"mark\":true"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the postmortem analyzer: for arbitrary well-formed
+//! schedule/burst traces, the replay's accounting must balance and its
+//! energy must stay inside physical bounds.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use powerburst_core::{Schedule, ScheduleEntry};
+use powerburst_energy::CardSpec;
+use powerburst_net::{ports, Delivery, HostAddr, Packet, SnifferRecord, SockAddr};
+use powerburst_sim::{SimDuration, SimTime};
+use powerburst_trace::{analyze_client, PolicyParams};
+
+const CLIENT: HostAddr = HostAddr(100);
+const PROXY: HostAddr = HostAddr(3);
+
+fn sched_record(t_us: u64, seq: u64, rp_ms: u64, dur_ms: u64, interval_ms: u64) -> SnifferRecord {
+    let sched = Schedule {
+        seq,
+        entries: vec![ScheduleEntry {
+            client: CLIENT,
+            rp_offset: SimDuration::from_ms(rp_ms),
+            duration: SimDuration::from_ms(dur_ms),
+        }],
+        next_srp: SimDuration::from_ms(interval_ms),
+        unchanged: false,
+        fixed_slots: false,
+    };
+    let pkt = Packet::udp(
+        0,
+        SockAddr::new(PROXY, ports::SCHEDULE),
+        SockAddr::new(HostAddr::BROADCAST, ports::SCHEDULE),
+        sched.encode(),
+    );
+    SnifferRecord::of(
+        SimTime::from_us(t_us),
+        &pkt,
+        SimDuration::from_us(1_000),
+        Delivery::Broadcast,
+    )
+}
+
+fn data_record(t_us: u64, mark: bool) -> SnifferRecord {
+    let mut pkt = Packet::udp(
+        0,
+        SockAddr::new(HostAddr(1), 554),
+        SockAddr::new(CLIENT, 554),
+        Bytes::from(vec![0u8; 400]),
+    );
+    pkt.tos_mark = mark;
+    SnifferRecord::of(
+        SimTime::from_us(t_us),
+        &pkt,
+        SimDuration::from_us(1_200),
+        Delivery::Delivered,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever schedule jitter, burst placement, and mark pattern the
+    /// trace throws at the replay:
+    /// * delivered + missed equals the frames addressed to the client,
+    /// * sleep + awake equals the run duration,
+    /// * energy sits between the all-sleep and all-receive bounds,
+    /// * savings never exceed the card's physical ceiling.
+    #[test]
+    fn accounting_balances_for_arbitrary_traces(
+        intervals in 5u64..60,
+        interval_ms in 50u64..300,
+        rp_ms in 1u64..20,
+        jitters in prop::collection::vec(0i64..8_000, 5..60),
+        burst_sizes in prop::collection::vec(0usize..6, 5..60),
+        drop_marks in prop::collection::vec(any::<bool>(), 5..60),
+        early_ms in 0u64..10,
+    ) {
+        let mut recs: Vec<SnifferRecord> = Vec::new();
+        let mut addressed = 0u64;
+        for k in 0..intervals {
+            let base = 2_000 + k * interval_ms * 1_000;
+            let jitter = jitters[k as usize % jitters.len()].unsigned_abs();
+            let t_sched = base + jitter;
+            recs.push(sched_record(t_sched, k, rp_ms, 15, interval_ms));
+            let n = burst_sizes[k as usize % burst_sizes.len()];
+            for i in 0..n {
+                let is_last = i + 1 == n;
+                let keep_mark = !drop_marks[k as usize % drop_marks.len()];
+                let t = t_sched + rp_ms * 1_000 + i as u64 * 1_500;
+                recs.push(data_record(t, is_last && keep_mark));
+                addressed += 1;
+            }
+        }
+        recs.sort_by_key(|r| r.t);
+        let end = SimTime::from_us(2_000 + intervals * interval_ms * 1_000 + 50_000);
+        let p = PolicyParams {
+            early_transition: SimDuration::from_ms(early_ms),
+            ..PolicyParams::default()
+        };
+        let rep = analyze_client(&recs, CLIENT, end, &p);
+
+        prop_assert_eq!(rep.delivered + rep.missed, addressed);
+        let total = rep.sleep + rep.awake;
+        prop_assert_eq!(total, end.since(SimTime::ZERO));
+
+        let card = CardSpec::WAVELAN_DSSS;
+        let dur_s = end.as_secs_f64();
+        prop_assert!(rep.energy_mj >= card.sleep_mw * dur_s - 1e-6);
+        prop_assert!(rep.energy_mj <= card.recv_mw * dur_s + 1e-6);
+        prop_assert!(rep.saved <= card.max_savings_fraction() + 1e-9);
+        prop_assert!(rep.energy_mj <= rep.naive_mj + 1e-6, "policy can't exceed naive");
+        prop_assert!(rep.schedules_seen <= intervals);
+    }
+
+    /// A punctual, fully-marked trace is lossless for any early amount,
+    /// and a larger early amount never decreases energy.
+    #[test]
+    fn punctual_traces_are_lossless_and_early_is_monotone(
+        intervals in 10u64..60,
+        early_a in 0u64..5,
+        early_extra in 1u64..6,
+    ) {
+        let mut recs = Vec::new();
+        for k in 0..intervals {
+            let t_sched = 2_000 + k * 100_000;
+            recs.push(sched_record(t_sched, k, 5, 10, 100));
+            recs.push(data_record(t_sched + 5_000, false));
+            recs.push(data_record(t_sched + 6_500, true));
+        }
+        let end = SimTime::from_us(2_000 + intervals * 100_000);
+        let mk = |early: u64| {
+            analyze_client(
+                &recs,
+                CLIENT,
+                end,
+                &PolicyParams {
+                    early_transition: SimDuration::from_ms(early),
+                    ..PolicyParams::default()
+                },
+            )
+        };
+        let a = mk(early_a);
+        let b = mk(early_a + early_extra);
+        prop_assert_eq!(a.missed, 0);
+        prop_assert_eq!(b.missed, 0);
+        prop_assert!(b.energy_mj >= a.energy_mj - 1e-6, "earlier wake can't be cheaper");
+    }
+}

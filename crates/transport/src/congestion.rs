@@ -1,0 +1,151 @@
+//! Reno-style congestion control: slow start, congestion avoidance, fast
+//! retransmit / fast recovery (simplified: window deflates straight to
+//! `ssthresh`), and timeout collapse to one segment.
+//!
+//! Window dynamics matter to this reproduction for two reasons: (1) the
+//! split-connection design exists precisely because a buffering proxy on a
+//! *single* end-to-end connection would inflate RTT and shrink effective
+//! window utilization (§2), which the A1 ablation demonstrates; and (2)
+//! dropped packets at sleeping clients must cost retransmissions and
+//! transmission-time, reproducing the §4.3 Netfilter experiment.
+
+/// Reno congestion controller, byte-based.
+#[derive(Debug, Clone, Copy)]
+pub struct Reno {
+    mss: f64,
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Reno {
+    /// New controller. Initial window follows the classic 2*MSS.
+    pub fn new(mss: usize) -> Reno {
+        let mss = mss as f64;
+        Reno { mss, cwnd: 2.0 * mss, ssthresh: f64::INFINITY }
+    }
+
+    /// Current congestion window, bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Current slow-start threshold, bytes (`u64::MAX` when unset).
+    pub fn ssthresh(&self) -> u64 {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// New data acknowledged.
+    pub fn on_ack(&mut self, newly_acked: u64) {
+        if self.in_slow_start() {
+            // Exponential: grow by what was acked (bounded per-ACK by MSS).
+            self.cwnd += (newly_acked as f64).min(self.mss);
+        } else {
+            // Additive: ~1 MSS per RTT.
+            self.cwnd += self.mss * self.mss / self.cwnd;
+        }
+    }
+
+    /// Triple-duplicate-ACK loss signal (fast retransmit). Returns the new
+    /// window so callers can log it.
+    pub fn on_fast_retransmit(&mut self, flight: u64) -> u64 {
+        self.ssthresh = (flight as f64 / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.cwnd as u64
+    }
+
+    /// Retransmission timeout: collapse to one segment.
+    pub fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.mss;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: usize = 1460;
+
+    #[test]
+    fn starts_in_slow_start_with_two_mss() {
+        let c = Reno::new(MSS);
+        assert!(c.in_slow_start());
+        assert_eq!(c.cwnd(), 2 * MSS as u64);
+        assert_eq!(c.ssthresh(), u64::MAX);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut c = Reno::new(MSS);
+        let start = c.cwnd();
+        // Ack a full window's worth in MSS chunks.
+        let mut acked = 0;
+        while acked < start {
+            c.on_ack(MSS as u64);
+            acked += MSS as u64;
+        }
+        assert!(c.cwnd() >= 2 * start - MSS as u64, "cwnd {}", c.cwnd());
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut c = Reno::new(MSS);
+        c.on_timeout(100_000);
+        // Push past ssthresh into avoidance.
+        while c.in_slow_start() {
+            c.on_ack(MSS as u64);
+        }
+        let w0 = c.cwnd();
+        // One window of ACKs grows cwnd by about one MSS.
+        let mut acked = 0;
+        while acked < w0 {
+            c.on_ack(MSS as u64);
+            acked += MSS as u64;
+        }
+        let growth = c.cwnd() - w0;
+        assert!(
+            growth >= (MSS / 2) as u64 && growth <= 2 * MSS as u64,
+            "growth {growth}"
+        );
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut c = Reno::new(MSS);
+        for _ in 0..100 {
+            c.on_ack(MSS as u64);
+        }
+        let flight = c.cwnd();
+        c.on_fast_retransmit(flight);
+        let half = flight / 2;
+        assert!((c.cwnd() as i64 - half as i64).abs() <= MSS as i64);
+        assert!(!c.in_slow_start());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut c = Reno::new(MSS);
+        for _ in 0..100 {
+            c.on_ack(MSS as u64);
+        }
+        c.on_timeout(c.cwnd());
+        assert_eq!(c.cwnd(), MSS as u64);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut c = Reno::new(MSS);
+        c.on_timeout(100);
+        assert_eq!(c.ssthresh(), 2 * MSS as u64);
+    }
+}

@@ -1,0 +1,150 @@
+//! Receive-side reassembly: out-of-order segments are held until the gap
+//! fills, then released in order.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+/// Reassembly buffer keyed by absolute stream offset (bytes, 0-based).
+#[derive(Debug, Default)]
+pub struct Reassembly {
+    next: u64,
+    held: BTreeMap<u64, Bytes>,
+}
+
+impl Reassembly {
+    /// Empty buffer expecting offset 0 first.
+    pub fn new() -> Reassembly {
+        Reassembly::default()
+    }
+
+    /// Next in-order byte offset expected (the ACK point).
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+
+    /// Bytes currently parked out of order.
+    pub fn held_bytes(&self) -> u64 {
+        self.held.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Offer a segment at `offset`; returns any newly in-order data.
+    /// Duplicate and overlapping data is trimmed.
+    pub fn insert(&mut self, offset: u64, data: Bytes) -> Vec<Bytes> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let end = offset + data.len() as u64;
+        if end <= self.next {
+            return Vec::new(); // complete duplicate
+        }
+        // Trim any prefix we already have.
+        let data = if offset < self.next {
+            data.slice((self.next - offset) as usize..)
+        } else {
+            data
+        };
+        let offset = offset.max(self.next);
+
+        // Park it unless an existing segment fully covers it.
+        match self.held.range(..=offset).next_back() {
+            Some((&o, d)) if o + d.len() as u64 >= offset + data.len() as u64 => {}
+            _ => {
+                self.held.insert(offset, data);
+            }
+        }
+
+        // Release everything now contiguous.
+        let mut out = Vec::new();
+        while let Some((&o, _)) = self.held.first_key_value() {
+            if o > self.next {
+                break;
+            }
+            let (o, d) = self.held.pop_first().expect("non-empty");
+            let d_end = o + d.len() as u64;
+            if d_end <= self.next {
+                continue; // overlapped by previous release
+            }
+            let fresh = if o < self.next { d.slice((self.next - o) as usize..) } else { d };
+            self.next += fresh.len() as u64;
+            out.push(fresh);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn drain(v: Vec<Bytes>) -> String {
+        v.iter()
+            .map(|x| std::str::from_utf8(x).unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    #[test]
+    fn in_order_passthrough() {
+        let mut r = Reassembly::new();
+        assert_eq!(drain(r.insert(0, b("ab"))), "ab");
+        assert_eq!(drain(r.insert(2, b("cd"))), "cd");
+        assert_eq!(r.next_expected(), 4);
+    }
+
+    #[test]
+    fn out_of_order_held_then_released() {
+        let mut r = Reassembly::new();
+        assert_eq!(drain(r.insert(2, b("cd"))), "");
+        assert_eq!(r.held_bytes(), 2);
+        assert_eq!(drain(r.insert(0, b("ab"))), "abcd");
+        assert_eq!(r.held_bytes(), 0);
+        assert_eq!(r.next_expected(), 4);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut r = Reassembly::new();
+        r.insert(0, b("abcd"));
+        assert_eq!(drain(r.insert(0, b("abcd"))), "");
+        assert_eq!(drain(r.insert(2, b("cd"))), "");
+        assert_eq!(r.next_expected(), 4);
+    }
+
+    #[test]
+    fn overlap_trimmed() {
+        let mut r = Reassembly::new();
+        r.insert(0, b("abc"));
+        // "bcde" overlaps the first three bytes.
+        assert_eq!(drain(r.insert(1, b("bcde"))), "de");
+        assert_eq!(r.next_expected(), 5);
+    }
+
+    #[test]
+    fn multiple_gaps_fill_in_any_order() {
+        let mut r = Reassembly::new();
+        assert_eq!(drain(r.insert(4, b("e"))), "");
+        assert_eq!(drain(r.insert(2, b("c"))), "");
+        assert_eq!(drain(r.insert(3, b("d"))), "");
+        assert_eq!(drain(r.insert(0, b("ab"))), "abcde");
+    }
+
+    #[test]
+    fn empty_segment_is_noop() {
+        let mut r = Reassembly::new();
+        assert!(r.insert(0, Bytes::new()).is_empty());
+        assert_eq!(r.next_expected(), 0);
+    }
+
+    #[test]
+    fn covered_segment_not_reparked() {
+        let mut r = Reassembly::new();
+        r.insert(10, b("0123456789"));
+        r.insert(12, b("23")); // fully covered
+        assert_eq!(r.held_bytes(), 10);
+    }
+}

@@ -1,0 +1,198 @@
+//! Send-side buffering: an application queue of unsent data plus a
+//! retransmission store of in-flight segments.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+
+/// Send buffer keyed by absolute stream offset (bytes, 0-based).
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    /// Data queued by the application, not yet segmented onto the wire.
+    queued: VecDeque<Bytes>,
+    /// Offset of the first byte of `queued[0]` within the stream.
+    queued_head: u64,
+    /// Total bytes ever enqueued (i.e. the stream offset past the last
+    /// queued byte).
+    queued_tail: u64,
+    /// In-flight (sent, unacked) segments.
+    inflight: BTreeMap<u64, Bytes>,
+    /// First unacked byte.
+    una: u64,
+}
+
+impl SendBuffer {
+    /// Empty buffer.
+    pub fn new() -> SendBuffer {
+        SendBuffer::default()
+    }
+
+    /// Queue application data for transmission.
+    pub fn enqueue(&mut self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        self.queued_tail += data.len() as u64;
+        self.queued.push_back(data);
+    }
+
+    /// First unacknowledged byte offset.
+    pub fn una(&self) -> u64 {
+        self.una
+    }
+
+    /// Offset of the next byte that has never been sent.
+    pub fn nxt(&self) -> u64 {
+        self.queued_head
+    }
+
+    /// Total stream length enqueued so far.
+    pub fn stream_len(&self) -> u64 {
+        self.queued_tail
+    }
+
+    /// Bytes sent but not yet acknowledged.
+    pub fn flight(&self) -> u64 {
+        self.queued_head - self.una
+    }
+
+    /// Bytes queued but never sent.
+    pub fn unsent(&self) -> u64 {
+        self.queued_tail - self.queued_head
+    }
+
+    /// True when everything enqueued has been sent *and* acknowledged.
+    pub fn fully_acked(&self) -> bool {
+        self.una == self.queued_tail
+    }
+
+    /// Carve the next new segment of at most `max` bytes off the queue.
+    /// Returns `(offset, data)`.
+    pub fn next_segment(&mut self, max: usize) -> Option<(u64, Bytes)> {
+        if max == 0 {
+            return None;
+        }
+        let first = self.queued.front_mut()?;
+        let take = first.len().min(max);
+        let seg = first.split_to(take);
+        if first.is_empty() {
+            self.queued.pop_front();
+        }
+        let off = self.queued_head;
+        self.queued_head += seg.len() as u64;
+        self.inflight.insert(off, seg.clone());
+        Some((off, seg))
+    }
+
+    /// Cumulative acknowledgment up to (exclusive) `upto`. Returns how many
+    /// bytes were newly acknowledged.
+    pub fn ack(&mut self, upto: u64) -> u64 {
+        if upto <= self.una {
+            return 0;
+        }
+        let newly = upto - self.una;
+        self.una = upto;
+        // Drop fully acked in-flight segments; split a straddler.
+        while let Some((&off, seg)) = self.inflight.first_key_value() {
+            let end = off + seg.len() as u64;
+            if end <= upto {
+                self.inflight.pop_first();
+            } else if off < upto {
+                let seg = self.inflight.remove(&off).expect("present");
+                let keep = seg.slice((upto - off) as usize..);
+                self.inflight.insert(upto, keep);
+                break;
+            } else {
+                break;
+            }
+        }
+        newly
+    }
+
+    /// The earliest in-flight segment, for retransmission.
+    pub fn oldest_inflight(&self) -> Option<(u64, Bytes)> {
+        self.inflight.first_key_value().map(|(&o, d)| (o, d.clone()))
+    }
+
+    /// Whether any data is in flight.
+    pub fn has_inflight(&self) -> bool {
+        !self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn segments_respect_max() {
+        let mut s = SendBuffer::new();
+        s.enqueue(b("abcdefgh"));
+        let (o1, d1) = s.next_segment(3).unwrap();
+        assert_eq!((o1, &d1[..]), (0, &b"abc"[..]));
+        let (o2, d2) = s.next_segment(10).unwrap();
+        assert_eq!((o2, &d2[..]), (3, &b"defgh"[..]));
+        assert!(s.next_segment(10).is_none());
+        assert_eq!(s.flight(), 8);
+    }
+
+    #[test]
+    fn segments_do_not_cross_chunk_boundaries() {
+        let mut s = SendBuffer::new();
+        s.enqueue(b("abc"));
+        s.enqueue(b("def"));
+        let (_, d) = s.next_segment(100).unwrap();
+        assert_eq!(&d[..], b"abc");
+    }
+
+    #[test]
+    fn cumulative_ack_frees_flight() {
+        let mut s = SendBuffer::new();
+        s.enqueue(b("abcdefgh"));
+        s.next_segment(4);
+        s.next_segment(4);
+        assert_eq!(s.ack(4), 4);
+        assert_eq!(s.flight(), 4);
+        assert_eq!(s.oldest_inflight().unwrap().0, 4);
+        assert_eq!(s.ack(8), 4);
+        assert!(s.fully_acked());
+        assert!(!s.has_inflight());
+    }
+
+    #[test]
+    fn partial_ack_splits_segment() {
+        let mut s = SendBuffer::new();
+        s.enqueue(b("abcdefgh"));
+        s.next_segment(8);
+        assert_eq!(s.ack(3), 3);
+        let (off, data) = s.oldest_inflight().unwrap();
+        assert_eq!(off, 3);
+        assert_eq!(&data[..], b"defgh");
+    }
+
+    #[test]
+    fn stale_ack_is_zero() {
+        let mut s = SendBuffer::new();
+        s.enqueue(b("abcd"));
+        s.next_segment(4);
+        s.ack(4);
+        assert_eq!(s.ack(4), 0);
+        assert_eq!(s.ack(2), 0);
+    }
+
+    #[test]
+    fn counters_track_queue_state() {
+        let mut s = SendBuffer::new();
+        assert!(s.fully_acked());
+        s.enqueue(b("abcdef"));
+        assert_eq!(s.unsent(), 6);
+        s.next_segment(2);
+        assert_eq!(s.unsent(), 4);
+        assert_eq!(s.nxt(), 2);
+        assert_eq!(s.stream_len(), 6);
+    }
+}

@@ -1,0 +1,281 @@
+//! `powerburst` — command-line front end for the reproduction.
+//!
+//! ```text
+//! powerburst run [--clients N] [--pattern P] [--interval I] [--secs S]
+//!                [--seed K] [--web N] [--ftp BYTES] [--live] [--psm]
+//!                [--static] [--admission] [--trace-out FILE]
+//! powerburst calibrate [--seed K]
+//! powerburst experiment <name>|all [--secs S] [--seed K]
+//! powerburst list
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency budget is
+//! deliberately small); every flag has a sane paper-default.
+
+use std::process::ExitCode;
+
+use powerburst::prelude::*;
+use powerburst::scenario::experiments as exp;
+use powerburst::scenario::report::{fmt_summary, Table};
+use powerburst::scenario::NetworkConfig;
+use powerburst::trace::to_jsonl;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "calibrate" => cmd_calibrate(rest),
+        "experiment" => cmd_experiment(rest),
+        "list" => {
+            println!("experiments:");
+            for (name, desc) in EXPERIMENTS {
+                println!("  {name:<24} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "powerburst — ICPP 2004 transparent power-aware proxy reproduction
+
+USAGE:
+  powerburst run [--clients N] [--pattern 56k|256k|512k|split|mix]
+                 [--interval 100|500|var] [--secs S] [--seed K]
+                 [--web N] [--ftp BYTES] [--live] [--psm] [--static]
+                 [--admission] [--trace-out FILE]
+  powerburst calibrate [--seed K]
+  powerburst experiment <name>|all [--secs S] [--seed K]
+  powerburst list";
+
+/// Tiny flag parser: `--key value` and boolean `--key` pairs.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn pattern(name: &str) -> Option<VideoPattern> {
+    Some(match name {
+        "56k" | "56K" => VideoPattern::All56,
+        "256k" | "256K" => VideoPattern::All256,
+        "512k" | "512K" => VideoPattern::All512,
+        "split" => VideoPattern::Half56Half512,
+        "mix" | "all" => VideoPattern::Mixed,
+        _ => return None,
+    })
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let f = Flags { args };
+    let n_video: usize = f.parse("--clients", 10);
+    let n_web: usize = f.parse("--web", 0);
+    let ftp: u64 = f.parse("--ftp", 0);
+    let secs: u64 = f.parse("--secs", 119);
+    let seed: u64 = f.parse("--seed", 7);
+    let pat = match pattern(f.get("--pattern").unwrap_or("56k")) {
+        Some(p) => p,
+        None => {
+            eprintln!("unknown --pattern (use 56k|256k|512k|split|mix)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = if f.has("--psm") {
+        SchedulePolicy::PsmBeacon { interval: SimDuration::from_ms(100) }
+    } else if f.has("--static") {
+        SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) }
+    } else {
+        match f.get("--interval").unwrap_or("100") {
+            "100" => SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            "500" => SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(500) },
+            "var" | "variable" => SchedulePolicy::DynamicVariable {
+                min: SimDuration::from_ms(100),
+                max: SimDuration::from_ms(500),
+            },
+            ms => match ms.parse::<u64>() {
+                Ok(ms) => SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(ms) },
+                Err(_) => {
+                    eprintln!("unknown --interval (use 100|500|var or milliseconds)");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    };
+
+    let mut clients: Vec<ClientSpec> = pat
+        .fidelities(n_video)
+        .into_iter()
+        .map(|fi| ClientSpec::new(ClientKind::Video { fidelity: fi }))
+        .collect();
+    for _ in 0..n_web {
+        clients.push(ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }));
+    }
+    if ftp > 0 {
+        clients.push(ClientSpec::new(ClientKind::Ftp { size: ftp }));
+    }
+
+    let mut cfg = ScenarioConfig::new(seed, policy, clients)
+        .with_duration(SimDuration::from_secs(secs));
+    if f.has("--live") {
+        cfg.radio = RadioMode::Live;
+    }
+    if f.has("--admission") {
+        cfg.admission = Some(powerburst::core::AdmissionConfig::default());
+    }
+
+    eprintln!(
+        "running {} clients for {secs}s (seed {seed}, {} radio)...",
+        cfg.clients.len(),
+        if cfg.radio == RadioMode::Live { "live" } else { "monitor" }
+    );
+
+    if let Some(path) = f.get("--trace-out") {
+        // Capture the raw trace alongside the report.
+        let mut a = powerburst::scenario::assemble(&cfg);
+        a.world.run_until(SimTime::ZERO + cfg.duration);
+        let trace = a.world.take_trace();
+        if let Err(e) = std::fs::write(path, to_jsonl(&trace)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace: {} frames -> {path}", trace.len());
+        // Re-run for the structured report (runs are deterministic).
+    }
+
+    let r = run_scenario(&cfg);
+    let mut t = Table::new(vec!["client", "saved %", "loss %", "sleep (s)", "delivered"]);
+    for c in &r.clients {
+        t.row(vec![
+            format!("{} ({})", c.host, c.label),
+            format!("{:.1}", c.saved_pct()),
+            format!("{:.2}", c.loss_pct()),
+            format!("{:.1}", c.post.sleep.as_secs_f64()),
+            c.post.delivered.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let s = r.saved_all();
+    println!(
+        "overall: saved {} | loss {:.2}% | utilization {:.2} | schedules {} | downshifts {}",
+        fmt_summary(&s),
+        r.loss_summary(|_| true).mean,
+        r.utilization,
+        r.proxy.schedules_sent,
+        r.downshifts,
+    );
+    if let Some(a) = r.admission {
+        println!(
+            "admission: {} admitted, {} rejected, {} packets refused",
+            a.admitted, a.rejected, a.packets_refused
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_calibrate(args: &[String]) -> ExitCode {
+    let f = Flags { args };
+    let seed: u64 = f.parse("--seed", 7);
+    let cal = calibrate(
+        &NetworkConfig::default(),
+        seed,
+        &powerburst::scenario::DEFAULT_SIZES,
+        20,
+    );
+    println!(
+        "fitted send-cost model: time_us = {:.1} + {:.4} * bytes (R² {:.4}, {} samples)",
+        cal.model.alpha_us, cal.model.beta_us, cal.r2, cal.samples
+    );
+    println!(
+        "effective bandwidth at 728 B frames: {:.2} Mb/s",
+        cal.model.effective_bps(728) / 1e6
+    );
+    ExitCode::SUCCESS
+}
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig4", "Figure 4: ten video clients, five patterns x three intervals"),
+    ("tcp-only", "§4.2: ten web clients"),
+    ("fig5", "Figure 5: seven video + three web clients"),
+    ("optimal", "§4.3: comparison to the theoretical optimal"),
+    ("fig6", "Figure 6: early-transition sweep"),
+    ("loss", "§4.3: packet loss survey"),
+    ("static", "§4.3: static vs dynamic schedules"),
+    ("fig7", "Figure 7: slotted TCP/UDP static schedules"),
+    ("drops", "§4.3: Netfilter/DummyNet drop impact"),
+    ("penalty", "§4.3: 100 ms vs 500 ms transition penalty"),
+    ("split", "A1: split connections vs pass-through"),
+    ("unchanged", "A2: §5 schedule-unchanged optimization"),
+    ("intervals", "A3: burst-interval sweep"),
+    ("comp", "A4: adaptive vs fixed-anchor delay compensation"),
+    ("psm", "A5: proxy schedule vs 802.11-PSM baseline"),
+    ("admission", "A6: §3.2.1 admission control under overload"),
+    ("bandwidth", "M1: bandwidth microbenchmark + linear fit"),
+];
+
+fn cmd_experiment(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("experiment name required; see `powerburst list`");
+        return ExitCode::FAILURE;
+    };
+    let f = Flags { args: &args[1..] };
+    let opt = exp::ExpOptions {
+        duration: SimDuration::from_secs(f.parse("--secs", 119)),
+        seed: f.parse("--seed", 7),
+        ..exp::ExpOptions::default()
+    };
+
+    let out = match name.as_str() {
+        "fig4" => exp::render_fig4(&exp::fig4_udp_video(&opt)),
+        "tcp-only" => exp::render_tcp_only(&exp::tab_tcp_only(&opt)),
+        "fig5" => exp::render_fig5(&exp::fig5_mixed(&opt)),
+        "optimal" => exp::render_optimal(&exp::tab_optimal(&opt)),
+        "fig6" => exp::render_fig6(&exp::fig6_early_transition(&opt)),
+        "loss" => exp::render_packet_loss(&exp::tab_packet_loss(&opt)),
+        "static" => exp::render_static_vs_dynamic(&exp::tab_static_vs_dynamic(&opt)),
+        "fig7" => exp::render_fig7(&exp::fig7_slotted_static(&opt)),
+        "drops" => exp::render_drop_impact(&exp::tab_drop_impact(&opt)),
+        "penalty" => exp::render_transition_penalty(&exp::tab_transition_penalty(&opt)),
+        "split" => exp::render_split(&exp::abl_split_connection(&opt)),
+        "unchanged" => exp::render_unchanged(&exp::abl_schedule_unchanged(&opt)),
+        "intervals" => exp::render_interval_sweep(&exp::abl_burst_interval(&opt)),
+        "comp" => exp::render_delay_compensation(&exp::abl_delay_compensation(&opt)),
+        "psm" => exp::render_psm(&exp::abl_psm_baseline(&opt)),
+        "admission" => exp::render_admission(&exp::abl_admission_control(&opt)),
+        "bandwidth" => exp::render_bandwidth_model(&exp::tab_bandwidth_model(&opt)),
+        "all" => exp::run_all(&opt),
+        other => {
+            eprintln!("unknown experiment `{other}`; see `powerburst list`");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{out}");
+    ExitCode::SUCCESS
+}

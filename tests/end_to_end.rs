@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: full scenarios through the whole stack
+//! (traffic → proxy → access point → medium → client daemon → postmortem
+//! analyzer), asserting the paper's qualitative claims.
+
+use powerburst::prelude::*;
+
+fn video_cfg(n: usize, fid: Fidelity, policy: SchedulePolicy, secs: u64) -> ScenarioConfig {
+    let clients = (0..n)
+        .map(|_| ClientSpec::new(ClientKind::Video { fidelity: fid }))
+        .collect();
+    ScenarioConfig::new(11, policy, clients).with_duration(SimDuration::from_secs(secs))
+}
+
+fn fixed(ms: u64) -> SchedulePolicy {
+    SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(ms) }
+}
+
+#[test]
+fn ten_clients_low_rate_save_most_energy() {
+    // §1: "when multiple clients viewing 56kbps UDP streams are connected
+    // to the proxy, they save over 75% energy compared to a naive client".
+    let r = run_scenario(&video_cfg(10, Fidelity::K56, fixed(500), 40));
+    let s = r.saved_all();
+    assert!(s.mean > 75.0, "56K@500ms mean saved {:.1}%", s.mean);
+    assert!(s.min > 65.0, "56K@500ms min saved {:.1}%", s.min);
+}
+
+#[test]
+fn loss_stays_below_the_papers_bound() {
+    // §4.3: "usually less than 2% with a few outliers".
+    for policy in [fixed(100), fixed(500)] {
+        let r = run_scenario(&video_cfg(10, Fidelity::K256, policy, 30));
+        let l = r.loss_summary(|_| true);
+        assert!(l.mean < 2.0, "loss {:.2}% under {policy:?}", l.mean);
+    }
+}
+
+#[test]
+fn five_hundred_ms_beats_one_hundred_ms() {
+    // §4.3: the 100 ms interval transitions the WNIC five times more often
+    // and pays the early-transition penalty each time.
+    let slow = run_scenario(&video_cfg(10, Fidelity::K56, fixed(500), 30));
+    let fast = run_scenario(&video_cfg(10, Fidelity::K56, fixed(100), 30));
+    assert!(
+        slow.saved_all().mean > fast.saved_all().mean,
+        "500ms {:.1}% <= 100ms {:.1}%",
+        slow.saved_all().mean,
+        fast.saved_all().mean
+    );
+}
+
+#[test]
+fn lower_fidelity_saves_more() {
+    // §4.2: "lower fidelity streams save more energy because they use less
+    // bandwidth".
+    let lo = run_scenario(&video_cfg(10, Fidelity::K56, fixed(100), 30));
+    let hi = run_scenario(&video_cfg(10, Fidelity::K256, fixed(100), 30));
+    assert!(
+        lo.saved_all().mean > hi.saved_all().mean,
+        "56K {:.1}% <= 256K {:.1}%",
+        lo.saved_all().mean,
+        hi.saved_all().mean
+    );
+}
+
+#[test]
+fn overload_triggers_realserver_adaptation() {
+    // §4.3: ten 512 kbps streams exceed the effective bandwidth and the
+    // server adapts streams down — the Figure 4 anomaly.
+    let r = run_scenario(&video_cfg(10, Fidelity::K512, fixed(100), 40));
+    assert!(r.downshifts > 0, "expected fidelity downshifts under overload");
+}
+
+#[test]
+fn measured_savings_within_fifteen_points_of_optimal() {
+    // §4.3: "generally, the median client energy savings is within 15% of
+    // optimal".
+    let secs = 40;
+    let r = run_scenario(&video_cfg(10, Fidelity::K56, fixed(500), secs));
+    let net = NetworkConfig::default();
+    let optimal = optimal_savings_for_rate(
+        &CardSpec::WAVELAN_DSSS,
+        Fidelity::K56.effective_bps(),
+        SimDuration::from_secs(secs),
+        net.airtime.effective_bps(728),
+    )
+    .saved
+        * 100.0;
+    let measured = r.saved_all().mean;
+    assert!(
+        optimal - measured < 15.0,
+        "measured {measured:.1}% vs optimal {optimal:.1}%"
+    );
+    assert!(measured <= optimal + 1.0, "measured can't beat optimal");
+}
+
+#[test]
+fn same_seed_reproduces_bit_identical_results() {
+    let a = run_scenario(&video_cfg(5, Fidelity::K128, fixed(100), 20));
+    let b = run_scenario(&video_cfg(5, Fidelity::K128, fixed(100), 20));
+    assert_eq!(a.trace_frames, b.trace_frames);
+    for (ca, cb) in a.clients.iter().zip(&b.clients) {
+        assert_eq!(ca.post.energy_mj.to_bits(), cb.post.energy_mj.to_bits());
+        assert_eq!(ca.post.delivered, cb.post.delivered);
+        assert_eq!(ca.post.missed, cb.post.missed);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut cfg_b = video_cfg(5, Fidelity::K128, fixed(100), 20);
+    cfg_b.seed = 12;
+    let a = run_scenario(&video_cfg(5, Fidelity::K128, fixed(100), 20));
+    let b = run_scenario(&cfg_b);
+    assert_ne!(
+        a.clients[0].post.energy_mj.to_bits(),
+        b.clients[0].post.energy_mj.to_bits()
+    );
+}
+
+#[test]
+fn ftp_download_completes_through_the_splice() {
+    let mut cfg = ScenarioConfig::new(
+        11,
+        fixed(100),
+        vec![ClientSpec::new(ClientKind::Ftp { size: 1_000_000 })],
+    )
+    .with_duration(SimDuration::from_secs(20));
+    cfg.radio = RadioMode::Live;
+    let r = run_scenario(&cfg);
+    let ftp = r.clients[0].app.ftp.expect("ftp metrics");
+    assert!(ftp.done, "live-mode ftp finished: {ftp:?}");
+    assert!(r.clients[0].live.expect("live").saved > 0.3);
+}
+
+#[test]
+fn web_browsing_fetches_pages_and_saves_energy() {
+    let clients = (0..3)
+        .map(|_| ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }))
+        .collect();
+    let cfg = ScenarioConfig::new(11, fixed(100), clients)
+        .with_duration(SimDuration::from_secs(40));
+    let r = run_scenario(&cfg);
+    let objects: usize = r
+        .clients
+        .iter()
+        .filter_map(|c| c.app.web.map(|w| w.objects_done))
+        .sum();
+    assert!(objects > 5, "objects fetched: {objects}");
+    assert!(r.saved_all().mean > 40.0, "web saved {:.1}%", r.saved_all().mean);
+}
+
+#[test]
+fn static_schedule_competitive_for_equal_fidelities() {
+    // §4.3: with identical streams a static schedule is "sufficient" and
+    // (with clients skipping schedule reception, which permanent slots
+    // allow) improves mean energy. The staggered stream starts leave a
+    // transient where late clients wake for empty slots, so variance is
+    // compared with slack over a longer window.
+    let dynamic = run_scenario(&video_cfg(10, Fidelity::K56, fixed(100), 60));
+    let mut static_cfg = video_cfg(
+        10,
+        Fidelity::K56,
+        SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+        60,
+    );
+    static_cfg.flag_unchanged = true;
+    for c in &mut static_cfg.clients {
+        c.skip_unchanged = true;
+    }
+    let static_ = run_scenario(&static_cfg);
+    assert!(
+        static_.saved_all().mean >= dynamic.saved_all().mean - 1.0,
+        "static mean {:.1}% vs dynamic mean {:.1}%",
+        static_.saved_all().mean,
+        dynamic.saved_all().mean
+    );
+    assert!(
+        static_.saved_all().std <= dynamic.saved_all().std + 1.5,
+        "static std {:.2} vs dynamic std {:.2}",
+        static_.saved_all().std,
+        dynamic.saved_all().std
+    );
+}
+
+#[test]
+fn variable_interval_stretches_under_load() {
+    // Variable intervals track demand: heavy streams stretch the interval
+    // toward the 500 ms cap, light ones sit at the 100 ms floor.
+    let var = SchedulePolicy::DynamicVariable {
+        min: SimDuration::from_ms(100),
+        max: SimDuration::from_ms(500),
+    };
+    let light = run_scenario(&video_cfg(10, Fidelity::K56, var, 30));
+    let heavy = run_scenario(&video_cfg(10, Fidelity::K512, var, 30));
+    // Schedules sent per second: light ≈ every 100 ms, heavy ≈ stretched.
+    let light_rate = light.proxy.schedules_sent as f64 / 30.0;
+    let heavy_rate = heavy.proxy.schedules_sent as f64 / 30.0;
+    assert!(
+        heavy_rate < light_rate,
+        "heavy {heavy_rate:.1}/s !< light {light_rate:.1}/s"
+    );
+}

@@ -1,0 +1,103 @@
+//! Transparency invariants: the proxy is invisible. No frame on the air
+//! (other than the schedule broadcast) ever carries the proxy's address —
+//! clients believe they talk to servers directly, and vice versa, even
+//! though every TCP connection is actually split at the proxy.
+
+use powerburst::net::{ports, Delivery, Proto};
+use powerburst::prelude::*;
+use powerburst::scenario::hosts;
+
+#[test]
+fn no_wireless_frame_reveals_the_proxy() {
+    let clients = vec![
+        ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K128 }),
+        ClientSpec::new(ClientKind::Ftp { size: 400_000 }),
+        ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }),
+    ];
+    let cfg = ScenarioConfig::new(
+        21,
+        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        clients,
+    )
+    .with_duration(SimDuration::from_secs(30));
+    let mut a = assemble(&cfg);
+    a.world.run_until(SimTime::ZERO + cfg.duration);
+    let trace = a.world.take_trace();
+    assert!(trace.len() > 500, "enough traffic to be meaningful");
+
+    let mut schedule_broadcasts = 0;
+    for r in &trace {
+        if r.src.host == hosts::PROXY {
+            // The only self-identified proxy traffic is the schedule.
+            assert_eq!(r.dst.port, ports::SCHEDULE, "proxy leaked: {r:?}");
+            assert_eq!(r.delivery, Delivery::Broadcast);
+            schedule_broadcasts += 1;
+            continue;
+        }
+        assert_ne!(r.dst.host, hosts::PROXY, "traffic addressed to proxy: {r:?}");
+    }
+    assert!(schedule_broadcasts > 100, "schedules flowed");
+}
+
+#[test]
+fn tcp_data_to_clients_is_spoofed_as_the_server() {
+    let cfg = ScenarioConfig::new(
+        22,
+        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        vec![ClientSpec::new(ClientKind::Ftp { size: 500_000 })],
+    )
+    .with_duration(SimDuration::from_secs(20));
+    let mut a = assemble(&cfg);
+    a.world.run_until(SimTime::ZERO + cfg.duration);
+    let trace = a.world.take_trace();
+
+    let mut downlink_tcp = 0;
+    for r in trace.iter().filter(|r| r.proto == Proto::Tcp) {
+        if r.dst.host == hosts::client(0) {
+            // Every TCP frame the client sees claims to be from the server.
+            assert_eq!(r.src.host, hosts::BYTE_SERVER, "unspoofed frame {r:?}");
+            downlink_tcp += 1;
+        } else if r.src.host == hosts::client(0) {
+            // And the client addresses the server, never the proxy.
+            assert_eq!(r.dst.host, hosts::BYTE_SERVER);
+        }
+    }
+    assert!(downlink_tcp > 100, "downlink TCP flowed: {downlink_tcp}");
+}
+
+#[test]
+fn every_nonempty_burst_ends_with_a_mark() {
+    // §3.2.1: the last packet of each burst carries the ToS mark, so the
+    // client knows when to sleep. Check mark density on the air: between
+    // consecutive schedule broadcasts, downlink data for a client either
+    // doesn't exist or ends with a marked frame.
+    let cfg = ScenarioConfig::new(
+        23,
+        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        vec![ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K256 })],
+    )
+    .with_duration(SimDuration::from_secs(30));
+    let mut a = assemble(&cfg);
+    a.world.run_until(SimTime::ZERO + cfg.duration);
+    let trace = a.world.take_trace();
+
+    let client = hosts::client(0);
+    let mut last_in_interval: Option<bool> = None; // mark state of last data frame
+    let mut intervals_with_data = 0;
+    let mut intervals_ending_marked = 0;
+    for r in &trace {
+        if r.delivery == Delivery::Broadcast && r.dst.port == ports::SCHEDULE {
+            if let Some(marked) = last_in_interval.take() {
+                intervals_with_data += 1;
+                if marked {
+                    intervals_ending_marked += 1;
+                }
+            }
+        } else if r.dst.host == client {
+            last_in_interval = Some(r.tos_mark);
+        }
+    }
+    assert!(intervals_with_data > 100);
+    let frac = intervals_ending_marked as f64 / intervals_with_data as f64;
+    assert!(frac > 0.95, "only {frac:.2} of bursts ended with a mark");
+}
