@@ -6,7 +6,7 @@
 //! The bench harnesses in `powerburst-bench` are thin wrappers over these;
 //! the integration tests call them with shortened durations.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use powerburst_core::{ProxyMode, SchedulePolicy};
 use powerburst_energy::{optimal_savings_for_rate, CardSpec};
@@ -1318,7 +1318,7 @@ pub fn render_bandwidth_model(cal: &Calibration) -> String {
 pub fn run_all(opt: &ExpOptions) -> String {
     let out = Mutex::new(String::new());
     let push = |s: String| {
-        let mut g = out.lock();
+        let mut g = out.lock().expect("experiment output poisoned");
         g.push_str(&s);
         g.push('\n');
     };
@@ -1339,5 +1339,5 @@ pub fn run_all(opt: &ExpOptions) -> String {
     push(render_psm(&abl_psm_baseline(opt)));
     push(render_admission(&abl_admission_control(opt)));
     push(render_bandwidth_model(&tab_bandwidth_model(opt)));
-    out.into_inner()
+    out.into_inner().expect("experiment output poisoned")
 }

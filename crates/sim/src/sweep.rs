@@ -3,11 +3,12 @@
 //! Each simulation run is deterministic and single-threaded (a discrete-
 //! event simulation must process events in global time order), so the
 //! parallelism in this workspace is **across runs**: the experiment
-//! harnesses fan configurations out over a scoped thread pool fed by a
-//! crossbeam channel, rayon-style. Results come back in input order
+//! harnesses fan configurations out over scoped worker threads that pull
+//! jobs from a shared atomic cursor. Results come back in input order
 //! regardless of completion order, so tables are reproducible.
 
-use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `f` over every config, using up to `threads` worker threads.
 /// Results are returned in the same order as `configs`.
@@ -29,37 +30,31 @@ where
         return configs.iter().map(&f).collect();
     }
 
-    let (job_tx, job_rx) = channel::unbounded::<(usize, &C)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-
+    let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
+    let out = Mutex::new(out);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
+            let cursor = &cursor;
+            let out = &out;
             let f = &f;
-            scope.spawn(move || {
-                while let Ok((idx, cfg)) = job_rx.recv() {
-                    let r = f(cfg);
-                    if res_tx.send((idx, r)).is_err() {
-                        break;
-                    }
+            let configs = &configs;
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
                 }
+                let r = f(&configs[idx]);
+                out.lock().expect("sweep results poisoned")[idx] = Some(r);
             });
-        }
-        drop(res_tx);
-        for (idx, cfg) in configs.iter().enumerate() {
-            job_tx.send((idx, cfg)).expect("workers alive");
-        }
-        drop(job_tx);
-        while let Ok((idx, r)) = res_rx.recv() {
-            out[idx] = Some(r);
         }
     });
 
-    out.into_iter()
+    out.into_inner()
+        .expect("sweep results poisoned")
+        .into_iter()
         .map(|r| r.expect("every job produced a result"))
         .collect()
 }

@@ -116,7 +116,7 @@ enum PEv {
     WakeSlot { gen: u64, idx: usize },
     WakeSrp { gen: u64 },
     MissDeadline { gen: u64 },
-    SlotEnd { gen: u64 },
+    SlotEnd { gen: u64, extended: bool },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -134,7 +134,20 @@ struct Replay {
     slots: Vec<MySlot>,
     planned_wakes: Vec<SimTime>,
     pending: Option<(Schedule, SimTime)>,
+    /// Predicted arrival of the next schedule we expect to hear, plus the
+    /// interval used to extrapolate it. Tracks the lower envelope of
+    /// schedule arrivals so one AP-delay spike on a schedule packet does
+    /// not shift a whole interval of wake-up predictions late.
+    srp_pred: Option<(SimTime, SimDuration)>,
     in_burst: bool,
+    /// A burst's unmarked frames have been seen but its mark has not:
+    /// lets a fixed slot's end linger for the tail instead of sleeping
+    /// mid-burst. Cleared by the mark, a new schedule, or giving up after
+    /// one bounded extension.
+    burst_open: bool,
+    /// Consecutive schedules heard with the `unchanged` flag set; drives
+    /// the §5 skip escalation.
+    unchanged_streak: u32,
     woke_for: Option<(WokeFor, SimTime)>,
     miss_since: Option<SimTime>,
     synced: bool,
@@ -163,7 +176,10 @@ impl Replay {
             slots: Vec::new(),
             planned_wakes: Vec::new(),
             pending: None,
+            srp_pred: None,
             in_burst: false,
+            burst_open: false,
+            unchanged_streak: 0,
             woke_for: None,
             miss_since: None,
             synced: false,
@@ -220,6 +236,40 @@ impl Replay {
         if let Some(since) = self.miss_since.take() {
             self.missed_sched_wait += t.since(since);
         }
+        // AP forwarding delay is a slow random walk plus occasional large
+        // exponential spikes. The walk is worth tracking — the burst's
+        // frames ride the same walk — but a spike on the one schedule
+        // packet every wake-up is extrapolated from shifts a whole
+        // interval of slot predictions late (two intervals under §5
+        // skipping), and the burst's first frames then land during the
+        // wake transition. So: trust the raw arrival when it lands near
+        // the arrival predicted from the previous schedule, substitute
+        // the prediction when the arrival is a clear outlier, and
+        // re-phase to the raw arrival on a gross disagreement (the proxy
+        // moved its SRP).
+        const SPIKE_GUARD: SimDuration = SimDuration::from_ms(2);
+        const RESYNC: SimDuration = SimDuration::from_ms(20);
+        let anchor = match self.srp_pred {
+            Some((mut exp, per)) if per > SimDuration::ZERO => {
+                // Stride over schedules we slept through or failed to hear.
+                while arrival >= exp + per {
+                    exp = exp + per;
+                }
+                if arrival > exp
+                    && arrival.since(exp) > RESYNC
+                    && (exp + per).since(arrival) <= RESYNC
+                {
+                    exp = exp + per;
+                }
+                let late = arrival > exp;
+                if late && arrival.since(exp) > SPIKE_GUARD && arrival.since(exp) <= RESYNC {
+                    exp
+                } else {
+                    arrival
+                }
+            }
+            _ => arrival,
+        };
         // A deferred schedule whose own interval has already elapsed is
         // useless: its rendezvous points are in the past and the following
         // schedule is imminent. Stay awake and wait for a fresh one.
@@ -228,10 +278,24 @@ impl Replay {
             self.slots.clear();
             self.planned_wakes.clear();
             self.miss_since = Some(t);
+            self.srp_pred = Some((anchor + sched.next_srp, sched.next_srp));
             return;
+        }
+        if std::env::var("PB_DEBUG_MISS").is_ok() {
+            eprintln!(
+                "[apply {}] t={t} arrival={arrival} anchor={anchor} next_srp={} unchanged={} mine={:?}",
+                self.client.0,
+                sched.next_srp,
+                sched.unchanged,
+                sched
+                    .slots_for(self.client)
+                    .map(|e| (e.rp_offset, e.duration))
+                    .collect::<Vec<_>>()
+            );
         }
         self.synced = true;
         self.gen += 1;
+        self.burst_open = false;
         let gen = self.gen;
         self.slots.clear();
         self.planned_wakes.clear();
@@ -239,9 +303,32 @@ impl Replay {
         let mine: Vec<_> = sched.slots_for(self.client).cloned().collect();
         for e in &mine {
             // A schedule applied late (deferred past its own burst) must
-            // not arm wake-ups for slots that already completed — the mark
-            // that released it *was* that burst's end.
-            if arrival + e.rp_offset + e.duration <= t {
+            // not arm wake-ups for slots that already started — the mark
+            // that released it *was* that burst's end, which can land
+            // before the slot's nominal end. Re-arming such a slot raises
+            // a phantom burst expectation that keeps the client awake for
+            // the whole following interval (and, because the next schedule
+            // then also arrives "during a burst" and is deferred, locks
+            // the replay into a never-sleeping cycle).
+            // (Judged against the raw arrival, not the smoothed anchor:
+            // the burst rides the same forwarding-delay walk the schedule
+            // did, so the raw arrival is the better "has it started yet"
+            // reference; the floor would declare slots elapsed early.)
+            if arrival + e.rp_offset < t {
+                // A *fixed* slot, though, ends on its own clock rather
+                // than on a mark, so re-arming it cannot raise a phantom
+                // expectation. If part of it still lies ahead the burst
+                // may simply be running late behind AP delay: stay up for
+                // the remainder instead of sleeping through frames that
+                // are still in flight.
+                let end = arrival + e.rp_offset + e.duration;
+                let fixed = e.client.is_broadcast() || sched.fixed_slots;
+                if fixed && t < end {
+                    let idx = self.slots.len();
+                    self.slots.push(MySlot { duration: end.since(t), sleep_at_end: true });
+                    self.heap.push(t, PEv::WakeSlot { gen, idx });
+                    self.planned_wakes.push(t);
+                }
                 continue;
             }
             let idx = self.slots.len();
@@ -249,33 +336,53 @@ impl Replay {
                 duration: e.duration,
                 sleep_at_end: e.client.is_broadcast() || sched.fixed_slots,
             });
-            let wake_at = (arrival + e.rp_offset.saturating_sub(lead)).max(t);
+            let wake_at = (anchor + e.rp_offset.saturating_sub(lead)).max(t);
             self.heap.push(wake_at, PEv::WakeSlot { gen, idx });
             self.planned_wakes.push(wake_at);
         }
-        // §5 optimization: an unchanged schedule is reused for the next
-        // interval and its SRP wake is skipped entirely.
-        if sched.unchanged && self.p.skip_unchanged && !mine.is_empty() {
-            self.skipped_srp_wakes += 1;
+        // §5 optimization: an unchanged schedule is reused for the
+        // following interval(s) and their SRP wakes are skipped entirely.
+        // Permanent slots allow more than one skip: each consecutive
+        // unchanged schedule doubles the reuse span, capped so a schedule
+        // change is never heard more than `MAX_REUSE` intervals late.
+        // The extrapolation stays exact because the proxy's SRP phase is
+        // fixed — only per-packet AP jitter varies, which the early-
+        // transition amount absorbs.
+        const MAX_REUSE: u32 = 8;
+        if sched.unchanged {
+            self.unchanged_streak = self.unchanged_streak.saturating_add(1);
+        } else {
+            self.unchanged_streak = 0;
+        }
+        let reuse = if sched.unchanged && self.p.skip_unchanged && !mine.is_empty() {
+            (1u32 << self.unchanged_streak.min(3)).min(MAX_REUSE)
+        } else {
+            1
+        };
+        self.skipped_srp_wakes += u64::from(reuse - 1);
+        for j in 1..reuse {
             for e in &mine {
                 let idx = self.slots.len();
                 self.slots.push(MySlot {
                     duration: e.duration,
                     sleep_at_end: e.client.is_broadcast() || sched.fixed_slots,
                 });
-                let wake_at =
-                    (arrival + sched.next_srp + e.rp_offset.saturating_sub(lead)).max(t);
+                let wake_at = (anchor + sched.next_srp * u64::from(j)
+                    + e.rp_offset.saturating_sub(lead))
+                .max(t);
                 self.heap.push(wake_at, PEv::WakeSlot { gen, idx });
                 self.planned_wakes.push(wake_at);
             }
-            let srp_at = ((arrival + sched.next_srp * 2) - lead).max(t);
-            self.heap.push(srp_at, PEv::WakeSrp { gen });
-            self.planned_wakes.push(srp_at);
-        } else {
-            let srp_at = (arrival + sched.next_srp.saturating_sub(lead)).max(t);
-            self.heap.push(srp_at, PEv::WakeSrp { gen });
-            self.planned_wakes.push(srp_at);
         }
+        let srp_nominal = anchor + sched.next_srp * u64::from(reuse);
+        let srp_at = if reuse > 1 {
+            (srp_nominal - lead).max(t)
+        } else {
+            (anchor + sched.next_srp.saturating_sub(lead)).max(t)
+        };
+        self.heap.push(srp_at, PEv::WakeSrp { gen });
+        self.planned_wakes.push(srp_at);
+        self.srp_pred = Some((srp_nominal, sched.next_srp));
         self.sleep_if_idle(t);
     }
 
@@ -287,13 +394,16 @@ impl Replay {
                 }
                 self.wnic.wake(t);
                 let Some(slot) = self.slots.get(idx).copied() else { return };
+                if std::env::var("PB_DEBUG_MISS").is_ok() {
+                    eprintln!("[wakeslot {}] t={t} idx={idx} dur={}", self.client.0, slot.duration);
+                }
                 self.woke_for = Some((WokeFor::Burst, t + self.p.wake_transition));
                 if slot.sleep_at_end {
                     // Fixed slots end on their own clock: linger briefly
                     // for late frames, then sleep without needing a mark.
                     self.heap.push(
                         t + self.lead() + slot.duration + SimDuration::from_ms(2),
-                        PEv::SlotEnd { gen },
+                        PEv::SlotEnd { gen, extended: false },
                     );
                 } else {
                     self.in_burst = true;
@@ -318,13 +428,35 @@ impl Replay {
                     self.miss_since = Some(t);
                 }
             }
-            PEv::SlotEnd { gen } => {
+            PEv::SlotEnd { gen, extended } => {
                 if gen != self.gen {
                     return;
+                }
+                if std::env::var("PB_DEBUG_MISS").is_ok() {
+                    eprintln!(
+                        "[slotend {}] t={t} ext={extended} woke={:?}",
+                        self.client.0, self.woke_for
+                    );
                 }
                 // Only the burst expectation ends with the slot; an SRP
                 // expectation (the SRP wake may already have fired) must
                 // survive or the client would sleep through the schedule.
+                if self.burst_open {
+                    // The burst's frames arrived but its mark hasn't: the
+                    // tail is straggling behind AP forwarding delay.
+                    // Linger up to `miss_slack` — the same patience
+                    // granted a late schedule — before giving it up.
+                    // Bounded to one extension so a lost mark costs at
+                    // most `miss_slack` of extra awake time. (An *empty*
+                    // slot gets no such grace: first frames can't outrun
+                    // the normal close, so waiting longer buys nothing.)
+                    if !extended && self.pending.is_none() {
+                        self.heap
+                            .push(t + self.p.miss_slack, PEv::SlotEnd { gen, extended: true });
+                        return;
+                    }
+                    self.burst_open = false;
+                }
                 if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Burst) {
                     self.woke_for = None;
                 }
@@ -393,14 +525,26 @@ impl Replay {
                 }
                 if rec.tos_mark {
                     self.in_burst = false;
+                    self.burst_open = false;
                     if let Some((sched, arrival)) = self.pending.take() {
                         self.apply_schedule(sched, arrival, t);
                     } else {
                         self.sleep_if_idle(t);
                     }
+                } else {
+                    // An unmarked frame means a burst is mid-flight; let a
+                    // fixed slot's end linger for the mark instead of
+                    // cutting a straggling tail frame off.
+                    self.burst_open = true;
                 }
             } else {
                 self.missed += 1;
+                if std::env::var("PB_DEBUG_MISS").is_ok() {
+                    eprintln!(
+                        "[miss {}] t={t} mark={} wakes={:?} in_burst={} woke={:?}",
+                        self.client.0, rec.tos_mark, self.planned_wakes, self.in_burst, self.woke_for
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,300 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this workspace carries a minimal, API-compatible reimplementation of the
+//! pieces it actually uses: cheaply cloneable immutable [`Bytes`] views
+//! backed by a shared allocation, a growable [`BytesMut`] builder, and the
+//! big-endian `put_*` writers of the [`BufMut`] trait.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+///
+/// Internally an `Arc<[u8]>` plus a sub-range, so `clone`, `slice`,
+/// `split_off`, and `split_to` are O(1) and never copy payload bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A `Bytes` referencing a static slice (copied once; the real crate's
+    /// zero-copy optimization is irrelevant at this scale).
+    pub fn from_static(b: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(b)
+    }
+
+    /// Copy `b` into a fresh allocation.
+    pub fn copy_from_slice(b: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(b), start: 0, end: b.len() }
+    }
+
+    /// Length of the view, bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of `self` over `range` (O(1), shares the allocation).
+    ///
+    /// # Panics
+    /// If the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds: {begin}..{end} of {len}");
+        Bytes { data: self.data.clone(), start: self.start + begin, end: self.start + end }
+    }
+
+    /// Split off the tail at `at`: `self` keeps `[0, at)`, the returned
+    /// `Bytes` holds `[at, len)`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes { data: self.data.clone(), start: self.start + at, end: self.end };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Split off the head at `at`: returns `[0, at)`, `self` keeps
+    /// `[at, len)`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes { data: self.data.clone(), start: self.start, end: self.start + at };
+        self.start += at;
+        head
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Arc::from(v), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(b)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer; `freeze` converts it into an immutable
+/// [`Bytes`] without copying.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Current length, bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Resize to `new_len`, filling any growth with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Big-endian append-style writers (the subset of `bytes::BufMut` used
+/// here).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_without_copying() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn split_off_keeps_head() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let tail = b.split_off(1);
+        assert_eq!(&b[..], &[1]);
+        assert_eq!(&tail[..], &[2, 3, 4]);
+    }
+
+    #[test]
+    fn split_to_keeps_tail() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.split_to(3);
+        assert_eq!(&head[..], &[1, 2, 3]);
+        assert_eq!(&b[..], &[4]);
+    }
+
+    #[test]
+    fn bytes_mut_round_trip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(0xAB);
+        m.put_u16(0x0102);
+        m.put_u32(0x03040506);
+        m.put_u64(0x0708090A0B0C0D0E);
+        let b = m.freeze();
+        assert_eq!(b.len(), 15);
+        assert_eq!(b[0], 0xAB);
+        assert_eq!(&b[1..3], &[1, 2]);
+        assert_eq!(b[14], 0x0E);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![9, 9]);
+        let b = Bytes::copy_from_slice(&[9, 9]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline vendored subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this is a minimal,
+//! source-compatible stand-in for the criterion API the workspace's
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It performs a short warm-up, then times a capped number of iterations
+//! and prints `name: mean ns/iter (n iters)`. No statistics, plots, or
+//! baseline comparisons — just enough to keep `cargo bench` meaningful and
+//! the bench targets compiling.
+
+use std::time::{Duration, Instant};
+
+/// How much per-batch setup costs relative to the routine (accepted for
+/// API compatibility; batching behaviour does not depend on it here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup is cheap relative to the routine.
+    SmallInput,
+    /// Large inputs: setup dominates; batches are kept small.
+    LargeInput,
+    /// Each batch is exactly one routine call.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+    /// Hard cap on timed iterations.
+    max_iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration, max_iters: u64) -> Bencher {
+        Bencher { budget, max_iters }
+    }
+
+    fn report(&self, total: Duration, iters: u64) {
+        let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!("    {mean_ns:>12.1} ns/iter ({iters} iters)");
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while iters < self.max_iters && total < self.budget {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            total += t.elapsed();
+            iters += 1;
+            let _ = start;
+        }
+        self.report(total, iters);
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while iters < self.max_iters && total < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.report(total, iters);
+    }
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    budget: Duration,
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(300), max_iters: 1_000 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench {name}");
+        let mut b = Bencher::new(self.budget, self.max_iters);
+        f(&mut b);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench {}/{name}", self.name);
+        let iters = self.sample_size.unwrap_or(self.parent.max_iters);
+        let mut b = Bencher::new(self.parent.budget, iters);
+        f(&mut b);
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` to run the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut hits = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn group_with_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}
