@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use powerburst_core::{build_schedule, BuilderConfig, ClientDemand, MarkCoordinator, SchedulePolicy};
+use powerburst_core::{
+    build_schedule, BuilderConfig, ClientDemand, MarkCoordinator, SchedulePolicy,
+};
 use powerburst_energy::{CardSpec, Wnic};
 use powerburst_net::HostAddr;
 use powerburst_sim::{EventQueue, SimDuration, SimTime};
@@ -30,8 +32,7 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter_batched(
             EventQueue::new,
             |mut q| {
-                let ids: Vec<_> =
-                    (0..1_000u64).map(|i| q.push(SimTime::from_us(i), i)).collect();
+                let ids: Vec<_> = (0..1_000u64).map(|i| q.push(SimTime::from_us(i), i)).collect();
                 for id in ids.iter().step_by(2) {
                     q.cancel(*id);
                 }

@@ -3,7 +3,7 @@
 //! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
 
 use powerburst_bench::{bench_options, header};
-use powerburst_scenario::experiments::{tab_drop_impact, render_drop_impact};
+use powerburst_scenario::experiments::{render_drop_impact, tab_drop_impact};
 
 fn main() {
     let opt = bench_options();

@@ -3,7 +3,7 @@
 //! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
 
 use powerburst_bench::{bench_options, header};
-use powerburst_scenario::experiments::{tab_optimal, render_optimal};
+use powerburst_scenario::experiments::{render_optimal, tab_optimal};
 
 fn main() {
     let opt = bench_options();

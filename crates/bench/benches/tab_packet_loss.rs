@@ -3,7 +3,7 @@
 //! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
 
 use powerburst_bench::{bench_options, header};
-use powerburst_scenario::experiments::{tab_packet_loss, render_packet_loss};
+use powerburst_scenario::experiments::{render_packet_loss, tab_packet_loss};
 
 fn main() {
     let opt = bench_options();

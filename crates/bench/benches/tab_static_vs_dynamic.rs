@@ -3,7 +3,7 @@
 //! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
 
 use powerburst_bench::{bench_options, header};
-use powerburst_scenario::experiments::{tab_static_vs_dynamic, render_static_vs_dynamic};
+use powerburst_scenario::experiments::{render_static_vs_dynamic, tab_static_vs_dynamic};
 
 fn main() {
     let opt = bench_options();

@@ -3,7 +3,7 @@
 //! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
 
 use powerburst_bench::{bench_options, header};
-use powerburst_scenario::experiments::{tab_tcp_only, render_tcp_only};
+use powerburst_scenario::experiments::{render_tcp_only, tab_tcp_only};
 
 fn main() {
     let opt = bench_options();

@@ -3,7 +3,7 @@
 //! paper mapping. Scale with `PB_BENCH_SECS` / `PB_SEED`.
 
 use powerburst_bench::{bench_options, header};
-use powerburst_scenario::experiments::{tab_transition_penalty, render_transition_penalty};
+use powerburst_scenario::experiments::{render_transition_penalty, tab_transition_penalty};
 
 fn main() {
     let opt = bench_options();

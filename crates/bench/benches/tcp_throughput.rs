@@ -49,8 +49,8 @@ fn bench_tcp_loopback(c: &mut Criterion) {
                 SockAddr::new(HostAddr(1), 1),
                 cfg,
             );
-            let mut lo = Loopback::new(a, srv, SimDuration::from_ms(2))
-                .with_loss(|idx, _| idx % 20 == 13);
+            let mut lo =
+                Loopback::new(a, srv, SimDuration::from_ms(2)).with_loss(|idx, _| idx % 20 == 13);
             lo.a.connect(SimTime::ZERO);
             lo.run(100);
             let now = lo.now();
@@ -67,9 +67,7 @@ fn bench_scenario_rate(c: &mut Criterion) {
     g.bench_function("ten_56k_clients_10s", |b| {
         b.iter(|| {
             let clients = (0..10)
-                .map(|_| {
-                    ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })
-                })
+                .map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 }))
                 .collect();
             let cfg = ScenarioConfig::new(
                 3,

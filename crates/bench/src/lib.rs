@@ -29,10 +29,5 @@ pub fn bench_options() -> ExpOptions {
 
 /// Print a harness header with the options in force.
 pub fn header(name: &str, opt: &ExpOptions) {
-    println!(
-        "\n[{name}] seed={} duration={} threads={}\n",
-        opt.seed,
-        opt.duration,
-        opt.threads
-    );
+    println!("\n[{name}] seed={} duration={} threads={}\n", opt.seed, opt.duration, opt.threads);
 }

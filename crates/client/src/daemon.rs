@@ -220,7 +220,12 @@ impl PowerClient {
             let mine: Vec<_> = sched.slots_for(self.cfg.me).collect();
             eprintln!(
                 "[{}] sched seq={} at {} in_burst={} mine={:?} next_srp={}",
-                self.cfg.me, sched.seq, ctx.now(), self.in_burst, mine, sched.next_srp
+                self.cfg.me,
+                sched.seq,
+                ctx.now(),
+                self.in_burst,
+                mine,
+                sched.next_srp
             );
         }
 
@@ -302,11 +307,8 @@ impl PowerClient {
         self.slots.clear();
 
         let lead = self.lead();
-        let mine: Vec<_> = sched
-            .slots_for(self.cfg.me)
-            .take(MAX_SLOTS as usize / 2)
-            .cloned()
-            .collect();
+        let mine: Vec<_> =
+            sched.slots_for(self.cfg.me).take(MAX_SLOTS as usize / 2).cloned().collect();
         for e in mine.iter() {
             // A schedule applied late (deferred past its own burst) must
             // not arm wake-ups for slots that already completed — the mark
@@ -401,13 +403,12 @@ impl Node for PowerClient {
                 self.woke_for = Some((WokeFor::Srp, now + self.cfg.wake_transition));
                 ctx.set_timer(self.lead() + self.cfg.miss_slack, T_MISS);
             }
-            T_MISS
-                if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Srp) => {
-                    // No schedule: stay awake until one arrives (§4.3).
-                    self.stats.schedules_missed += 1;
-                    self.woke_for = None;
-                    self.miss_since = Some(now);
-                }
+            T_MISS if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Srp) => {
+                // No schedule: stay awake until one arrives (§4.3).
+                self.stats.schedules_missed += 1;
+                self.woke_for = None;
+                self.miss_since = Some(now);
+            }
             t if (T_WAKE_SLOT..T_WAKE_SLOT + MAX_SLOTS).contains(&t) => {
                 let k = (t - T_WAKE_SLOT) as usize;
                 if std::env::var("PB_DEBUG_CLIENT").is_ok() {

@@ -8,8 +8,8 @@ use powerburst_client::{ClientConfig, PowerClient};
 use powerburst_core::{Schedule, ScheduleEntry};
 use powerburst_energy::CardSpec;
 use powerburst_net::{
-    ports, AccessPoint, ApDelayParams, AirtimeModel, Ctx, Endpoint, HostAddr, IfaceId,
-    LinkSpec, Node, NodeConfig, Packet, SockAddr, TimerToken, World, AP_RADIO, AP_WIRED,
+    ports, AccessPoint, AirtimeModel, ApDelayParams, Ctx, Endpoint, HostAddr, IfaceId, LinkSpec,
+    Node, NodeConfig, Packet, SockAddr, TimerToken, World, AP_RADIO, AP_WIRED,
 };
 use powerburst_sim::{ClockModel, SimDuration, SimTime};
 use powerburst_traffic::{App, CountingSink};
@@ -124,10 +124,7 @@ fn build_world(proxy: ScriptedProxy, client_cfg: ClientConfig) -> (World, powerb
         NodeConfig::infrastructure(),
     );
     let c = world.add_node(
-        Box::new(PowerClient::new(
-            client_cfg,
-            Box::new(CountingSink::new()) as Box<dyn App>,
-        )),
+        Box::new(PowerClient::new(client_cfg, Box::new(CountingSink::new()) as Box<dyn App>)),
         NodeConfig {
             host: Some(CLIENT),
             clock: ClockModel::perfect(),

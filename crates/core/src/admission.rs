@@ -144,8 +144,7 @@ impl AdmissionControl {
             return false;
         }
         // New flow: admit iff committed load + its reservation fits.
-        let admitted =
-            self.committed_load(now) + self.reservation() <= self.cfg.capacity_fraction;
+        let admitted = self.committed_load(now) + self.reservation() <= self.cfg.capacity_fraction;
         if admitted {
             self.stats.admitted += 1;
         } else {
@@ -175,10 +174,7 @@ mod tests {
     use powerburst_net::HostAddr;
 
     fn key(c: u32, s: u16) -> FlowKey {
-        (
-            SockAddr::new(HostAddr(100 + c), 554),
-            SockAddr::new(HostAddr(1), s),
-        )
+        (SockAddr::new(HostAddr(100 + c), 554), SockAddr::new(HostAddr(1), s))
     }
 
     fn ac(capacity: f64) -> AdmissionControl {
@@ -206,10 +202,7 @@ mod tests {
                 admitted += 1;
             }
         }
-        assert!(
-            (5..9).contains(&admitted),
-            "admitted {admitted} of 10 oversubscribed flows"
-        );
+        assert!((5..9).contains(&admitted), "admitted {admitted} of 10 oversubscribed flows");
         assert_eq!(a.stats.admitted as u32, admitted);
         assert_eq!(a.stats.rejected as u32, 10 - admitted);
     }

@@ -63,10 +63,8 @@ impl BandwidthModel {
     /// samples. Returns the model and the fit's R², or `None` when the
     /// samples are degenerate.
     pub fn fit(samples: &[(usize, SimDuration)]) -> Option<(BandwidthModel, f64)> {
-        let pts: Vec<(f64, f64)> = samples
-            .iter()
-            .map(|&(b, t)| (b as f64, t.as_us() as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            samples.iter().map(|&(b, t)| (b as f64, t.as_us() as f64)).collect();
         let f = LinearFit::fit(&pts)?;
         Some((BandwidthModel { alpha_us: f.alpha, beta_us: f.beta }, f.r2))
     }

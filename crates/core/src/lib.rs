@@ -14,12 +14,16 @@
 //! * [`marking`] — the three-counter end-of-burst marking protocol
 //!   (§3.2.2) with its `forwarded ≤ sent` invariant;
 //! * [`queues`] — byte-capped per-client packet queues;
-//! * [`admission`] — the §3.2.1 future-work admission controller.
+//! * [`admission`] — the §3.2.1 future-work admission controller;
+//! * [`invariants`] — runtime checks of the scheduler's contract (slot
+//!   budgets, end-of-burst marks, schedule completeness, energy
+//!   conservation), collected into the run report.
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod bandwidth;
+pub mod invariants;
 pub mod marking;
 pub mod proxy;
 pub mod queues;
@@ -27,6 +31,9 @@ pub mod schedule;
 
 pub use admission::{AdmissionConfig, AdmissionControl, AdmissionStats};
 pub use bandwidth::BandwidthModel;
+pub use invariants::{
+    check_energy_conservation, InvariantKind, InvariantLog, ScheduleAuditor, Violation,
+};
 pub use marking::MarkCoordinator;
 pub use proxy::{Proxy, ProxyConfig, ProxyMode, ProxyStats, PROXY_AP, PROXY_LAN};
 pub use queues::PacketQueue;

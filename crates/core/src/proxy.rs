@@ -41,11 +41,10 @@ use powerburst_transport::{TcpConfig, TcpEndpoint, TcpEvent};
 
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionStats};
 use crate::bandwidth::BandwidthModel;
+use crate::invariants::{InvariantLog, ScheduleAuditor};
 use crate::marking::MarkCoordinator;
 use crate::queues::PacketQueue;
-use crate::schedule::{
-    build_schedule, BuilderConfig, ClientDemand, Schedule, SchedulePolicy,
-};
+use crate::schedule::{build_schedule, BuilderConfig, ClientDemand, Schedule, SchedulePolicy};
 
 /// Proxy interface toward the servers (the Fast Ethernet side).
 pub const PROXY_LAN: IfaceId = IfaceId(0);
@@ -184,6 +183,8 @@ pub struct Proxy {
     seq: u64,
     /// Statistics.
     pub stats: ProxyStats,
+    /// Runtime contract checks (slot budgets, marks, completeness).
+    audit: ScheduleAuditor,
 }
 
 impl Proxy {
@@ -199,15 +200,8 @@ impl Proxy {
                 burst_until: SimTime::ZERO,
             })
             .collect();
-        let client_index = cfg
-            .clients
-            .iter()
-            .enumerate()
-            .map(|(i, &h)| (h, i))
-            .collect();
-        let admission = cfg
-            .admission
-            .map(|a| AdmissionControl::new(a, &cfg.bw, 728));
+        let client_index = cfg.clients.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let admission = cfg.admission.map(|a| AdmissionControl::new(a, &cfg.bw, 728));
         Proxy {
             cfg,
             clients,
@@ -220,7 +214,27 @@ impl Proxy {
             prev_schedule: None,
             seq: 0,
             stats: ProxyStats::default(),
+            audit: ScheduleAuditor::new(),
         }
+    }
+
+    /// Invariant violations recorded so far.
+    pub fn invariant_log(&self) -> &InvariantLog {
+        &self.audit.log
+    }
+
+    /// Take the invariant log (for folding into a run report).
+    pub fn take_invariants(&mut self) -> InvariantLog {
+        std::mem::take(&mut self.audit.log)
+    }
+
+    /// Grace airtime allowed past a slot budget before flagging an
+    /// overrun: the burst paths deliberately overshoot by up to one
+    /// segment (guarantee-progress minimum; held-frame drain stops only
+    /// once the byte budget is exhausted), so allow two full segments per
+    /// client sharing the window.
+    fn burst_grace(&self, sharers: usize) -> SimDuration {
+        self.cfg.bw.send_time(self.cfg.tcp.mss + 40).times(2 * sharers.max(1) as u64)
     }
 
     /// Total packets dropped at client queues.
@@ -258,11 +272,8 @@ impl Proxy {
                             + s.held.iter().map(|p| p.wire_size() as u64).sum::<u64>()
                     })
                     .sum();
-                let avg_pkt = if !c.queue.is_empty() {
-                    c.queue.bytes() / c.queue.len()
-                } else {
-                    1_000
-                };
+                let avg_pkt =
+                    if !c.queue.is_empty() { c.queue.bytes() / c.queue.len() } else { 1_000 };
                 ClientDemand {
                     client: c.host,
                     udp_bytes: c.queue.bytes() as u64,
@@ -308,6 +319,7 @@ impl Proxy {
                 }
             }
         }
+        self.audit.on_schedule(ctx.now(), &sched, &demands);
 
         // Broadcast the schedule.
         let payload = sched.encode();
@@ -345,16 +357,21 @@ impl Proxy {
             } else {
                 entry.duration / self.clients.len() as u64
             };
+            let grace = self.burst_grace(self.clients.len());
+            self.audit.begin_burst(ctx.now(), entry.client, entry.duration, grace, false);
             for ci in 0..self.clients.len() {
                 self.clients[ci].burst_until = ctx.now() + entry.duration;
                 self.bursting = Some(ci);
                 self.burst_tcp(ctx, ci, per_client, false);
                 self.bursting = None;
             }
+            self.audit.end_burst(ctx.now());
             return;
         }
         let Some(&ci) = self.client_index.get(&entry.client) else { return };
         self.clients[ci].burst_until = ctx.now() + entry.duration;
+        let grace = self.burst_grace(1);
+        self.audit.begin_burst(ctx.now(), entry.client, entry.duration, grace, true);
         self.bursting = Some(ci);
         let slotted = matches!(self.cfg.policy, SchedulePolicy::SlottedStatic { .. });
         let mut remaining = entry.duration;
@@ -367,6 +384,7 @@ impl Proxy {
             self.burst_tcp(ctx, ci, remaining, true)
         };
         self.bursting = None;
+        self.audit.end_burst(ctx.now());
         if sent_udp > 0 || sent_tcp > 0 {
             self.stats.bursts += 1;
         }
@@ -382,6 +400,8 @@ impl Proxy {
     /// for multimedia.
     fn psm_burst(&mut self, ctx: &mut Ctx<'_>, window: SimDuration) {
         let n = self.clients.len();
+        let grace = self.burst_grace(n);
+        self.audit.begin_burst(ctx.now(), HostAddr::BROADCAST, window, grace, false);
         for ci in 0..n {
             self.clients[ci].burst_until = ctx.now() + window;
         }
@@ -413,6 +433,7 @@ impl Proxy {
         let sent = out.len() as u64;
         for (_, pkt) in out {
             self.stats.udp_bytes_sent += pkt.wire_size() as u64;
+            self.audit.on_frame(self.cfg.bw.send_time(pkt.wire_size()), pkt.tos_mark);
             ctx.send(PROXY_AP, pkt);
         }
         self.stats.udp_packets_sent += sent;
@@ -426,6 +447,7 @@ impl Proxy {
             self.burst_tcp(ctx, ci, tcp_share, false);
             self.bursting = None;
         }
+        self.audit.end_burst(ctx.now());
     }
 
     /// Burst datagrams to client `ci` within `remaining`; marks the last
@@ -453,6 +475,7 @@ impl Proxy {
             let pkt = self.clients[ci].queue.pop().expect("peeked");
             if let Some(prev) = last_pkt.replace(pkt) {
                 self.stats.udp_bytes_sent += prev.wire_size() as u64;
+                self.audit.on_frame(self.cfg.bw.send_time(prev.wire_size()), prev.tos_mark);
                 ctx.send(PROXY_AP, prev);
                 sent += 1;
             }
@@ -464,6 +487,7 @@ impl Proxy {
                 self.clients[ci].burst_until = ctx.now();
             }
             self.stats.udp_bytes_sent += last.wire_size() as u64;
+            self.audit.on_frame(self.cfg.bw.send_time(last.wire_size()), last.tos_mark);
             ctx.send(PROXY_AP, last);
             sent += 1;
         }
@@ -485,11 +509,8 @@ impl Proxy {
         // Guarantee progress: a slot always carries at least one segment,
         // even when it is smaller than one message's estimated cost
         // (min_slot-sized slots for tiny queues).
-        let mut byte_budget = self
-            .cfg
-            .bw
-            .bytes_in_with_echo(budget, mss + 40, 40, 0.5)
-            .max(mss as u64);
+        let mut byte_budget =
+            self.cfg.bw.bytes_in_with_echo(budget, mss + 40, 40, 0.5).max(mss as u64);
         let mut total = 0u64;
         let mut last_touched: Option<usize> = None;
         let mut last_held: Option<Packet> = None;
@@ -505,6 +526,7 @@ impl Proxy {
                 byte_budget = byte_budget.saturating_sub(pkt.wire_size() as u64);
                 total += pkt.payload.len() as u64;
                 if let Some(prev) = last_held.replace(pkt) {
+                    self.audit.on_frame(self.cfg.bw.send_time(prev.wire_size()), prev.tos_mark);
                     ctx.send_assigning(PROXY_AP, prev);
                 }
             }
@@ -540,6 +562,7 @@ impl Proxy {
             );
         }
         let last_feed = feeds.len().checked_sub(1);
+        let mut nominated = false;
         for (k, &(sid, allow)) in feeds.iter().enumerate() {
             let now = ctx.now();
             let s = &mut self.splices[sid];
@@ -550,9 +573,13 @@ impl Proxy {
                 s.mark.on_burst_bytes(allow);
                 let m = s.mark.end_burst().expect("non-empty burst");
                 if std::env::var("PB_DEBUG_BURST").is_ok() {
-                    eprintln!("  set_mark m={m} stream_len={} allow={allow}", s.client_side.stream_len());
+                    eprintln!(
+                        "  set_mark m={m} stream_len={} allow={allow}",
+                        s.client_side.stream_len()
+                    );
                 }
                 s.client_side.set_mark(m);
+                nominated = true;
             } else {
                 s.mark.on_burst_bytes(allow);
             }
@@ -572,6 +599,16 @@ impl Proxy {
             last_touched = Some(sid);
         }
         let _ = last_touched;
+        // A mark nominated in an earlier interval that has not yet reached
+        // the air still closes this client's window when it emits — the
+        // burst is covered either way.
+        if !nominated && mark {
+            nominated =
+                splice_ids.iter().any(|&sid| self.splices[sid].client_side.has_pending_mark());
+        }
+        if nominated {
+            self.audit.mark_nominated();
+        }
         // If the burst carried only held frames, mark the last directly.
         if mark && feeds.is_empty() {
             if let Some(pkt) = last_held.as_mut() {
@@ -579,6 +616,7 @@ impl Proxy {
             }
         }
         if let Some(pkt) = last_held.take() {
+            self.audit.on_frame(self.cfg.bw.send_time(pkt.wire_size()), pkt.tos_mark);
             ctx.send_assigning(PROXY_AP, pkt);
         }
         // Drain endpoint output inside the burst window.
@@ -642,11 +680,7 @@ impl Proxy {
             }
             // Propagate the server's FIN once every buffered byte has been
             // handed to (and accepted by) the client side.
-            if s.server_fin
-                && !s.closed
-                && s.pending_bytes == 0
-                && s.client_side.unsent() == 0
-            {
+            if s.server_fin && !s.closed && s.pending_bytes == 0 && s.client_side.unsent() == 0 {
                 s.closed = true;
                 s.client_side.close(now);
             }
@@ -663,8 +697,7 @@ impl Proxy {
     /// produces losses and retransmission storms.
     fn finish_splice_io(&mut self, ctx: &mut Ctx<'_>, sid: usize) {
         let ci = self.splices[sid].client_idx;
-        let mut in_burst =
-            self.bursting == Some(ci) || ctx.now() < self.clients[ci].burst_until;
+        let mut in_burst = self.bursting == Some(ci) || ctx.now() < self.clients[ci].burst_until;
         let mut close_window = false;
         let s = &mut self.splices[sid];
         for pkt in s.client_side.take_packets() {
@@ -677,9 +710,7 @@ impl Proxy {
                     pkt.tcp.map(|h| (h.seq, pkt.payload.len()))
                 };
                 let dup = key.is_some()
-                    && s.held
-                        .iter()
-                        .any(|q| q.tcp.map(|h| (h.seq, q.payload.len())) == key);
+                    && s.held.iter().any(|q| q.tcp.map(|h| (h.seq, q.payload.len())) == key);
                 if !dup {
                     s.held.push(pkt);
                 }
@@ -690,6 +721,7 @@ impl Proxy {
                     in_burst = false;
                     close_window = true;
                 }
+                self.audit.on_frame(self.cfg.bw.send_time(pkt.wire_size()), pkt.tos_mark);
                 ctx.send_assigning(PROXY_AP, pkt);
             }
         }
@@ -768,7 +800,9 @@ impl Proxy {
                 None => {
                     let is_syn = pkt
                         .tcp
-                        .map(|h| h.flags.contains(TcpFlags::SYN) && !h.flags.contains(TcpFlags::ACK))
+                        .map(|h| {
+                            h.flags.contains(TcpFlags::SYN) && !h.flags.contains(TcpFlags::ACK)
+                        })
                         .unwrap_or(false);
                     if !is_syn {
                         return; // stray segment for a dead splice

@@ -100,9 +100,7 @@ impl Schedule {
 
     /// Slots that apply to `me` (own slots plus all-clients slots).
     pub fn slots_for(&self, me: HostAddr) -> impl Iterator<Item = &ScheduleEntry> {
-        self.entries
-            .iter()
-            .filter(move |e| e.client == me || e.client.is_broadcast())
+        self.entries.iter().filter(move |e| e.client == me || e.client.is_broadcast())
     }
 
     /// True when the two schedules assign identical slots.
@@ -210,12 +208,8 @@ pub fn build_schedule(
     seq: u64,
 ) -> Schedule {
     match policy {
-        SchedulePolicy::DynamicFixed { interval } => {
-            build_fixed(interval, cfg, demands, seq)
-        }
-        SchedulePolicy::DynamicVariable { min, max } => {
-            build_variable(min, max, cfg, demands, seq)
-        }
+        SchedulePolicy::DynamicFixed { interval } => build_fixed(interval, cfg, demands, seq),
+        SchedulePolicy::DynamicVariable { min, max } => build_variable(min, max, cfg, demands, seq),
         SchedulePolicy::StaticEqual { interval } => build_static(interval, cfg, demands, seq),
         SchedulePolicy::SlottedStatic { interval, tcp_weight } => {
             build_slotted(interval, tcp_weight, cfg, demands, seq)
@@ -240,15 +234,10 @@ fn build_psm(
             fixed_slots: true,
         };
     }
-    let avg = demands
-        .iter()
-        .map(|d| d.avg_pkt as u64)
-        .max()
-        .unwrap_or(1_000) as usize;
+    let avg = demands.iter().map(|d| d.avg_pkt as u64).max().unwrap_or(1_000) as usize;
     let overhead = cfg.schedule_airtime + cfg.guard * 2;
-    let window = drain_time(cfg, total, avg)
-        .max(cfg.min_slot)
-        .min(interval.saturating_sub(overhead));
+    let window =
+        drain_time(cfg, total, avg).max(cfg.min_slot).min(interval.saturating_sub(overhead));
     let mut s = lay_out(vec![(HostAddr::BROADCAST, window)], cfg, interval, seq);
     s.fixed_slots = true;
     s
@@ -288,7 +277,13 @@ fn build_fixed(
     let active: Vec<&ClientDemand> = demands.iter().filter(|d| d.total() > 0).collect();
     let total_bytes: u64 = active.iter().map(|d| d.total()).sum();
     if active.is_empty() || total_bytes == 0 {
-        return Schedule { seq, entries: Vec::new(), next_srp: interval, unchanged: false, fixed_slots: false };
+        return Schedule {
+            seq,
+            entries: Vec::new(),
+            next_srp: interval,
+            unchanged: false,
+            fixed_slots: false,
+        };
     }
     let overhead = cfg.schedule_airtime + cfg.guard * (active.len() as u64 + 1);
     let usable = interval.saturating_sub(overhead);
@@ -317,7 +312,13 @@ fn build_variable(
 ) -> Schedule {
     let active: Vec<&ClientDemand> = demands.iter().filter(|d| d.total() > 0).collect();
     if active.is_empty() {
-        return Schedule { seq, entries: Vec::new(), next_srp: min, unchanged: false, fixed_slots: false };
+        return Schedule {
+            seq,
+            entries: Vec::new(),
+            next_srp: min,
+            unchanged: false,
+            fixed_slots: false,
+        };
     }
     let mut slots: Vec<(HostAddr, SimDuration)> = active
         .iter()
@@ -327,8 +328,7 @@ fn build_variable(
         })
         .collect();
     let overhead = cfg.schedule_airtime + cfg.guard * (slots.len() as u64 + 1);
-    let needed: SimDuration =
-        slots.iter().fold(overhead, |acc, (_, d)| acc + *d);
+    let needed: SimDuration = slots.iter().fold(overhead, |acc, (_, d)| acc + *d);
     let interval = needed.max(min).min(max);
     if needed > interval {
         // Demand exceeds the cap: shrink slots proportionally ("each client
@@ -352,7 +352,13 @@ fn build_static(
     seq: u64,
 ) -> Schedule {
     if demands.is_empty() {
-        return Schedule { seq, entries: Vec::new(), next_srp: interval, unchanged: false, fixed_slots: false };
+        return Schedule {
+            seq,
+            entries: Vec::new(),
+            next_srp: interval,
+            unchanged: false,
+            fixed_slots: false,
+        };
     }
     let n = demands.len() as u64;
     let overhead = cfg.schedule_airtime + cfg.guard * (n + 1);
@@ -372,7 +378,13 @@ fn build_slotted(
 ) -> Schedule {
     assert!((0.0..1.0).contains(&tcp_weight), "tcp_weight must be in [0,1)");
     if demands.is_empty() {
-        return Schedule { seq, entries: Vec::new(), next_srp: interval, unchanged: false, fixed_slots: false };
+        return Schedule {
+            seq,
+            entries: Vec::new(),
+            next_srp: interval,
+            unchanged: false,
+            fixed_slots: false,
+        };
     }
     let n = demands.len() as u64;
     let overhead = cfg.schedule_airtime + cfg.guard * (n + 2);
@@ -578,10 +590,7 @@ mod tests {
     #[test]
     fn slotted_static_has_tcp_slot_first() {
         let s = build_schedule(
-            SchedulePolicy::SlottedStatic {
-                interval: SimDuration::from_ms(500),
-                tcp_weight: 0.33,
-            },
+            SchedulePolicy::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: 0.33 },
             &cfg(),
             &(0..4).map(|i| demand(i, 1_000, 0)).collect::<Vec<_>>(),
             0,
@@ -597,10 +606,7 @@ mod tests {
     #[test]
     fn slots_for_includes_broadcast() {
         let s = build_schedule(
-            SchedulePolicy::SlottedStatic {
-                interval: SimDuration::from_ms(500),
-                tcp_weight: 0.10,
-            },
+            SchedulePolicy::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: 0.10 },
             &cfg(),
             &[demand(1, 0, 0), demand(2, 0, 0)],
             0,

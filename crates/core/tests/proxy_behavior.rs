@@ -8,7 +8,7 @@ use powerburst_core::{
     Proxy, ProxyConfig, ProxyMode, Schedule, SchedulePolicy, PROXY_AP, PROXY_LAN,
 };
 use powerburst_net::{
-    ports, AccessPoint, ApDelayParams, AirtimeModel, Ctx, Delivery, Endpoint, HostAddr, IfaceId,
+    ports, AccessPoint, AirtimeModel, ApDelayParams, Ctx, Delivery, Endpoint, HostAddr, IfaceId,
     LinkSpec, Node, NodeConfig, NodeId, Packet, SockAddr, TimerToken, World, AP_RADIO, AP_WIRED,
 };
 use powerburst_sim::{SimDuration, SimTime};
@@ -56,7 +56,7 @@ impl Node for UdpSource {
 /// Always-on client that records every packet's arrival time.
 #[derive(Default)]
 struct Recorder {
-    data: Vec<(SimTime, bool)>,     // (arrival, marked)
+    data: Vec<(SimTime, bool)>, // (arrival, marked)
     schedules: Vec<(SimTime, Schedule)>,
 }
 
@@ -84,11 +84,8 @@ struct TestWorld {
 fn build(policy: SchedulePolicy, mode: ProxyMode, source: UdpSource) -> TestWorld {
     let mut world = World::new(17);
     let src = world.add_node(Box::new(source), NodeConfig::wired(SERVER));
-    let mut pcfg = ProxyConfig::new(
-        SockAddr::new(PROXY_HOST, ports::SCHEDULE),
-        vec![CLIENT],
-        policy,
-    );
+    let mut pcfg =
+        ProxyConfig::new(SockAddr::new(PROXY_HOST, ports::SCHEDULE), vec![CLIENT], policy);
     pcfg.mode = mode;
     let proxy = world.add_node(
         Box::new(Proxy::new(pcfg)),
@@ -156,11 +153,8 @@ fn each_nonempty_interval_ends_with_exactly_one_mark() {
     // and contain exactly one mark.
     let scheds: Vec<SimTime> = rec.schedules.iter().map(|(t, _)| *t).collect();
     for win in scheds.windows(2) {
-        let in_interval: Vec<&(SimTime, bool)> = rec
-            .data
-            .iter()
-            .filter(|(t, _)| *t >= win[0] && *t < win[1])
-            .collect();
+        let in_interval: Vec<&(SimTime, bool)> =
+            rec.data.iter().filter(|(t, _)| *t >= win[0] && *t < win[1]).collect();
         if in_interval.is_empty() {
             continue;
         }
@@ -197,23 +191,15 @@ fn rendezvous_offsets_in_schedule_match_actual_burst_times() {
     // interval should land near (schedule arrival + rp_offset): both paths
     // share the AP/medium latency, so the skew is bounded by airtime.
     let mut checked = 0;
-    for ((t_sched, sched), next) in rec
-        .schedules
-        .iter()
-        .zip(rec.schedules.iter().skip(1).map(|(t, _)| *t))
+    for ((t_sched, sched), next) in
+        rec.schedules.iter().zip(rec.schedules.iter().skip(1).map(|(t, _)| *t))
     {
         let Some(entry) = sched.entries.first() else { continue };
-        let first_data = rec
-            .data
-            .iter()
-            .find(|(t, _)| *t > *t_sched && *t < next);
+        let first_data = rec.data.iter().find(|(t, _)| *t > *t_sched && *t < next);
         if let Some((t_data, _)) = first_data {
             let expected = *t_sched + entry.rp_offset;
-            let skew = if *t_data > expected {
-                t_data.since(expected)
-            } else {
-                expected.since(*t_data)
-            };
+            let skew =
+                if *t_data > expected { t_data.since(expected) } else { expected.since(*t_data) };
             assert!(skew < SimDuration::from_ms(5), "rp skew {skew}");
             checked += 1;
         }
@@ -261,10 +247,8 @@ fn trace_records_bursts_as_delivered() {
     let mut tw = build(fixed(100), ProxyMode::Split, src);
     tw.world.run_until(SimTime::from_secs(1));
     let trace = tw.world.take_trace();
-    let delivered = trace
-        .iter()
-        .filter(|r| r.dst.host == CLIENT && r.delivery == Delivery::Delivered)
-        .count();
+    let delivered =
+        trace.iter().filter(|r| r.dst.host == CLIENT && r.delivery == Delivery::Delivered).count();
     assert_eq!(delivered, 60);
     let marks = trace.iter().filter(|r| r.tos_mark).count();
     assert!(marks >= 5, "marks {marks}");

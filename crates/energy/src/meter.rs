@@ -312,7 +312,12 @@ mod tests {
         let mut w = Wnic::new(SPEC);
         w.sleep(SimTime::ZERO);
         let r = w.finish(SimTime::from_secs(10));
-        let naive = naive_energy_mj(&SPEC, SimDuration::from_secs(10), SimDuration::ZERO, SimDuration::ZERO);
+        let naive = naive_energy_mj(
+            &SPEC,
+            SimDuration::from_secs(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         let saved = r.saved_vs(naive);
         assert!((saved - SPEC.max_savings_fraction()).abs() < 1e-9);
     }

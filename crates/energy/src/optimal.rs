@@ -63,12 +63,7 @@ pub fn optimal_savings(spec: &CardSpec, input: OptimalInput) -> OptimalResult {
     let naive_mj = t_active_s * spec.recv_mw + t_sleep_s * spec.idle_mw;
     let saved = if naive_mj > 0.0 { 1.0 - optimal_mj / naive_mj } else { 0.0 };
 
-    OptimalResult {
-        t_active: SimDuration::from_secs_f64(t_active_s),
-        optimal_mj,
-        naive_mj,
-        saved,
-    }
+    OptimalResult { t_active: SimDuration::from_secs_f64(t_active_s), optimal_mj, naive_mj, saved }
 }
 
 /// Convenience: optimal savings for a constant-rate stream of

@@ -21,6 +21,7 @@ use powerburst_sim::{SimDuration, SimTime};
 use rand::Rng;
 
 use crate::addr::IfaceId;
+use crate::faults::ApJitterFault;
 use crate::node::{Ctx, Node, TimerToken};
 use crate::packet::Packet;
 
@@ -129,10 +130,20 @@ pub struct AccessPoint {
     /// entered earlier (a real AP's forwarding queue preserves order even
     /// when its latency varies).
     last_out: [SimTime; 2],
+    /// Actual departure times per direction, for the ordering invariant.
+    last_sent: [SimTime; 2],
+    /// Departures observed earlier than a previous departure in the same
+    /// direction. The FIFO guard should keep this at zero; a nonzero count
+    /// is surfaced as an `ApOrdering` invariant violation in run reports.
+    pub fifo_violations: u64,
     /// Downlink frames forwarded (diagnostics).
     pub forwarded_down: u64,
     /// Uplink frames forwarded (diagnostics).
     pub forwarded_up: u64,
+    /// Injected extra jitter spikes, when a fault plan asks for them.
+    /// Sampled from the dedicated fault stream, never from the node's own
+    /// RNG, so baseline runs are unaffected.
+    fault_jitter: Option<ApJitterFault>,
 }
 
 impl AccessPoint {
@@ -144,9 +155,23 @@ impl AccessPoint {
             pending: HashMap::new(),
             next_token: 0,
             last_out: [SimTime::ZERO; 2],
+            last_sent: [SimTime::ZERO; 2],
+            fifo_violations: 0,
             forwarded_down: 0,
             forwarded_up: 0,
+            fault_jitter: None,
         }
+    }
+
+    /// Install an injected extra-jitter process (builder style).
+    pub fn with_fault_jitter(mut self, fault: ApJitterFault) -> AccessPoint {
+        self.fault_jitter = Some(fault);
+        self
+    }
+
+    /// Injected jitter spikes applied so far.
+    pub fn fault_spikes(&self) -> u64 {
+        self.fault_jitter.as_ref().map(|f| f.spikes).unwrap_or(0)
     }
 
     fn defer(&mut self, ctx: &mut Ctx<'_>, out: IfaceId, pkt: Packet, delay: SimDuration) {
@@ -168,7 +193,10 @@ impl Node for AccessPoint {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
         if iface == AP_WIRED {
             self.forwarded_down += 1;
-            let d = self.delay.sample(ctx.rng());
+            let mut d = self.delay.sample(ctx.rng());
+            if let Some(f) = self.fault_jitter.as_mut() {
+                d += f.sample();
+            }
             self.defer(ctx, AP_RADIO, pkt, d);
         } else {
             self.forwarded_up += 1;
@@ -179,6 +207,12 @@ impl Node for AccessPoint {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
         if let Some((out, pkt)) = self.pending.remove(&token) {
+            let dir = (out == AP_RADIO) as usize;
+            let now = ctx.now();
+            if now < self.last_sent[dir] {
+                self.fifo_violations += 1;
+            }
+            self.last_sent[dir] = now.max(self.last_sent[dir]);
             ctx.send(out, pkt);
         }
     }
@@ -250,12 +284,9 @@ mod tests {
         let xs: Vec<f64> = (0..4_000).map(|_| p.sample(&mut rng).as_us() as f64).collect();
         let lag_diff: f64 =
             xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64;
-        let far_diff: f64 = xs
-            .iter()
-            .zip(xs.iter().skip(200))
-            .map(|(a, b)| (b - a).abs())
-            .sum::<f64>()
-            / (xs.len() - 200) as f64;
+        let far_diff: f64 =
+            xs.iter().zip(xs.iter().skip(200)).map(|(a, b)| (b - a).abs()).sum::<f64>()
+                / (xs.len() - 200) as f64;
         assert!(lag_diff < far_diff, "lag1 {lag_diff} far {far_diff}");
     }
 }

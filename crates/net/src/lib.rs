@@ -23,6 +23,7 @@
 
 pub mod addr;
 pub mod ap;
+pub mod faults;
 pub mod forward;
 pub mod link;
 pub mod medium;
@@ -34,6 +35,7 @@ pub mod world;
 
 pub use addr::{ports, HostAddr, IfaceId, NodeId, SockAddr};
 pub use ap::{AccessPoint, ApDelayParams, ApDelayProcess, AP_RADIO, AP_WIRED};
+pub use faults::{ApJitterFault, FaultInjector, FaultPlan, FaultStats};
 pub use forward::{StaticRouter, Switch};
 pub use link::{Endpoint, Link, LinkSpec, WireOutcome};
 pub use medium::{AirtimeModel, Medium, TxOutcome};

@@ -64,12 +64,7 @@ pub struct Link {
 impl Link {
     /// Create a link between two endpoints.
     pub fn new(a: Endpoint, b: Endpoint, spec: LinkSpec) -> Link {
-        Link {
-            spec,
-            ends: [a, b],
-            busy_until: [SimTime::ZERO; 2],
-            drops: [0; 2],
-        }
+        Link { spec, ends: [a, b], busy_until: [SimTime::ZERO; 2], drops: [0; 2] }
     }
 
     /// Which direction index sends *from* this endpoint, if attached.
@@ -125,9 +120,7 @@ mod tests {
     fn transmit_adds_serialization_and_delay() {
         let mut l = Link::new(ep(1, 0), ep(2, 0), LinkSpec::FAST_ETHERNET);
         // 1250 bytes at 100 Mbps = 100 us; +50 us delay.
-        let WireOutcome::Sent { arrive } = l.transmit(SimTime::ZERO, 0, 1250) else {
-            panic!()
-        };
+        let WireOutcome::Sent { arrive } = l.transmit(SimTime::ZERO, 0, 1250) else { panic!() };
         assert_eq!(arrive.as_us(), 150);
     }
 
@@ -137,9 +130,7 @@ mod tests {
         let WireOutcome::Sent { arrive: a } = l.transmit(SimTime::ZERO, 0, 125_000) else {
             panic!()
         };
-        let WireOutcome::Sent { arrive: b } = l.transmit(SimTime::ZERO, 1, 1250) else {
-            panic!()
-        };
+        let WireOutcome::Sent { arrive: b } = l.transmit(SimTime::ZERO, 1, 1250) else { panic!() };
         // Reverse direction isn't delayed by forward traffic.
         assert!(b < a);
     }
@@ -166,12 +157,8 @@ mod tests {
     #[test]
     fn queued_sends_serialize() {
         let mut l = Link::new(ep(1, 0), ep(2, 0), LinkSpec::FAST_ETHERNET);
-        let WireOutcome::Sent { arrive: a1 } = l.transmit(SimTime::ZERO, 0, 1250) else {
-            panic!()
-        };
-        let WireOutcome::Sent { arrive: a2 } = l.transmit(SimTime::ZERO, 0, 1250) else {
-            panic!()
-        };
+        let WireOutcome::Sent { arrive: a1 } = l.transmit(SimTime::ZERO, 0, 1250) else { panic!() };
+        let WireOutcome::Sent { arrive: a2 } = l.transmit(SimTime::ZERO, 0, 1250) else { panic!() };
         assert_eq!((a2 - a1).as_us(), 100);
     }
 }

@@ -189,7 +189,10 @@ mod tests {
         assert!(dropped > 0, "must eventually drop");
         assert_eq!(med.drops, dropped);
         // Backlog bounded by the cap plus one frame.
-        assert!(med.backlog(SimTime::ZERO) <= SimDuration::from_ms(5) + med.airtime_model().airtime(1400));
+        assert!(
+            med.backlog(SimTime::ZERO)
+                <= SimDuration::from_ms(5) + med.airtime_model().airtime(1400)
+        );
     }
 
     #[test]

@@ -122,28 +122,12 @@ pub struct Packet {
 impl Packet {
     /// A UDP datagram.
     pub fn udp(id: u64, src: SockAddr, dst: SockAddr, payload: Bytes) -> Packet {
-        Packet {
-            id,
-            src,
-            dst,
-            proto: Proto::Udp,
-            tcp: None,
-            tos_mark: false,
-            payload,
-        }
+        Packet { id, src, dst, proto: Proto::Udp, tcp: None, tos_mark: false, payload }
     }
 
     /// A TCP segment.
     pub fn tcp(id: u64, src: SockAddr, dst: SockAddr, header: TcpHeader, payload: Bytes) -> Packet {
-        Packet {
-            id,
-            src,
-            dst,
-            proto: Proto::Tcp,
-            tcp: Some(header),
-            tos_mark: false,
-            payload,
-        }
+        Packet { id, src, dst, proto: Proto::Tcp, tcp: Some(header), tos_mark: false, payload }
     }
 
     /// Bytes this packet occupies at the IP layer (headers + payload).
@@ -201,12 +185,7 @@ mod tests {
 
     #[test]
     fn broadcast_packet() {
-        let p = Packet::udp(
-            1,
-            sa(1, 10),
-            SockAddr::new(HostAddr::BROADCAST, 7001),
-            Bytes::new(),
-        );
+        let p = Packet::udp(1, sa(1, 10), SockAddr::new(HostAddr::BROADCAST, 7001), Bytes::new());
         assert!(p.is_broadcast());
     }
 

@@ -155,24 +155,14 @@ mod tests {
     fn disabled_sniffer_drops_records() {
         let mut s = Sniffer::new();
         s.enabled = false;
-        s.record(SnifferRecord::of(
-            SimTime::ZERO,
-            &pkt(),
-            SimDuration::ZERO,
-            Delivery::Broadcast,
-        ));
+        s.record(SnifferRecord::of(SimTime::ZERO, &pkt(), SimDuration::ZERO, Delivery::Broadcast));
         assert!(s.is_empty());
     }
 
     #[test]
     fn take_empties_buffer() {
         let mut s = Sniffer::new();
-        s.record(SnifferRecord::of(
-            SimTime::ZERO,
-            &pkt(),
-            SimDuration::ZERO,
-            Delivery::Delivered,
-        ));
+        s.record(SnifferRecord::of(SimTime::ZERO, &pkt(), SimDuration::ZERO, Delivery::Delivered));
         let v = s.take();
         assert_eq!(v.len(), 1);
         assert!(s.is_empty());

@@ -15,7 +15,8 @@ use rand::rngs::StdRng;
 
 use powerburst_energy::{CardSpec, EnergyReport, Wnic};
 
-use crate::addr::{HostAddr, IfaceId, NodeId};
+use crate::addr::{ports, HostAddr, IfaceId, NodeId};
+use crate::faults::{fault_stream, fault_streams, FaultInjector, FaultPlan, FaultStats};
 use crate::link::{Endpoint, Link, LinkSpec, WireOutcome};
 use crate::medium::{AirtimeModel, Medium, TxOutcome};
 use crate::node::{Ctx, Ev, Node, TimerToken};
@@ -101,6 +102,8 @@ pub struct World {
     links: Vec<Link>,
     medium: Option<Medium>,
     medium_rng: StdRng,
+    /// Injected medium faults (loss/dup/reorder/SRP drops), when enabled.
+    faults: Option<FaultInjector>,
     /// Node that bridges the radio to the wired side (the access point).
     infrastructure: Option<NodeId>,
     sniffer: Sniffer,
@@ -123,6 +126,7 @@ impl World {
             links: Vec::new(),
             medium: None,
             medium_rng: derive_rng(seed, streams::AP_DELAY),
+            faults: None,
             infrastructure: None,
             sniffer: Sniffer::new(),
             timer_index: HashMap::new(),
@@ -145,10 +149,7 @@ impl World {
     pub fn add_node(&mut self, node: Box<dyn Node>, cfg: NodeConfig) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         if let Some(h) = cfg.host {
-            assert!(
-                self.host_index.insert(h, id).is_none(),
-                "host {h} assigned to two nodes"
-            );
+            assert!(self.host_index.insert(h, id).is_none(), "host {h} assigned to two nodes");
         }
         self.nodes.push(NodeSlot {
             node,
@@ -177,6 +178,23 @@ impl World {
         assert!(self.medium.is_none(), "medium already installed");
         self.medium = Some(Medium::new(airtime, max_backlog));
         self.infrastructure = Some(ap);
+    }
+
+    /// Install a medium-level fault plan. Draws come from the dedicated
+    /// fault stream, so an empty plan (the default) leaves every other
+    /// random sequence — and thus the whole run — untouched.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        if plan.affects_medium() {
+            self.faults = Some(FaultInjector::new(
+                plan,
+                derive_rng(self.seed, fault_stream(fault_streams::MEDIUM)),
+            ));
+        }
+    }
+
+    /// Counters of injected medium faults so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Mark `iface` on `node` as the node's radio interface.
@@ -328,10 +346,32 @@ impl World {
                 }
             }
             Attachment::Wireless => {
+                // Fault decisions are drawn per attempted frame, before the
+                // medium outcome, so the fault stream's position depends
+                // only on traffic order.
+                let (reorder, dup) = match self.faults.as_mut() {
+                    Some(f) => (f.reorder_delay(), f.duplicate()),
+                    None => (None, false),
+                };
                 let med = self.medium.as_mut().expect("wireless send without a medium");
                 match med.transmit(self.now, pkt.wire_size(), &mut self.medium_rng) {
                     TxOutcome::Sent { finish, airtime } => {
-                        self.queue.push(finish, Ev::RadioArrive { pkt, from, airtime });
+                        if dup {
+                            // A retransmitted copy burns its own airtime slot.
+                            if let TxOutcome::Sent { finish: f2, airtime: a2 } =
+                                med.transmit(self.now, pkt.wire_size(), &mut self.medium_rng)
+                            {
+                                self.queue.push(
+                                    f2,
+                                    Ev::RadioArrive { pkt: pkt.clone(), from, airtime: a2 },
+                                );
+                            }
+                        }
+                        let arrive = match reorder {
+                            Some(extra) => finish + extra,
+                            None => finish,
+                        };
+                        self.queue.push(arrive, Ev::RadioArrive { pkt, from, airtime });
                     }
                     TxOutcome::Dropped => {
                         self.sniffer.record(SnifferRecord::of(
@@ -353,18 +393,28 @@ impl World {
     /// deliver to listening receivers.
     fn radio_deliver(&mut self, pkt: Packet, from: NodeId, airtime: SimDuration) {
         let now = self.now;
+        // Injected faults: generic frame loss plus targeted SRP drops. The
+        // airtime was burned either way, so the transmitter still pays.
+        if let Some(f) = self.faults.as_mut() {
+            let is_schedule = pkt.is_broadcast() && pkt.dst.port == ports::SCHEDULE;
+            if f.should_drop(is_schedule) {
+                self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
+                let s = &mut self.nodes[from.index()];
+                s.stats.tx_frames += 1;
+                s.stats.tx_airtime += airtime;
+                if let Some(w) = s.wnic.as_mut() {
+                    w.on_transmit(now, airtime);
+                }
+                return;
+            }
+        }
         // Channel corruption: the frame burned its airtime but nobody
         // decodes it (the §4.3 lossy-channel validation knob).
-        let loss_prob = self
-            .medium
-            .as_ref()
-            .map(|m| m.airtime_model().loss_prob)
-            .unwrap_or(0.0);
+        let loss_prob = self.medium.as_ref().map(|m| m.airtime_model().loss_prob).unwrap_or(0.0);
         if loss_prob > 0.0 {
             use rand::Rng;
             if self.medium_rng.random::<f64>() < loss_prob {
-                self.sniffer
-                    .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
+                self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
                 // Transmit energy is still paid.
                 let s = &mut self.nodes[from.index()];
                 s.stats.tx_frames += 1;
@@ -386,8 +436,7 @@ impl World {
         }
 
         if pkt.is_broadcast() {
-            self.sniffer
-                .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Broadcast));
+            self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Broadcast));
             let n = self.nodes.len();
             for i in 0..n {
                 let id = NodeId(i as u32);
@@ -422,7 +471,10 @@ impl World {
         // Unicast: find the owner of the destination host.
         let target = self.host_index.get(&pkt.dst.host).copied();
         match target {
-            Some(id) if self.nodes[id.index()].wireless_iface.is_some() && Some(id) != self.infrastructure => {
+            Some(id)
+                if self.nodes[id.index()].wireless_iface.is_some()
+                    && Some(id) != self.infrastructure =>
+            {
                 let slot = &mut self.nodes[id.index()];
                 let wiface = slot.wireless_iface.expect("checked");
                 let listening = match slot.wnic.as_mut() {
@@ -436,15 +488,18 @@ impl World {
                     if let Some(w) = slot.wnic.as_mut() {
                         w.on_receive(now, airtime);
                     }
-                    self.sniffer
-                        .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
+                    self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
                     self.with_node(id, |n, ctx| n.on_packet(ctx, wiface, pkt));
                 } else {
                     slot.stats.missed_frames += 1;
                     slot.stats.missed_bytes += pkt.wire_size() as u64;
                     slot.stats.missed_airtime += airtime;
-                    self.sniffer
-                        .record(SnifferRecord::of(now, &pkt, airtime, Delivery::MissedAsleep));
+                    self.sniffer.record(SnifferRecord::of(
+                        now,
+                        &pkt,
+                        airtime,
+                        Delivery::MissedAsleep,
+                    ));
                 }
             }
             _ => {
@@ -454,13 +509,21 @@ impl World {
                         let wiface = self.nodes[ap.index()]
                             .wireless_iface
                             .expect("AP must have a radio iface");
-                        self.sniffer
-                            .record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
+                        self.sniffer.record(SnifferRecord::of(
+                            now,
+                            &pkt,
+                            airtime,
+                            Delivery::Delivered,
+                        ));
                         self.with_node(ap, |n, ctx| n.on_packet(ctx, wiface, pkt));
                     }
                     _ => {
-                        self.sniffer
-                            .record(SnifferRecord::of(now, &pkt, airtime, Delivery::NoSuchHost));
+                        self.sniffer.record(SnifferRecord::of(
+                            now,
+                            &pkt,
+                            airtime,
+                            Delivery::NoSuchHost,
+                        ));
                     }
                 }
             }
@@ -583,11 +646,7 @@ mod tests {
         let rep = w.wnic_report(client).unwrap();
         assert!(rep.rx > SimDuration::ZERO);
         // Sniffer saw the downlink frame.
-        assert!(w
-            .sniffer()
-            .records()
-            .iter()
-            .any(|r| r.delivery == Delivery::Delivered));
+        assert!(w.sniffer().records().iter().any(|r| r.delivery == Delivery::Delivered));
     }
 
     /// Client that sleeps immediately and never wakes.
@@ -633,11 +692,7 @@ mod tests {
         w.run_until(SimTime::from_ms(50));
         assert_eq!(w.stats(client).missed_frames, 1);
         assert_eq!(w.stats(client).rx_frames, 0);
-        assert!(w
-            .sniffer()
-            .records()
-            .iter()
-            .any(|r| r.delivery == Delivery::MissedAsleep));
+        assert!(w.sniffer().records().iter().any(|r| r.delivery == Delivery::MissedAsleep));
         // Sleeping client burns roughly sleep power.
         let rep = w.wnic_report(client).unwrap();
         assert!(rep.sleep >= SimDuration::from_ms(49));
@@ -683,10 +738,7 @@ mod tests {
         let run = || {
             let (mut w, _s, _a, _c) = radio_world();
             w.run_until(SimTime::from_ms(50));
-            w.take_trace()
-                .iter()
-                .map(|r| (r.t, r.pkt_id, r.wire_size))
-                .collect::<Vec<_>>()
+            w.take_trace().iter().map(|r| (r.t, r.pkt_id, r.wire_size)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
@@ -696,13 +748,7 @@ mod tests {
     fn duplicate_host_panics() {
         let mut w = World::new(1);
         let h = HostAddr(5);
-        w.add_node(
-            chatter(SockAddr::new(h, 1), SockAddr::new(h, 1), false),
-            NodeConfig::wired(h),
-        );
-        w.add_node(
-            chatter(SockAddr::new(h, 1), SockAddr::new(h, 1), false),
-            NodeConfig::wired(h),
-        );
+        w.add_node(chatter(SockAddr::new(h, 1), SockAddr::new(h, 1), false), NodeConfig::wired(h));
+        w.add_node(chatter(SockAddr::new(h, 1), SockAddr::new(h, 1), false), NodeConfig::wired(h));
     }
 }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use powerburst_net::{
-    AirtimeModel, ApDelayParams, ApDelayProcess, Endpoint, IfaceId, Link, LinkSpec,
-    Medium, NodeId, TxOutcome, WireOutcome,
+    AirtimeModel, ApDelayParams, ApDelayProcess, Endpoint, IfaceId, Link, LinkSpec, Medium, NodeId,
+    TxOutcome, WireOutcome,
 };
 use powerburst_sim::{derive_rng, SimDuration, SimTime};
 

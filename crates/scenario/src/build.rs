@@ -7,14 +7,16 @@
 //! postmortem analyzer.
 
 use powerburst_client::{ClientConfig, PowerClient};
+use powerburst_core::invariants::{check_energy_conservation, InvariantKind, Violation};
 use powerburst_core::{Proxy, ProxyConfig, PROXY_AP, PROXY_LAN};
 use powerburst_energy::{naive_energy_mj, CardSpec};
+use powerburst_net::faults::{clock_skew_ramp, fault_stream, fault_streams, ApJitterFault};
 use powerburst_net::{
     ports, AccessPoint, Endpoint, HostAddr, IfaceId, NodeConfig, NodeId, Pipe, SockAddr,
     StaticRouter, Switch, World, AP_WIRED,
 };
 use powerburst_sim::rng::streams;
-use powerburst_sim::{derive_rng, ClockModel, SimTime};
+use powerburst_sim::{derive_rng, ClockModel, SimDuration, SimTime};
 use powerburst_trace::{analyze_client, utilization, PolicyParams};
 use powerburst_traffic::{
     generate_script, App, ByteServer, FtpClientApp, StreamSpec, VideoClientApp, VideoServer,
@@ -51,6 +53,8 @@ pub struct Assembled {
     pub world: World,
     /// The proxy's node id.
     pub proxy: NodeId,
+    /// The access point's node id.
+    pub ap: NodeId,
     /// Client node ids, in spec order.
     pub clients: Vec<NodeId>,
     /// The video server's node id.
@@ -73,9 +77,7 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     for (i, spec) in cfg.clients.iter().enumerate() {
         if let ClientKind::Video { fidelity } = spec.kind {
             use rand::Rng;
-            let jitter = powerburst_sim::SimDuration::from_us(
-                stagger_rng.random_range(0..250_000),
-            );
+            let jitter = powerburst_sim::SimDuration::from_us(stagger_rng.random_range(0..250_000));
             streams_v.push(StreamSpec {
                 client: SockAddr::new(hosts::client(i), ports::MEDIA),
                 fidelity,
@@ -128,10 +130,15 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     );
 
     // --- access point -------------------------------------------------------------
-    let ap = world.add_node(
-        Box::new(AccessPoint::new(cfg.net.ap_delay)),
-        NodeConfig::infrastructure(),
-    );
+    let mut ap_node = AccessPoint::new(cfg.net.ap_delay);
+    if cfg.faults.affects_ap() {
+        ap_node = ap_node.with_fault_jitter(ApJitterFault::new(
+            cfg.faults.ap_jitter_prob,
+            cfg.faults.ap_jitter_max,
+            derive_rng(cfg.seed, fault_stream(fault_streams::AP)),
+        ));
+    }
+    let ap = world.add_node(Box::new(ap_node), NodeConfig::infrastructure());
 
     // --- wiring ----------------------------------------------------------------------
     world.add_link(
@@ -173,9 +180,11 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     );
     world.set_medium(cfg.net.airtime, cfg.net.medium_backlog, ap);
     world.attach_wireless(ap, powerburst_net::AP_RADIO);
+    world.set_faults(cfg.faults);
 
     // --- clients --------------------------------------------------------------------------
     let mut clock_rng = derive_rng(cfg.seed, streams::CLOCK);
+    let mut skew_rng = derive_rng(cfg.seed, fault_stream(fault_streams::CLOCK));
     let mut client_ids = Vec::with_capacity(n);
     for (i, spec) in cfg.clients.iter().enumerate() {
         let host = hosts::client(i);
@@ -206,15 +215,16 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         ccfg.early_transition = spec.early_transition;
         ccfg.skip_unchanged = spec.skip_unchanged;
         ccfg.comp = spec.comp;
+        let mut clock =
+            ClockModel::sample(&mut clock_rng, cfg.net.clock_offset_us, cfg.net.clock_drift_ppm);
+        // Fault plan: pile an extra frequency error on top, so the
+        // client↔proxy skew ramps linearly over the run.
+        clock.drift_ppm += clock_skew_ramp(&cfg.faults, &mut skew_rng);
         let node = world.add_node(
             Box::new(PowerClient::new(ccfg, app)),
             NodeConfig {
                 host: Some(host),
-                clock: ClockModel::sample(
-                    &mut clock_rng,
-                    cfg.net.clock_offset_us,
-                    cfg.net.clock_drift_ppm,
-                ),
+                clock,
                 wnic: match cfg.radio {
                     RadioMode::Monitor => None,
                     RadioMode::Live => Some(CardSpec::WAVELAN_DSSS),
@@ -225,7 +235,7 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         client_ids.push(node);
     }
 
-    Assembled { world, proxy, clients: client_ids, video_server, byte_server }
+    Assembled { world, proxy, ap, clients: client_ids, video_server, byte_server }
 }
 
 /// Run a scenario to completion and collect results.
@@ -239,6 +249,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
 
     let mut clients = Vec::with_capacity(cfg.clients.len());
     let mut downshifts = 0u32;
+    let mut dwell_violations: Vec<Violation> = Vec::new();
     for (i, spec) in cfg.clients.iter().enumerate() {
         let host = hosts::client(i);
         let node = a.clients[i];
@@ -270,6 +281,18 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
             }
         };
 
+        // Energy conservation: the WNIC dwell times (live card in Live
+        // runs, postmortem replay otherwise) must tile the run exactly.
+        let dwell = match cfg.radio {
+            RadioMode::Live => a.world.wnic_report(node).expect("live radio").duration(),
+            RadioMode::Monitor => post.sleep + post.awake,
+        };
+        if let Some(v) =
+            check_energy_conservation(host, dwell, cfg.duration, SimDuration::from_ms(2))
+        {
+            dwell_violations.push(v);
+        }
+
         let (daemon, app) = {
             let pc = a.world.node_mut::<PowerClient>(node);
             let daemon = pc.stats;
@@ -280,11 +303,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
                 },
                 ClientKind::Web { .. } => {
                     let b = pc.app_mut::<WebClientApp>().stats();
-                    let max = b
-                        .object_latencies_s
-                        .iter()
-                        .copied()
-                        .fold(0.0f64, f64::max);
+                    let max = b.object_latencies_s.iter().copied().fold(0.0f64, f64::max);
                     AppMetrics {
                         web: Some(WebSummary {
                             objects_done: b.objects_done,
@@ -330,9 +349,28 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         }
     }
 
-    let (proxy_stats, admission) = {
+    let (proxy_stats, admission, mut invariants) = {
         let p = a.world.node_mut::<Proxy>(a.proxy);
-        (p.stats, p.admission_stats())
+        (p.stats, p.admission_stats(), p.take_invariants())
+    };
+    for v in dwell_violations {
+        invariants.record(v);
+    }
+    let faults = {
+        let mut f = a.world.fault_stats();
+        let ap = a.world.node_mut::<AccessPoint>(a.ap);
+        f.ap_spikes = ap.fault_spikes();
+        let fifo = ap.fifo_violations;
+        invariants.record_counted(
+            fifo,
+            Violation {
+                kind: InvariantKind::ApOrdering,
+                t: SimTime::ZERO + cfg.duration,
+                client: None,
+                detail: format!("{fifo} out-of-order AP departures"),
+            },
+        );
+        f
     };
     ScenarioResult {
         clients,
@@ -343,6 +381,8 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         duration: cfg.duration,
         downshifts,
         admission,
+        faults,
+        invariants,
     }
 }
 

@@ -15,8 +15,8 @@ use std::any::Any;
 use bytes::Bytes;
 use powerburst_core::BandwidthModel;
 use powerburst_net::{
-    AccessPoint, Ctx, Endpoint, HostAddr, IfaceId, Node, NodeConfig, Packet, SockAddr,
-    TimerToken, World, AP_RADIO, AP_WIRED,
+    AccessPoint, Ctx, Endpoint, HostAddr, IfaceId, Node, NodeConfig, Packet, SockAddr, TimerToken,
+    World, AP_RADIO, AP_WIRED,
 };
 use powerburst_sim::{SimDuration, SimTime};
 use powerburst_traffic::{CountingSink, NaiveClient};
@@ -93,10 +93,7 @@ pub fn calibrate(net: &NetworkConfig, seed: u64, sizes: &[usize], per_size: usiz
         }),
         NodeConfig::wired(server),
     );
-    let ap = world.add_node(
-        Box::new(AccessPoint::new(net.ap_delay)),
-        NodeConfig::infrastructure(),
-    );
+    let ap = world.add_node(Box::new(AccessPoint::new(net.ap_delay)), NodeConfig::infrastructure());
     let sink = world.add_node(
         Box::new(NaiveClient::new(Box::new(CountingSink::new()))),
         NodeConfig { host: Some(client), clock: Default::default(), wnic: None },

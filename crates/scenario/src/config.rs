@@ -2,7 +2,7 @@
 //! and scenario assembly inputs.
 
 use powerburst_core::{AdmissionConfig, BandwidthModel, ProxyMode, SchedulePolicy};
-use powerburst_net::{ApDelayParams, AirtimeModel, LinkSpec, PipeSpec};
+use powerburst_net::{AirtimeModel, ApDelayParams, FaultPlan, LinkSpec, PipeSpec};
 use powerburst_sim::SimDuration;
 use powerburst_traffic::{AdaptConfig, Fidelity, WebScriptConfig};
 
@@ -140,6 +140,9 @@ pub struct ScenarioConfig {
     pub pipe: Option<PipeSpec>,
     /// Optional §3.2.1 admission control at the proxy.
     pub admission: Option<AdmissionConfig>,
+    /// Deterministic fault injection (loss/dup/reorder/SRP drops, AP
+    /// jitter spikes, clock-skew ramps). Defaults to no faults.
+    pub faults: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -159,12 +162,19 @@ impl ScenarioConfig {
             adapt: AdaptConfig::default(),
             pipe: None,
             admission: None,
+            faults: FaultPlan::NONE,
         }
     }
 
     /// Shorten the run (tests and smoke benches).
     pub fn with_duration(mut self, d: SimDuration) -> ScenarioConfig {
         self.duration = d;
+        self
+    }
+
+    /// Inject faults (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> ScenarioConfig {
+        self.faults = plan;
         self
     }
 }
@@ -248,10 +258,7 @@ mod tests {
 
     #[test]
     fn uniform_patterns_are_uniform() {
-        assert!(VideoPattern::All512
-            .fidelities(10)
-            .iter()
-            .all(|f| *f == Fidelity::K512));
+        assert!(VideoPattern::All512.fidelities(10).iter().all(|f| *f == Fidelity::K512));
     }
 
     #[test]
@@ -263,10 +270,7 @@ mod tests {
 
     #[test]
     fn client_kind_labels() {
-        assert_eq!(
-            ClientKind::Video { fidelity: Fidelity::K256 }.label(),
-            "video-256K"
-        );
+        assert_eq!(ClientKind::Video { fidelity: Fidelity::K256 }.label(), "video-256K");
         assert_eq!(ClientKind::Ftp { size: 2_000_000 }.label(), "ftp-2MB");
         assert!(ClientKind::Video { fidelity: Fidelity::K56 }.is_video());
         assert!(!ClientKind::Ftp { size: 1 }.is_video());

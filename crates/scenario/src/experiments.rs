@@ -34,11 +34,7 @@ pub struct ExpOptions {
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions {
-            seed: 7,
-            duration: SimDuration::from_secs(119),
-            threads: default_threads(),
-        }
+        ExpOptions { seed: 7, duration: SimDuration::from_secs(119), threads: default_threads() }
     }
 }
 
@@ -187,23 +183,17 @@ pub fn tab_tcp_only(opt: &ExpOptions) -> Vec<TcpOnlyRow> {
         .iter()
         .map(|(iname, ikind)| {
             let clients = (0..10).map(|_| web_spec()).collect();
-            let cfg = ScenarioConfig::new(opt.seed, ikind.policy(), clients)
-                .with_duration(opt.duration);
+            let cfg =
+                ScenarioConfig::new(opt.seed, ikind.policy(), clients).with_duration(opt.duration);
             (*iname, cfg)
         })
         .collect();
     parallel_sweep(configs, opt.threads, |(iname, cfg)| {
         let r = run_scenario(cfg);
-        let lat: Vec<f64> = r
-            .clients
-            .iter()
-            .filter_map(|c| c.app.web.map(|w| w.mean_latency_s))
-            .collect();
-        let objects: usize = r
-            .clients
-            .iter()
-            .filter_map(|c| c.app.web.map(|w| w.objects_done))
-            .sum();
+        let lat: Vec<f64> =
+            r.clients.iter().filter_map(|c| c.app.web.map(|w| w.mean_latency_s)).collect();
+        let objects: usize =
+            r.clients.iter().filter_map(|c| c.app.web.map(|w| w.objects_done)).sum();
         TcpOnlyRow {
             interval: iname,
             saved: r.saved_all(),
@@ -264,8 +254,8 @@ pub fn fig5_mixed(opt: &ExpOptions) -> Vec<Fig5Row> {
             for _ in 0..3 {
                 clients.push(web_spec());
             }
-            let cfg = ScenarioConfig::new(opt.seed, ikind.policy(), clients)
-                .with_duration(opt.duration);
+            let cfg =
+                ScenarioConfig::new(opt.seed, ikind.policy(), clients).with_duration(opt.duration);
             configs.push((iname, plabel, cfg));
         }
     }
@@ -494,12 +484,8 @@ pub fn tab_packet_loss(opt: &ExpOptions) -> Vec<LossRow> {
         ));
         configs.push((
             format!("10xvideo-256K @{iname}"),
-            ScenarioConfig::new(
-                opt.seed,
-                ikind.policy(),
-                video_clients(VideoPattern::All256, 10),
-            )
-            .with_duration(opt.duration),
+            ScenarioConfig::new(opt.seed, ikind.policy(), video_clients(VideoPattern::All256, 10))
+                .with_duration(opt.duration),
         ));
         let mut mixed = video_clients(VideoPattern::Mixed, 7);
         for _ in 0..3 {
@@ -571,8 +557,8 @@ pub fn tab_static_vs_dynamic(opt: &ExpOptions) -> Vec<StaticRow> {
                     c.skip_unchanged = true;
                 }
             }
-            let mut cfg = ScenarioConfig::new(opt.seed, policy, clients)
-                .with_duration(opt.duration);
+            let mut cfg =
+                ScenarioConfig::new(opt.seed, policy, clients).with_duration(opt.duration);
             cfg.flag_unchanged = static_mode;
             configs.push((label, static_mode, cfg));
         }
@@ -606,13 +592,8 @@ pub fn tab_static_vs_dynamic(opt: &ExpOptions) -> Vec<StaticRow> {
 /// Render static vs dynamic.
 pub fn render_static_vs_dynamic(rows: &[StaticRow]) -> String {
     let mut out = banner("Static vs dynamic schedule, identical fidelities @100 ms (§4.3)");
-    let mut t = Table::new(vec![
-        "fidelity",
-        "dynamic saved %",
-        "dyn std",
-        "static saved %",
-        "static std",
-    ]);
+    let mut t =
+        Table::new(vec!["fidelity", "dynamic saved %", "dyn std", "static saved %", "static std"]);
     for r in rows {
         t.row(vec![
             r.fidelity.to_string(),
@@ -654,10 +635,8 @@ pub fn fig7_slotted_static(opt: &ExpOptions) -> Vec<Fig7Row> {
     parallel_sweep(configs, opt.threads, |&w| {
         use Fidelity::*;
         let fids = [K56, K56, K128, K128, K256, K256, K512, K512, K56];
-        let mut clients: Vec<ClientSpec> = fids
-            .iter()
-            .map(|&f| ClientSpec::new(ClientKind::Video { fidelity: f }))
-            .collect();
+        let mut clients: Vec<ClientSpec> =
+            fids.iter().map(|&f| ClientSpec::new(ClientKind::Video { fidelity: f })).collect();
         // "Medium" background TCP traffic.
         let script = WebScriptConfig {
             pages: 40,
@@ -669,10 +648,7 @@ pub fn fig7_slotted_static(opt: &ExpOptions) -> Vec<Fig7Row> {
         clients.push(ClientSpec::new(ClientKind::Web { script }));
         let cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::SlottedStatic {
-                interval: SimDuration::from_ms(500),
-                tcp_weight: w,
-            },
+            SchedulePolicy::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: w },
             clients,
         )
         .with_duration(opt.duration);
@@ -773,10 +749,7 @@ pub fn tab_drop_impact(opt: &ExpOptions) -> Vec<DropRow> {
     let configs = vec![
         ("monitor (capture all)", mk(RadioMode::Monitor, None, 0.0)),
         ("live (real drops)", mk(RadioMode::Live, None, 0.0)),
-        (
-            "live + 5% radio loss (DummyNet)",
-            mk(RadioMode::Live, None, 0.05),
-        ),
+        ("live + 5% radio loss (DummyNet)", mk(RadioMode::Live, None, 0.05)),
         (
             "live + wired pipe 4Mb/s 2ms 5%",
             mk(RadioMode::Live, Some(PipeSpec::PAPER_DUMMYNET), 0.0),
@@ -846,25 +819,24 @@ pub struct PenaltyRow {
 pub fn tab_transition_penalty(opt: &ExpOptions) -> Vec<PenaltyRow> {
     let configs = vec![("500ms", IntervalKind::Fixed500), ("100ms", IntervalKind::Fixed100)];
     parallel_sweep(configs, opt.threads, |(iname, ikind)| {
-        let cfg = ScenarioConfig::new(
-            opt.seed,
-            ikind.policy(),
-            video_clients(VideoPattern::All56, 10),
-        )
-        .with_duration(opt.duration);
+        let cfg =
+            ScenarioConfig::new(opt.seed, ikind.policy(), video_clients(VideoPattern::All56, 10))
+                .with_duration(opt.duration);
         let r = run_scenario(&cfg);
         let n = r.clients.len() as f64;
         let penalty: f64 = r
             .clients
             .iter()
-            .map(|c| {
-                c.post.early_wait.as_secs_f64() + c.post.transitions as f64 * 0.002
-            })
+            .map(|c| c.post.early_wait.as_secs_f64() + c.post.transitions as f64 * 0.002)
             .sum::<f64>()
             / n;
-        let transitions: f64 =
-            r.clients.iter().map(|c| c.post.transitions as f64).sum::<f64>() / n;
-        PenaltyRow { interval: iname, penalty_s: penalty, transitions, saved_pct: r.saved_all().mean }
+        let transitions: f64 = r.clients.iter().map(|c| c.post.transitions as f64).sum::<f64>() / n;
+        PenaltyRow {
+            interval: iname,
+            penalty_s: penalty,
+            transitions,
+            saved_pct: r.saved_all().mean,
+        }
     })
 }
 
@@ -911,10 +883,8 @@ pub struct SplitRow {
 /// the end-to-end RTT by the burst interval, strangling the window.
 pub fn abl_split_connection(opt: &ExpOptions) -> Vec<SplitRow> {
     let size = 3_000_000u64;
-    let configs = vec![
-        ("split (paper design)", ProxyMode::Split),
-        ("pass-through", ProxyMode::PassThrough),
-    ];
+    let configs =
+        vec![("split (paper design)", ProxyMode::Split), ("pass-through", ProxyMode::PassThrough)];
     parallel_sweep(configs, opt.threads, |(label, mode)| {
         let mut cfg = ScenarioConfig::new(
             opt.seed,
@@ -1054,11 +1024,7 @@ pub fn render_interval_sweep(rows: &[IntervalRow]) -> String {
     let mut out = banner("Ablation A3 — burst-interval sweep (10 × 256K video)");
     let mut t = Table::new(vec!["interval (ms)", "saved %", "loss %"]);
     for r in rows {
-        t.row(vec![
-            r.interval_ms.to_string(),
-            fmt_summary(&r.saved),
-            format!("{:.2}", r.loss_pct),
-        ]);
+        t.row(vec![r.interval_ms.to_string(), fmt_summary(&r.saved), format!("{:.2}", r.loss_pct)]);
     }
     out.push_str(&t.render());
     out
@@ -1087,10 +1053,8 @@ pub struct CompRow {
 /// shifts accumulate. Live radios (real losses).
 pub fn abl_delay_compensation(opt: &ExpOptions) -> Vec<CompRow> {
     use powerburst_client::CompMode;
-    let configs = vec![
-        ("adaptive (§3.3)", CompMode::Adaptive),
-        ("fixed anchor", CompMode::FixedAnchor),
-    ];
+    let configs =
+        vec![("adaptive (§3.3)", CompMode::Adaptive), ("fixed anchor", CompMode::FixedAnchor)];
     parallel_sweep(configs, opt.threads, |(label, comp)| {
         let mut clients = video_clients(VideoPattern::All56, 10);
         for c in &mut clients {
@@ -1167,12 +1131,8 @@ pub fn abl_psm_baseline(opt: &ExpOptions) -> Vec<PsmRow> {
         ));
     }
     parallel_sweep(configs, opt.threads, |(label, n, policy)| {
-        let cfg = ScenarioConfig::new(
-            opt.seed,
-            *policy,
-            video_clients(VideoPattern::All256, *n),
-        )
-        .with_duration(opt.duration);
+        let cfg = ScenarioConfig::new(opt.seed, *policy, video_clients(VideoPattern::All256, *n))
+            .with_duration(opt.duration);
         let r = run_scenario(&cfg);
         PsmRow {
             scheme: label,

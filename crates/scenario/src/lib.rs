@@ -25,10 +25,6 @@ pub mod results;
 
 pub use build::{assemble, hosts, run_scenario, Assembled};
 pub use calibrate::{calibrate, Calibration, DEFAULT_SIZES};
-pub use config::{
-    ClientKind, ClientSpec, NetworkConfig, RadioMode, ScenarioConfig, VideoPattern,
-};
+pub use config::{ClientKind, ClientSpec, NetworkConfig, RadioMode, ScenarioConfig, VideoPattern};
 pub use report::{banner, fmt_pct, fmt_summary, Table};
-pub use results::{
-    AppMetrics, ClientResult, FtpSummary, LiveSummary, ScenarioResult, WebSummary,
-};
+pub use results::{AppMetrics, ClientResult, FtpSummary, LiveSummary, ScenarioResult, WebSummary};

@@ -1,8 +1,8 @@
 //! Result structures collected after a scenario run.
 
 use powerburst_client::ClientPowerStats;
-use powerburst_core::ProxyStats;
-use powerburst_net::HostAddr;
+use powerburst_core::{InvariantLog, ProxyStats};
+use powerburst_net::{FaultStats, HostAddr};
 use powerburst_sim::{SimDuration, Summary};
 use powerburst_trace::PostmortemReport;
 use powerburst_traffic::PlayerStats;
@@ -123,6 +123,12 @@ pub struct ScenarioResult {
     pub downshifts: u32,
     /// Admission-control counters, when admission was enabled.
     pub admission: Option<powerburst_core::AdmissionStats>,
+    /// What the fault injector actually did (all zero when no plan).
+    pub faults: FaultStats,
+    /// Runtime invariant violations (empty on a healthy run): slot
+    /// overruns, unmarked bursts, schedule completeness, energy
+    /// conservation, AP ordering.
+    pub invariants: InvariantLog,
 }
 
 impl ScenarioResult {

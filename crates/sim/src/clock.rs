@@ -49,11 +49,8 @@ impl ClockModel {
     /// drift uniform in ±`max_drift_ppm` (crystal oscillators are typically
     /// within ±50 ppm).
     pub fn sample<R: Rng + ?Sized>(rng: &mut R, max_offset_us: i64, max_drift_ppm: f64) -> Self {
-        let offset_us = if max_offset_us == 0 {
-            0
-        } else {
-            rng.random_range(-max_offset_us..=max_offset_us)
-        };
+        let offset_us =
+            if max_offset_us == 0 { 0 } else { rng.random_range(-max_offset_us..=max_offset_us) };
         let drift_ppm = if max_drift_ppm == 0.0 {
             0.0
         } else {
@@ -92,10 +89,7 @@ mod tests {
     fn perfect_clock_is_identity() {
         let c = ClockModel::perfect();
         assert_eq!(c.to_local(SimTime::from_ms(5)), LocalTime(5_000));
-        assert_eq!(
-            c.local_to_true_duration(SimDuration::from_ms(7)),
-            SimDuration::from_ms(7)
-        );
+        assert_eq!(c.local_to_true_duration(SimDuration::from_ms(7)), SimDuration::from_ms(7));
     }
 
     #[test]

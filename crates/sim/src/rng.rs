@@ -37,6 +37,8 @@ pub mod streams {
     pub const CLOCK: u64 = 0x4000_0000;
     /// Access-point delay process.
     pub const AP_DELAY: u64 = 0x5000_0000;
+    /// Fault-injection streams start here; add the fault sub-stream id.
+    pub const FAULT_BASE: u64 = 0x6000_0000;
 }
 
 #[cfg(test)]

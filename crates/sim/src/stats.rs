@@ -44,13 +44,7 @@ impl Summary {
         if n == 0 {
             return Summary { n: 0, mean: 0.0, min: 0.0, max: 0.0, std: 0.0 };
         }
-        Summary {
-            n,
-            mean,
-            min,
-            max,
-            std: (m2 / n as f64).sqrt(),
-        }
+        Summary { n, mean, min, max, std: (m2 / n as f64).sqrt() }
     }
 
     /// Population variance.

@@ -62,10 +62,7 @@ where
 /// Pick a default worker count: the available parallelism, capped so sweeps
 /// don't oversubscribe small CI machines.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
 }
 
 #[cfg(test)]

@@ -311,10 +311,7 @@ mod tests {
         assert!(a < b);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
-        assert_eq!(
-            SimDuration::from_ms(3).max(SimDuration::from_ms(4)),
-            SimDuration::from_ms(4)
-        );
+        assert_eq!(SimDuration::from_ms(3).max(SimDuration::from_ms(4)), SimDuration::from_ms(4));
     }
 
     #[test]

@@ -66,6 +66,84 @@ proptest! {
         }
     }
 
+    /// A cancelled event never pops, even with `peek_time` interleaved
+    /// (peeking removes tombstones from the heap; a bookkeeping slip there
+    /// could resurrect or double-count them).
+    #[test]
+    fn cancelled_events_never_resurrect(
+        times in prop::collection::vec(0u64..1_000, 2..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 2..100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut cancelled = std::collections::HashSet::new();
+        let ids: Vec<_> = times.iter().enumerate()
+            .map(|(v, &t)| q.push(SimTime::from_us(t), v))
+            .collect();
+        for (v, (&id, &kill)) in ids.iter().zip(cancel_mask.iter()).enumerate() {
+            if kill {
+                prop_assert!(q.cancel(id), "first cancel of a pending event succeeds");
+                prop_assert!(!q.cancel(id), "second cancel reports false");
+                cancelled.insert(v);
+            }
+        }
+        let mut popped = Vec::new();
+        // Peek before every pop so the tombstone-pruning path in
+        // `peek_time` runs interleaved with `pop`'s own skipping.
+        while let Some(t) = q.peek_time() {
+            let (pt, v) = q.pop().expect("peeked nonempty");
+            prop_assert_eq!(pt, t, "pop returns the peeked time");
+            prop_assert!(!cancelled.contains(&v), "event {v} was cancelled yet popped");
+            popped.push(v);
+        }
+        prop_assert!(q.pop().is_none());
+        prop_assert_eq!(popped.len(), times.len() - cancelled.len());
+    }
+
+    /// `len()` equals the number of pops remaining at every step.
+    #[test]
+    fn live_count_matches_pops(
+        times in prop::collection::vec(0u64..500, 1..80),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate()
+            .map(|(v, &t)| q.push(SimTime::from_us(t), v))
+            .collect();
+        for (&id, &kill) in ids.iter().zip(cancel_mask.iter()) {
+            if kill { q.cancel(id); }
+        }
+        let mut remaining = q.len();
+        prop_assert_eq!(q.is_empty(), remaining == 0);
+        while q.pop().is_some() {
+            remaining -= 1;
+            prop_assert_eq!(q.len(), remaining);
+        }
+        prop_assert_eq!(remaining, 0);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Pops come out sorted by time, FIFO within equal times — the
+    /// `(time, seq)` total order that makes runs reproducible.
+    #[test]
+    fn pops_follow_time_then_insertion_order(
+        times in prop::collection::vec(0u64..50, 1..120),
+    ) {
+        let mut q = EventQueue::new();
+        for (v, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_us(t), v);
+        }
+        let mut prev: Option<(SimTime, usize)> = None;
+        while let Some((t, v)) = q.pop() {
+            if let Some((pt, pv)) = prev {
+                prop_assert!(t >= pt, "time went backwards: {t} after {pt}");
+                if t == pt {
+                    prop_assert!(v > pv, "FIFO broken at equal time {t}: {v} after {pv}");
+                }
+            }
+            prev = Some((t, v));
+        }
+    }
+
     /// Local-duration round trips stay within one microsecond.
     #[test]
     fn clock_duration_round_trip(

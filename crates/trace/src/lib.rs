@@ -7,13 +7,17 @@
 //!
 //! * [`postmortem`] — the replay simulator ([`analyze_client`]);
 //! * [`summary`] — per-client traffic accounting, medium utilization, and
-//!   JSON-lines export of captures.
+//!   JSON-lines export of captures;
+//! * [`golden`] — the golden-trace regression harness: canonical summary
+//!   rendering plus snapshot compare/refresh.
 
 #![warn(missing_docs)]
 
+pub mod golden;
 pub mod postmortem;
 pub mod summary;
 
+pub use golden::{check_golden, render_postmortem};
 pub use postmortem::{analyze_client, PolicyParams, PostmortemReport};
 pub use summary::{
     client_traffic, medium_summary, to_jsonl, utilization, ClientTraffic, MediumSummary, TraceRow,

@@ -253,13 +253,13 @@ impl Replay {
             Some((mut exp, per)) if per > SimDuration::ZERO => {
                 // Stride over schedules we slept through or failed to hear.
                 while arrival >= exp + per {
-                    exp = exp + per;
+                    exp += per;
                 }
                 if arrival > exp
                     && arrival.since(exp) > RESYNC
                     && (exp + per).since(arrival) <= RESYNC
                 {
-                    exp = exp + per;
+                    exp += per;
                 }
                 let late = arrival > exp;
                 if late && arrival.since(exp) > SPIKE_GUARD && arrival.since(exp) <= RESYNC {
@@ -367,9 +367,9 @@ impl Replay {
                     duration: e.duration,
                     sleep_at_end: e.client.is_broadcast() || sched.fixed_slots,
                 });
-                let wake_at = (anchor + sched.next_srp * u64::from(j)
-                    + e.rp_offset.saturating_sub(lead))
-                .max(t);
+                let wake_at =
+                    (anchor + sched.next_srp * u64::from(j) + e.rp_offset.saturating_sub(lead))
+                        .max(t);
                 self.heap.push(wake_at, PEv::WakeSlot { gen, idx });
                 self.planned_wakes.push(wake_at);
             }
@@ -415,8 +415,7 @@ impl Replay {
                 }
                 self.wnic.wake(t);
                 self.woke_for = Some((WokeFor::Srp, t + self.p.wake_transition));
-                self.heap
-                    .push(t + self.lead() + self.p.miss_slack, PEv::MissDeadline { gen });
+                self.heap.push(t + self.lead() + self.p.miss_slack, PEv::MissDeadline { gen });
             }
             PEv::MissDeadline { gen } => {
                 if gen != self.gen {
@@ -451,8 +450,7 @@ impl Replay {
                     // slot gets no such grace: first frames can't outrun
                     // the normal close, so waiting longer buys nothing.)
                     if !extended && self.pending.is_none() {
-                        self.heap
-                            .push(t + self.p.miss_slack, PEv::SlotEnd { gen, extended: true });
+                        self.heap.push(t + self.p.miss_slack, PEv::SlotEnd { gen, extended: true });
                         return;
                     }
                     self.burst_open = false;
@@ -542,7 +540,11 @@ impl Replay {
                 if std::env::var("PB_DEBUG_MISS").is_ok() {
                     eprintln!(
                         "[miss {}] t={t} mark={} wakes={:?} in_burst={} woke={:?}",
-                        self.client.0, rec.tos_mark, self.planned_wakes, self.in_burst, self.woke_for
+                        self.client.0,
+                        rec.tos_mark,
+                        self.planned_wakes,
+                        self.in_burst,
+                        self.woke_for
                     );
                 }
             }
@@ -582,12 +584,8 @@ pub fn analyze_client(
         r.missed_sched_wait += run_end.since(since);
     }
     let energy = r.wnic.report_at(run_end);
-    let naive = naive_energy_mj(
-        &p.card,
-        run_end.since(SimTime::ZERO),
-        r.naive_rx_airtime,
-        r.tx_airtime,
-    );
+    let naive =
+        naive_energy_mj(&p.card, run_end.since(SimTime::ZERO), r.naive_rx_airtime, r.tx_airtime);
     PostmortemReport {
         energy_mj: energy.total_mj,
         naive_mj: naive,
@@ -706,12 +704,7 @@ mod tests {
         recs.push(sched_record(SimTime::from_ms(5 + 200 + 60), &sched));
         // End the window before the post-recovery SRP would fire, so the
         // end-of-trace tail doesn't register as a second miss.
-        let rep = analyze_client(
-            &recs,
-            CLIENT,
-            SimTime::from_ms(300),
-            &PolicyParams::default(),
-        );
+        let rep = analyze_client(&recs, CLIENT, SimTime::from_ms(300), &PolicyParams::default());
         assert_eq!(rep.schedules_missed, 1);
         assert!(rep.missed_sched_wait >= SimDuration::from_ms(30));
     }
@@ -723,12 +716,7 @@ mod tests {
         // client slept after its 17ms mark and wakes ~97ms).
         recs.push(data_record(SimTime::from_ms(60), false));
         recs.sort_by_key(|r| r.t);
-        let rep = analyze_client(
-            &recs,
-            CLIENT,
-            SimTime::from_ms(305),
-            &PolicyParams::default(),
-        );
+        let rep = analyze_client(&recs, CLIENT, SimTime::from_ms(305), &PolicyParams::default());
         assert_eq!(rep.missed, 1);
         assert!(rep.loss_fraction() > 0.0);
     }

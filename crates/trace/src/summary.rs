@@ -206,12 +206,7 @@ mod tests {
             Bytes::from(vec![0u8; 100]),
         );
         pkt.tos_mark = mark;
-        SnifferRecord::of(
-            SimTime::from_ms(t_ms),
-            &pkt,
-            SimDuration::from_us(900),
-            delivery,
-        )
+        SnifferRecord::of(SimTime::from_ms(t_ms), &pkt, SimDuration::from_us(900), delivery)
     }
 
     #[test]

@@ -293,7 +293,13 @@ impl WebClientApp {
             let local = SockAddr::new(self.me_host, port);
             let mut ep = TcpEndpoint::active(local, self.server, self.tcp);
             ep.connect(now);
-            self.conns.push(BrowserConn { ep, queue, current: None, connected: false, done: false });
+            self.conns.push(BrowserConn {
+                ep,
+                queue,
+                current: None,
+                connected: false,
+                done: false,
+            });
         }
         for i in 0..self.conns.len() {
             self.drive_conn(ctx, i);
@@ -332,9 +338,7 @@ impl WebClientApp {
                 if let Some((size, got, t0)) = conn.current.as_mut() {
                     *got += chunk.len() as u64;
                     if *got >= *size {
-                        self.stats
-                            .object_latencies_s
-                            .push(now.since(*t0).as_secs_f64());
+                        self.stats.object_latencies_s.push(now.since(*t0).as_secs_f64());
                         self.stats.objects_done += 1;
                         conn.current = None;
                         finished_obj = true;
@@ -375,10 +379,8 @@ impl App for WebClientApp {
         if pkt.proto != Proto::Tcp {
             return;
         }
-        let Some(i) = self
-            .conns
-            .iter()
-            .position(|c| c.ep.local() == pkt.dst && c.ep.remote() == pkt.src)
+        let Some(i) =
+            self.conns.iter().position(|c| c.ep.local() == pkt.dst && c.ep.remote() == pkt.src)
         else {
             return;
         };
@@ -451,10 +453,7 @@ mod tests {
         let cfg = WebScriptConfig::default();
         let a = generate_script(&cfg, &mut derive_rng(1, 2));
         let b = generate_script(&cfg, &mut derive_rng(9, 2));
-        let same = a
-            .iter()
-            .zip(&b)
-            .all(|(x, y)| x.objects == y.objects && x.think == y.think);
+        let same = a.iter().zip(&b).all(|(x, y)| x.objects == y.objects && x.think == y.think);
         assert!(!same);
     }
 }

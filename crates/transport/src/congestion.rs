@@ -112,10 +112,7 @@ mod tests {
             acked += MSS as u64;
         }
         let growth = c.cwnd() - w0;
-        assert!(
-            growth >= (MSS / 2) as u64 && growth <= 2 * MSS as u64,
-            "growth {growth}"
-        );
+        assert!(growth >= (MSS / 2) as u64 && growth <= 2 * MSS as u64, "growth {growth}");
     }
 
     #[test]

@@ -317,16 +317,10 @@ mod tests {
         // the endpoint honors that (the phenomenon behind the paper's
         // split-connection design).
         let cfg = TcpConfig::default();
-        let a = TcpEndpoint::active(
-            SockAddr::new(HostAddr(1), 1),
-            SockAddr::new(HostAddr(2), 2),
-            cfg,
-        );
-        let b = TcpEndpoint::passive(
-            SockAddr::new(HostAddr(2), 2),
-            SockAddr::new(HostAddr(1), 1),
-            cfg,
-        );
+        let a =
+            TcpEndpoint::active(SockAddr::new(HostAddr(1), 1), SockAddr::new(HostAddr(2), 2), cfg);
+        let b =
+            TcpEndpoint::passive(SockAddr::new(HostAddr(2), 2), SockAddr::new(HostAddr(1), 1), cfg);
         let mut lo = Loopback::new(a, b, SimDuration::from_ms(125));
         lo.a.connect(SimTime::ZERO);
         lo.run(50);

@@ -39,11 +39,8 @@ impl Reassembly {
             return Vec::new(); // complete duplicate
         }
         // Trim any prefix we already have.
-        let data = if offset < self.next {
-            data.slice((self.next - offset) as usize..)
-        } else {
-            data
-        };
+        let data =
+            if offset < self.next { data.slice((self.next - offset) as usize..) } else { data };
         let offset = offset.max(self.next);
 
         // Park it unless an existing segment fully covers it.
@@ -82,10 +79,7 @@ mod tests {
     }
 
     fn drain(v: Vec<Bytes>) -> String {
-        v.iter()
-            .map(|x| std::str::from_utf8(x).unwrap().to_string())
-            .collect::<Vec<_>>()
-            .join("")
+        v.iter().map(|x| std::str::from_utf8(x).unwrap().to_string()).collect::<Vec<_>>().join("")
     }
 
     #[test]

@@ -234,10 +234,7 @@ impl TcpEndpoint {
 
     /// Bytes the windows currently allow on the wire beyond the flight.
     pub fn window_available(&self) -> u64 {
-        self.reno
-            .cwnd()
-            .min(self.peer_window as u64)
-            .saturating_sub(self.sendbuf.flight())
+        self.reno.cwnd().min(self.peer_window as u64).saturating_sub(self.sendbuf.flight())
     }
 
     /// Bytes in flight.
@@ -316,6 +313,11 @@ impl TcpEndpoint {
     /// Request a mark at an explicit stream offset (exclusive end).
     pub fn set_mark(&mut self, offset: u64) {
         self.pending_mark = Some(offset);
+    }
+
+    /// True while a requested mark has not yet gone out on a segment.
+    pub fn has_pending_mark(&self) -> bool {
+        self.pending_mark.is_some()
     }
 
     /// Graceful close: FIN after the queue drains.

@@ -6,20 +6,14 @@ use proptest::prelude::*;
 
 use powerburst_net::{HostAddr, SockAddr};
 use powerburst_sim::{SimDuration, SimTime};
-use powerburst_transport::{Loopback, Reassembly, SendBuffer, TcpConfig, TcpEndpoint};
+use powerburst_transport::{Loopback, Reassembly, Reno, SendBuffer, TcpConfig, TcpEndpoint};
 
 fn pair(delay_ms: u64) -> Loopback {
     let cfg = TcpConfig::default();
-    let a = TcpEndpoint::active(
-        SockAddr::new(HostAddr(1), 1000),
-        SockAddr::new(HostAddr(2), 80),
-        cfg,
-    );
-    let b = TcpEndpoint::passive(
-        SockAddr::new(HostAddr(2), 80),
-        SockAddr::new(HostAddr(1), 1000),
-        cfg,
-    );
+    let a =
+        TcpEndpoint::active(SockAddr::new(HostAddr(1), 1000), SockAddr::new(HostAddr(2), 80), cfg);
+    let b =
+        TcpEndpoint::passive(SockAddr::new(HostAddr(2), 80), SockAddr::new(HostAddr(1), 1000), cfg);
     Loopback::new(a, b, SimDuration::from_ms(delay_ms))
 }
 
@@ -70,6 +64,113 @@ proptest! {
         // Everything released must match the reference stream prefix.
         for (i, b) in out.iter().enumerate() {
             prop_assert_eq!(*b as u64, i as u64 % 256);
+        }
+    }
+
+    /// Reassembly under an injected fault pattern — segments dropped,
+    /// duplicated, and delivered in a seed-shuffled order, then the drops
+    /// "retransmitted" — still yields the exact stream, each byte once.
+    #[test]
+    fn reassembly_survives_loss_reorder_duplication(
+        total in 1usize..4_000,
+        seg_len in 1usize..300,
+        seed in 0u64..10_000,
+        drop_pct in 0u64..40,
+        dup_pct in 0u64..40,
+    ) {
+        // Cut [0, total) into consecutive segments.
+        let segs: Vec<(u64, usize)> = (0..total)
+            .step_by(seg_len)
+            .map(|off| (off as u64, seg_len.min(total - off)))
+            .collect();
+        let payload = |off: u64, len: usize| -> Bytes {
+            Bytes::from((off..off + len as u64).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+        };
+        let hash = |idx: u64, salt: u64| -> u64 {
+            idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed ^ salt)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                >> 33
+        };
+
+        // First flight: shuffle, drop some, duplicate some.
+        let mut order: Vec<usize> = (0..segs.len()).collect();
+        order.sort_by_key(|&i| hash(i as u64, 1));
+        let mut r = Reassembly::new();
+        let mut out: Vec<u8> = Vec::new();
+        let deliver = |r: &mut Reassembly, out: &mut Vec<u8>, (off, len): (u64, usize)| {
+            let before = r.next_expected();
+            for chunk in r.insert(off, payload(off, len)) {
+                out.extend_from_slice(&chunk);
+            }
+            // The ACK point never moves backwards and tracks releases.
+            assert!(r.next_expected() >= before);
+            assert_eq!(out.len() as u64, r.next_expected());
+        };
+        for &i in &order {
+            if hash(i as u64, 2) % 100 < drop_pct {
+                continue; // lost in flight
+            }
+            deliver(&mut r, &mut out, segs[i]);
+            if hash(i as u64, 3) % 100 < dup_pct {
+                deliver(&mut r, &mut out, segs[i]); // duplicated in flight
+            }
+        }
+        // Retransmission pass: every segment again, in order.
+        for &s in &segs {
+            deliver(&mut r, &mut out, s);
+        }
+
+        prop_assert_eq!(out.len(), total, "every byte delivered exactly once");
+        prop_assert_eq!(r.next_expected(), total as u64);
+        prop_assert_eq!(r.held_bytes(), 0, "nothing left parked after recovery");
+        for (i, b) in out.iter().enumerate() {
+            prop_assert_eq!(*b as u64, i as u64 % 251, "byte {} corrupted", i);
+        }
+    }
+
+    /// Reno window invariants hold under any interleaving of ACKs, fast
+    /// retransmits, and timeouts: cwnd stays ≥ 1 MSS, grows ≤ 1 MSS per
+    /// ACK, loss signals land on their documented floors.
+    #[test]
+    fn reno_invariants_under_arbitrary_loss_signals(
+        events in prop::collection::vec(
+            prop_oneof![
+                (1u64..5_000).prop_map(Some),  // ACK of n bytes
+                Just(None),                    // loss signal
+            ],
+            1..300,
+        ),
+        timeout_mask in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        const MSS: u64 = 1460;
+        let mut c = Reno::new(MSS as usize);
+        for (ev, &is_timeout) in events.iter().zip(timeout_mask.iter().cycle()) {
+            let before = c.cwnd();
+            match *ev {
+                Some(acked) => {
+                    c.on_ack(acked);
+                    prop_assert!(c.cwnd() >= before, "ACK shrank the window");
+                    prop_assert!(
+                        c.cwnd() <= before + MSS,
+                        "ACK grew cwnd by {} > 1 MSS", c.cwnd() - before
+                    );
+                }
+                None if is_timeout => {
+                    c.on_timeout(before);
+                    prop_assert_eq!(c.cwnd(), MSS, "timeout collapses to one segment");
+                    prop_assert!(c.in_slow_start(), "timeout re-enters slow start");
+                    prop_assert!(c.ssthresh() >= 2 * MSS);
+                }
+                None => {
+                    c.on_fast_retransmit(before);
+                    prop_assert_eq!(c.cwnd(), c.ssthresh(), "fast recovery deflates to ssthresh");
+                    prop_assert!(c.cwnd() >= 2 * MSS, "fast-retransmit floor is 2 MSS");
+                    prop_assert!(c.cwnd() >= before / 2, "deflation is to half, not below");
+                    prop_assert!(!c.in_slow_start());
+                }
+            }
+            prop_assert!(c.cwnd() >= MSS, "window can never starve below 1 MSS");
         }
     }
 

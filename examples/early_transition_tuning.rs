@@ -11,14 +11,11 @@
 //! ```
 
 use powerburst::prelude::*;
-use powerburst::scenario::report::Table;
 use powerburst::scenario::hosts;
+use powerburst::scenario::report::Table;
 
 fn main() {
-    let secs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(119);
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(119);
 
     // One streaming client, 100 ms bursts — capture the trace once.
     let cfg = ScenarioConfig::new(
@@ -64,8 +61,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!(
-        "minimum waste at {} ms early (the paper picked 6 ms on its testbed)",
-        best.0
-    );
+    println!("minimum waste at {} ms early (the paper picked 6 ms on its testbed)", best.0);
 }

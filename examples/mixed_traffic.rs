@@ -12,10 +12,7 @@ use powerburst::prelude::*;
 use powerburst::scenario::report::{fmt_summary, Table};
 
 fn main() {
-    let secs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
 
     let patterns = [
         ("56K/TCP", VideoPattern::All56),
@@ -33,9 +30,7 @@ fn main() {
             .map(|f| ClientSpec::new(ClientKind::Video { fidelity: f }))
             .collect();
         for _ in 0..3 {
-            clients.push(ClientSpec::new(ClientKind::Web {
-                script: WebScriptConfig::default(),
-            }));
+            clients.push(ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }));
         }
         let cfg = ScenarioConfig::new(
             5,

@@ -13,10 +13,7 @@ use powerburst::prelude::*;
 use powerburst::scenario::report::{fmt_summary, Table};
 
 fn main() {
-    let secs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
 
     let policies: [(&str, SchedulePolicy); 3] = [
         ("100ms", SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) }),
@@ -46,8 +43,8 @@ fn main() {
                 .into_iter()
                 .map(|f| ClientSpec::new(ClientKind::Video { fidelity: f }))
                 .collect();
-            let cfg = ScenarioConfig::new(1, policy, clients)
-                .with_duration(SimDuration::from_secs(secs));
+            let cfg =
+                ScenarioConfig::new(1, policy, clients).with_duration(SimDuration::from_secs(secs));
             let r = run_scenario(&cfg);
             table.row(vec![
                 pattern.label().to_string(),

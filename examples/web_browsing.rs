@@ -14,10 +14,7 @@ use powerburst::prelude::*;
 use powerburst::scenario::report::{fmt_summary, Table};
 
 fn main() {
-    let secs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(90);
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(90);
 
     let policies: [(&str, SchedulePolicy); 3] = [
         ("100ms", SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) }),
@@ -32,13 +29,8 @@ fn main() {
     ];
 
     println!("ten web clients, {secs}s per run\n");
-    let mut table = Table::new(vec![
-        "interval",
-        "saved % (min–max)",
-        "objects",
-        "pages",
-        "mean obj latency",
-    ]);
+    let mut table =
+        Table::new(vec!["interval", "saved % (min–max)", "objects", "pages", "mean obj latency"]);
     for (pname, policy) in policies {
         let clients = (0..10)
             .map(|_| ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }))
@@ -46,16 +38,9 @@ fn main() {
         let cfg =
             ScenarioConfig::new(3, policy, clients).with_duration(SimDuration::from_secs(secs));
         let r = run_scenario(&cfg);
-        let objects: usize = r
-            .clients
-            .iter()
-            .filter_map(|c| c.app.web.map(|w| w.objects_done))
-            .sum();
-        let pages: usize = r
-            .clients
-            .iter()
-            .filter_map(|c| c.app.web.map(|w| w.pages_done))
-            .sum();
+        let objects: usize =
+            r.clients.iter().filter_map(|c| c.app.web.map(|w| w.objects_done)).sum();
+        let pages: usize = r.clients.iter().filter_map(|c| c.app.web.map(|w| w.pages_done)).sum();
         let lat: Vec<f64> = r
             .clients
             .iter()

@@ -56,6 +56,10 @@ USAGE:
                  [--interval 100|500|var] [--secs S] [--seed K]
                  [--web N] [--ftp BYTES] [--live] [--psm] [--static]
                  [--admission] [--trace-out FILE]
+                 [--fault-loss P] [--fault-dup P] [--fault-reorder P]
+                 [--fault-reorder-ms M] [--fault-sched-drop P]
+                 [--fault-jitter-ms M] [--fault-jitter-prob P]
+                 [--fault-skew-ppm X]
   powerburst calibrate [--seed K]
   powerburst experiment <name>|all [--secs S] [--seed K]
   powerburst list";
@@ -142,14 +146,27 @@ fn cmd_run(args: &[String]) -> ExitCode {
         clients.push(ClientSpec::new(ClientKind::Ftp { size: ftp }));
     }
 
-    let mut cfg = ScenarioConfig::new(seed, policy, clients)
-        .with_duration(SimDuration::from_secs(secs));
+    let mut cfg =
+        ScenarioConfig::new(seed, policy, clients).with_duration(SimDuration::from_secs(secs));
     if f.has("--live") {
         cfg.radio = RadioMode::Live;
     }
     if f.has("--admission") {
         cfg.admission = Some(powerburst::core::AdmissionConfig::default());
     }
+    cfg.faults = FaultPlan {
+        loss_prob: f.parse("--fault-loss", 0.0),
+        dup_prob: f.parse("--fault-dup", 0.0),
+        reorder_prob: f.parse("--fault-reorder", 0.0),
+        reorder_max: SimDuration::from_ms(f.parse("--fault-reorder-ms", 5)),
+        sched_drop_prob: f.parse("--fault-sched-drop", 0.0),
+        ap_jitter_prob: f.parse(
+            "--fault-jitter-prob",
+            if f.get("--fault-jitter-ms").is_some() { 0.2 } else { 0.0 },
+        ),
+        ap_jitter_max: SimDuration::from_ms(f.parse("--fault-jitter-ms", 0)),
+        clock_skew_ppm: f.parse("--fault-skew-ppm", 0.0),
+    };
 
     eprintln!(
         "running {} clients for {secs}s (seed {seed}, {} radio)...",
@@ -197,26 +214,37 @@ fn cmd_run(args: &[String]) -> ExitCode {
             a.admitted, a.rejected, a.packets_refused
         );
     }
+    if !cfg.faults.is_none() {
+        let fs = r.faults;
+        println!(
+            "faults: {} lost, {} SRP dropped, {} duplicated, {} reordered, {} AP spikes",
+            fs.frames_lost,
+            fs.schedules_dropped,
+            fs.frames_duplicated,
+            fs.frames_reordered,
+            fs.ap_spikes,
+        );
+    }
+    if r.invariants.is_clean() {
+        println!("invariants: clean");
+    } else {
+        println!("invariants: {} violation(s)", r.invariants.total());
+        for v in r.invariants.violations().iter().take(5) {
+            println!("  {v}");
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn cmd_calibrate(args: &[String]) -> ExitCode {
     let f = Flags { args };
     let seed: u64 = f.parse("--seed", 7);
-    let cal = calibrate(
-        &NetworkConfig::default(),
-        seed,
-        &powerburst::scenario::DEFAULT_SIZES,
-        20,
-    );
+    let cal = calibrate(&NetworkConfig::default(), seed, &powerburst::scenario::DEFAULT_SIZES, 20);
     println!(
         "fitted send-cost model: time_us = {:.1} + {:.4} * bytes (R² {:.4}, {} samples)",
         cal.model.alpha_us, cal.model.beta_us, cal.r2, cal.samples
     );
-    println!(
-        "effective bandwidth at 728 B frames: {:.2} Mb/s",
-        cal.model.effective_bps(728) / 1e6
-    );
+    println!("effective bandwidth at 728 B frames: {:.2} Mb/s", cal.model.effective_bps(728) / 1e6);
     ExitCode::SUCCESS
 }
 

@@ -45,12 +45,15 @@ pub use powerburst_transport as transport;
 pub mod prelude {
     pub use powerburst_client::{ClientConfig, ClientPowerStats, CompMode, PowerClient};
     pub use powerburst_core::{
-        BandwidthModel, Proxy, ProxyConfig, ProxyMode, Schedule, SchedulePolicy,
+        BandwidthModel, InvariantKind, InvariantLog, Proxy, ProxyConfig, ProxyMode, Schedule,
+        SchedulePolicy, Violation,
     };
     pub use powerburst_energy::{
         naive_energy_mj, optimal_savings_for_rate, CardSpec, EnergyReport, Wnic,
     };
-    pub use powerburst_net::{AirtimeModel, ApDelayParams, HostAddr, LinkSpec, PipeSpec, World};
+    pub use powerburst_net::{
+        AirtimeModel, ApDelayParams, FaultPlan, FaultStats, HostAddr, LinkSpec, PipeSpec, World,
+    };
     pub use powerburst_scenario::{
         assemble, calibrate, run_scenario, ClientKind, ClientSpec, NetworkConfig, RadioMode,
         ScenarioConfig, ScenarioResult, VideoPattern,

@@ -5,9 +5,7 @@
 use powerburst::prelude::*;
 
 fn video_cfg(n: usize, fid: Fidelity, policy: SchedulePolicy, secs: u64) -> ScenarioConfig {
-    let clients = (0..n)
-        .map(|_| ClientSpec::new(ClientKind::Video { fidelity: fid }))
-        .collect();
+    let clients = (0..n).map(|_| ClientSpec::new(ClientKind::Video { fidelity: fid })).collect();
     ScenarioConfig::new(11, policy, clients).with_duration(SimDuration::from_secs(secs))
 }
 
@@ -87,10 +85,7 @@ fn measured_savings_within_fifteen_points_of_optimal() {
     .saved
         * 100.0;
     let measured = r.saved_all().mean;
-    assert!(
-        optimal - measured < 15.0,
-        "measured {measured:.1}% vs optimal {optimal:.1}%"
-    );
+    assert!(optimal - measured < 15.0, "measured {measured:.1}% vs optimal {optimal:.1}%");
     assert!(measured <= optimal + 1.0, "measured can't beat optimal");
 }
 
@@ -112,10 +107,7 @@ fn different_seeds_differ() {
     cfg_b.seed = 12;
     let a = run_scenario(&video_cfg(5, Fidelity::K128, fixed(100), 20));
     let b = run_scenario(&cfg_b);
-    assert_ne!(
-        a.clients[0].post.energy_mj.to_bits(),
-        b.clients[0].post.energy_mj.to_bits()
-    );
+    assert_ne!(a.clients[0].post.energy_mj.to_bits(), b.clients[0].post.energy_mj.to_bits());
 }
 
 #[test]
@@ -138,14 +130,10 @@ fn web_browsing_fetches_pages_and_saves_energy() {
     let clients = (0..3)
         .map(|_| ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }))
         .collect();
-    let cfg = ScenarioConfig::new(11, fixed(100), clients)
-        .with_duration(SimDuration::from_secs(40));
+    let cfg =
+        ScenarioConfig::new(11, fixed(100), clients).with_duration(SimDuration::from_secs(40));
     let r = run_scenario(&cfg);
-    let objects: usize = r
-        .clients
-        .iter()
-        .filter_map(|c| c.app.web.map(|w| w.objects_done))
-        .sum();
+    let objects: usize = r.clients.iter().filter_map(|c| c.app.web.map(|w| w.objects_done)).sum();
     assert!(objects > 5, "objects fetched: {objects}");
     assert!(r.saved_all().mean > 40.0, "web saved {:.1}%", r.saved_all().mean);
 }
@@ -196,8 +184,5 @@ fn variable_interval_stretches_under_load() {
     // Schedules sent per second: light ≈ every 100 ms, heavy ≈ stretched.
     let light_rate = light.proxy.schedules_sent as f64 / 30.0;
     let heavy_rate = heavy.proxy.schedules_sent as f64 / 30.0;
-    assert!(
-        heavy_rate < light_rate,
-        "heavy {heavy_rate:.1}/s !< light {light_rate:.1}/s"
-    );
+    assert!(heavy_rate < light_rate, "heavy {heavy_rate:.1}/s !< light {light_rate:.1}/s");
 }

@@ -1,0 +1,94 @@
+//! Golden-trace regression tests: a fixed-seed run's rendered summary is
+//! snapshotted under `tests/golden/` and any drift fails the build.
+//!
+//! Refresh intentionally-changed snapshots with
+//! `PB_UPDATE_GOLDEN=1 cargo test --test golden_trace`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use powerburst::prelude::*;
+use powerburst::trace::{check_golden, render_postmortem};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
+}
+
+fn video_cfg(seed: u64) -> ScenarioConfig {
+    let clients =
+        (0..5).map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })).collect();
+    ScenarioConfig::new(
+        seed,
+        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        clients,
+    )
+    .with_duration(SimDuration::from_secs(20))
+}
+
+/// Canonical rendering of a whole run: run-level counters, fault stats,
+/// then each client's postmortem block.
+fn render_run(r: &ScenarioResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "[run]");
+    let _ = writeln!(s, "clients = {}", r.clients.len());
+    let _ = writeln!(s, "duration_us = {}", r.duration.as_us());
+    let _ = writeln!(s, "schedules_sent = {}", r.proxy.schedules_sent);
+    let _ = writeln!(s, "bursts = {}", r.proxy.bursts);
+    let _ = writeln!(s, "udp_packets_sent = {}", r.proxy.udp_packets_sent);
+    let _ = writeln!(s, "udp_bytes_sent = {}", r.proxy.udp_bytes_sent);
+    let _ = writeln!(s, "tcp_bytes_fed = {}", r.proxy.tcp_bytes_fed);
+    let _ = writeln!(s, "medium_drops = {}", r.medium_drops);
+    let _ = writeln!(s, "trace_frames = {}", r.trace_frames);
+    let _ = writeln!(s, "frames_lost = {}", r.faults.frames_lost);
+    let _ = writeln!(s, "schedules_dropped = {}", r.faults.schedules_dropped);
+    let _ = writeln!(s, "frames_duplicated = {}", r.faults.frames_duplicated);
+    let _ = writeln!(s, "frames_reordered = {}", r.faults.frames_reordered);
+    let _ = writeln!(s, "ap_spikes = {}", r.faults.ap_spikes);
+    let _ = writeln!(s, "invariant_violations = {}", r.invariants.total());
+    for c in &r.clients {
+        s.push_str(&render_postmortem(&format!("client-{} {}", c.host.0, c.label), &c.post));
+    }
+    s
+}
+
+#[test]
+fn baseline_run_matches_golden_snapshot() {
+    let cfg = video_cfg(42);
+    let rendered = render_run(&run_scenario(&cfg));
+    // Same seed, same build → bit-identical rendering.
+    let again = render_run(&run_scenario(&cfg));
+    assert_eq!(rendered, again, "same-seed runs must render identically");
+    if let Err(e) = check_golden(&golden_path("baseline_5c_seed42.txt"), &rendered) {
+        panic!("{e}");
+    }
+}
+
+#[test]
+fn faulted_run_matches_golden_snapshot() {
+    let mut cfg = video_cfg(42);
+    cfg.faults = FaultPlan {
+        loss_prob: 0.05,
+        dup_prob: 0.01,
+        reorder_prob: 0.02,
+        reorder_max: SimDuration::from_ms(5),
+        sched_drop_prob: 0.02,
+        ap_jitter_prob: 0.2,
+        ap_jitter_max: SimDuration::from_ms(10),
+        clock_skew_ppm: 40.0,
+    };
+    let rendered = render_run(&run_scenario(&cfg));
+    let again = render_run(&run_scenario(&cfg));
+    assert_eq!(rendered, again, "same-seed faulted runs must render identically");
+    if let Err(e) = check_golden(&golden_path("faulted_5c_seed42.txt"), &rendered) {
+        panic!("{e}");
+    }
+}
+
+#[test]
+fn different_seed_renders_differently() {
+    // Guard against a renderer that ignores its input: a different seed
+    // must change the snapshot (frame timings, energy, counters).
+    let a = render_run(&run_scenario(&video_cfg(42)));
+    let b = render_run(&run_scenario(&video_cfg(43)));
+    assert_ne!(a, b);
+}
