@@ -25,6 +25,7 @@
 
 use std::any::Any;
 
+use powerburst_obs::{Counter, EventKind, Hist, Recorder};
 use powerburst_sim::{LocalTime, SimDuration, SimTime};
 
 use powerburst_core::Schedule;
@@ -114,6 +115,16 @@ enum WokeFor {
     Burst,
 }
 
+impl WokeFor {
+    /// Static label for observability events.
+    fn tag(self) -> &'static str {
+        match self {
+            WokeFor::Srp => "srp",
+            WokeFor::Burst => "burst",
+        }
+    }
+}
+
 /// A slot of the active schedule that applies to this client.
 #[derive(Debug, Clone, Copy)]
 struct MySlot {
@@ -146,6 +157,8 @@ pub struct PowerClient {
     synced: bool,
     /// Statistics.
     pub stats: ClientPowerStats,
+    /// Observability handle; disabled by default.
+    obs: Recorder,
 }
 
 impl PowerClient {
@@ -163,7 +176,13 @@ impl PowerClient {
             anchor: None,
             synced: false,
             stats: ClientPowerStats::default(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
     }
 
     /// Access the hosted application.
@@ -208,8 +227,18 @@ impl PowerClient {
 
     /// Bill early-wait waste when the awaited packet shows up.
     fn account_arrival(&mut self, now: SimTime) {
-        if let Some((_, listen_start)) = self.woke_for.take() {
-            self.stats.early_wait += now.since(listen_start);
+        if let Some((woke, listen_start)) = self.woke_for.take() {
+            let lead = now.since(listen_start);
+            self.stats.early_wait += lead;
+            self.obs.observe(Hist::WakeLeadUs, lead.as_us());
+            self.obs.event(
+                now.as_us(),
+                EventKind::WakeLead {
+                    client: self.cfg.me.0,
+                    lead_us: lead.as_us(),
+                    woke_for: woke.tag(),
+                },
+            );
         }
     }
 
@@ -274,6 +303,7 @@ impl PowerClient {
             return;
         }
         self.synced = true;
+        self.obs.incr(Counter::ClientSchedulesApplied);
         if self.anchor.is_none() {
             self.anchor = Some((ctx.to_local(arrival), sched.seq, sched.next_srp));
         }
@@ -330,6 +360,7 @@ impl PowerClient {
         // which case this schedule is reused for the following interval.
         if sched.unchanged && self.cfg.skip_unchanged && !mine.is_empty() {
             self.stats.skipped_srp_wakes += 1;
+            self.obs.incr(Counter::ClientSkippedWakes);
             for e in mine.iter() {
                 let idx = self.slots.len();
                 self.slots.push(MySlot {
@@ -364,6 +395,7 @@ impl PowerClient {
         self.app.on_packet(ctx, pkt);
         if marked {
             self.stats.marks_received += 1;
+            self.obs.incr(Counter::ClientMarksSeen);
             self.in_burst = false;
             if let Some((sched, arrival)) = self.pending_schedule.take() {
                 self.apply_schedule(ctx, sched, arrival);
@@ -406,6 +438,7 @@ impl Node for PowerClient {
             T_MISS if self.woke_for.map(|(w, _)| w) == Some(WokeFor::Srp) => {
                 // No schedule: stay awake until one arrives (§4.3).
                 self.stats.schedules_missed += 1;
+                self.obs.incr(Counter::ClientSchedulesMissed);
                 self.woke_for = None;
                 self.miss_since = Some(now);
             }

@@ -58,6 +58,7 @@ impl ScriptedProxy {
             next_srp: SimDuration::from_ms(INTERVAL_MS),
             unchanged: self.flag_unchanged && self.seq > 0,
             fixed_slots: false,
+            saturated: false,
         }
     }
 }

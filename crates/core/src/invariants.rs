@@ -26,6 +26,7 @@
 use std::fmt;
 
 use powerburst_net::HostAddr;
+use powerburst_obs::{Counter, EventKind, Hist, Recorder};
 use powerburst_sim::{SimDuration, SimTime};
 
 use crate::schedule::{ClientDemand, Schedule};
@@ -44,6 +45,9 @@ pub enum InvariantKind {
     EnergyConservation,
     /// The access point forwarded frames out of arrival order.
     ApOrdering,
+    /// A schedule entry's µs offset or duration exceeded the u32 wire
+    /// range and was clamped during encoding (never silently wrapped).
+    WireOverflow,
 }
 
 impl fmt::Display for InvariantKind {
@@ -54,6 +58,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::MissingClient => "missing-client",
             InvariantKind::EnergyConservation => "energy-conservation",
             InvariantKind::ApOrdering => "ap-ordering",
+            InvariantKind::WireOverflow => "wire-overflow",
         };
         f.write_str(s)
     }
@@ -170,12 +175,20 @@ pub struct ScheduleAuditor {
     /// Collected violations.
     pub log: InvariantLog,
     open: Option<BurstAudit>,
+    /// Observability sink for burst boundaries and slot margins; the
+    /// default (disabled) recorder costs one branch per call.
+    obs: Recorder,
 }
 
 impl ScheduleAuditor {
     /// A fresh auditor.
     pub fn new() -> ScheduleAuditor {
         ScheduleAuditor::default()
+    }
+
+    /// Route burst events and slot-margin metrics to `rec`.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
     }
 
     /// Check schedule completeness: every client with queued demand must
@@ -220,6 +233,12 @@ impl ScheduleAuditor {
         expect_mark: bool,
     ) {
         self.end_burst(now);
+        self.obs.incr(Counter::BurstsStarted);
+        self.obs.observe(Hist::BurstLenUs, budget.as_us());
+        self.obs.event(
+            now.as_us(),
+            EventKind::BurstStart { client: client.0, budget_us: budget.as_us() },
+        );
         self.open = Some(BurstAudit {
             client,
             budget,
@@ -254,6 +273,23 @@ impl ScheduleAuditor {
     /// Close the open burst and run its checks.
     pub fn end_burst(&mut self, now: SimTime) {
         let Some(b) = self.open.take() else { return };
+        self.obs.incr(Counter::BurstsCompleted);
+        let allowance = (b.budget + b.grace).as_us() as i64;
+        let margin = allowance - b.spent.as_us() as i64;
+        self.obs.event(
+            now.as_us(),
+            EventKind::BurstEnd {
+                client: b.client.0,
+                spent_us: b.spent.as_us(),
+                margin_us: margin,
+            },
+        );
+        if margin >= 0 {
+            self.obs.observe(Hist::SlotMarginUs, margin as u64);
+        } else {
+            self.obs.incr(Counter::SlotOverruns);
+            self.obs.observe(Hist::SlotOverrunUs, margin.unsigned_abs());
+        }
         if b.spent > b.budget + b.grace {
             self.log.record(Violation {
                 kind: InvariantKind::SlotOverrun,
@@ -312,6 +348,7 @@ mod tests {
             next_srp: SimDuration::from_ms(100),
             unchanged: false,
             fixed_slots: false,
+            saturated: false,
         }
     }
 

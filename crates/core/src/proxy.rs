@@ -32,6 +32,7 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
+use powerburst_obs::{Counter, EventKind, Gauge, Hist, Recorder};
 use powerburst_sim::{SimDuration, SimTime};
 
 use powerburst_net::{
@@ -41,7 +42,7 @@ use powerburst_transport::{TcpConfig, TcpEndpoint, TcpEvent};
 
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionStats};
 use crate::bandwidth::BandwidthModel;
-use crate::invariants::{InvariantLog, ScheduleAuditor};
+use crate::invariants::{InvariantKind, InvariantLog, ScheduleAuditor, Violation};
 use crate::marking::MarkCoordinator;
 use crate::queues::PacketQueue;
 use crate::schedule::{build_schedule, BuilderConfig, ClientDemand, Schedule, SchedulePolicy};
@@ -185,6 +186,8 @@ pub struct Proxy {
     pub stats: ProxyStats,
     /// Runtime contract checks (slot budgets, marks, completeness).
     audit: ScheduleAuditor,
+    /// Observability sink (disabled by default; one branch per call).
+    obs: Recorder,
 }
 
 impl Proxy {
@@ -215,7 +218,14 @@ impl Proxy {
             seq: 0,
             stats: ProxyStats::default(),
             audit: ScheduleAuditor::new(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Route metrics and events to `rec` (shared with the burst auditor).
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.audit.set_recorder(rec.clone());
+        self.obs = rec;
     }
 
     /// Invariant violations recorded so far.
@@ -291,6 +301,23 @@ impl Proxy {
 
     fn on_srp(&mut self, ctx: &mut Ctx<'_>) {
         let demands = self.demand_snapshot();
+        if self.obs.enabled() {
+            let mut backlog = 0i64;
+            for (d, c) in demands.iter().zip(&self.clients) {
+                backlog += d.total() as i64;
+                self.obs.observe(Hist::QueueDepthBytes, d.total());
+                self.obs.observe(Hist::QueueDepthPkts, c.queue.len() as u64);
+                self.obs.event(
+                    ctx.now().as_us(),
+                    EventKind::QueueDepth {
+                        client: d.client.0,
+                        bytes: d.total(),
+                        pkts: c.queue.len() as u64,
+                    },
+                );
+            }
+            self.obs.gauge_set(Gauge::BacklogBytes, backlog);
+        }
         if std::env::var("PB_DEBUG_SRP").is_ok() {
             let total: u64 = demands.iter().map(|d| d.total()).sum();
             if total > 0 || !self.splices.is_empty() {
@@ -321,8 +348,44 @@ impl Proxy {
         }
         self.audit.on_schedule(ctx.now(), &sched, &demands);
 
-        // Broadcast the schedule.
-        let payload = sched.encode();
+        // Broadcast the schedule. Encoding is checked: a µs field past the
+        // u32 wire range is clamped, surfaced as an invariant violation,
+        // and never silently wrapped into a bogus tiny slot.
+        let (payload, overflows) = sched.encode_checked();
+        if overflows > 0 {
+            self.obs.add(Counter::WireOverflows, overflows as u64);
+            self.audit.log.record_counted(
+                overflows as u64,
+                Violation {
+                    kind: InvariantKind::WireOverflow,
+                    t: ctx.now(),
+                    client: None,
+                    detail: format!(
+                        "{overflows} µs field(s) of schedule #{} clamped to u32::MAX on the wire",
+                        sched.seq
+                    ),
+                },
+            );
+        }
+        self.obs.incr(Counter::SchedulesBuilt);
+        if sched.unchanged {
+            self.obs.incr(Counter::SchedulesUnchanged);
+        }
+        if sched.saturated {
+            self.obs.incr(Counter::SchedulesSaturated);
+        }
+        self.obs.gauge_set(Gauge::LastScheduleEntries, sched.entries.len() as i64);
+        self.obs.event(
+            ctx.now().as_us(),
+            EventKind::ScheduleBroadcast {
+                seq: sched.seq,
+                entries: sched.entries.len() as u32,
+                bytes: payload.len() as u32,
+                next_srp_us: sched.next_srp.as_us(),
+                unchanged: sched.unchanged,
+                saturated: sched.saturated,
+            },
+        );
         let pkt = Packet::udp(
             0,
             self.cfg.addr,
@@ -433,10 +496,12 @@ impl Proxy {
         let sent = out.len() as u64;
         for (_, pkt) in out {
             self.stats.udp_bytes_sent += pkt.wire_size() as u64;
+            self.obs.add(Counter::UdpBytesSent, pkt.wire_size() as u64);
             self.audit.on_frame(self.cfg.bw.send_time(pkt.wire_size()), pkt.tos_mark);
             ctx.send(PROXY_AP, pkt);
         }
         self.stats.udp_packets_sent += sent;
+        self.obs.add(Counter::UdpFramesSent, sent);
         if sent > 0 {
             self.stats.bursts += 1;
         }
@@ -475,6 +540,7 @@ impl Proxy {
             let pkt = self.clients[ci].queue.pop().expect("peeked");
             if let Some(prev) = last_pkt.replace(pkt) {
                 self.stats.udp_bytes_sent += prev.wire_size() as u64;
+                self.obs.add(Counter::UdpBytesSent, prev.wire_size() as u64);
                 self.audit.on_frame(self.cfg.bw.send_time(prev.wire_size()), prev.tos_mark);
                 ctx.send(PROXY_AP, prev);
                 sent += 1;
@@ -487,11 +553,13 @@ impl Proxy {
                 self.clients[ci].burst_until = ctx.now();
             }
             self.stats.udp_bytes_sent += last.wire_size() as u64;
+            self.obs.add(Counter::UdpBytesSent, last.wire_size() as u64);
             self.audit.on_frame(self.cfg.bw.send_time(last.wire_size()), last.tos_mark);
             ctx.send(PROXY_AP, last);
             sent += 1;
         }
         self.stats.udp_packets_sent += sent;
+        self.obs.add(Counter::UdpFramesSent, sent);
         sent
     }
 
@@ -624,6 +692,7 @@ impl Proxy {
             self.finish_splice_io(ctx, sid);
         }
         self.stats.tcp_bytes_fed += total;
+        self.obs.add(Counter::TcpBytesFed, total);
         total
     }
 
@@ -647,6 +716,7 @@ impl Proxy {
         self.splice_index.insert((client_sock, server_sock), idx);
         self.clients[ci].splices.push(idx);
         self.stats.splices_created += 1;
+        self.obs.gauge_add(Gauge::ActiveSplices, 1);
         idx
     }
 
@@ -682,6 +752,7 @@ impl Proxy {
             // handed to (and accepted by) the client side.
             if s.server_fin && !s.closed && s.pending_bytes == 0 && s.client_side.unsent() == 0 {
                 s.closed = true;
+                self.obs.gauge_add(Gauge::ActiveSplices, -1);
                 s.client_side.close(now);
             }
         }
@@ -760,6 +831,7 @@ impl Proxy {
             let ci = self.client_index[&pkt.dst.host];
             if !self.clients[ci].queue.push(pkt) {
                 self.stats.queue_drops += 1;
+                self.obs.incr(Counter::ProxyQueueDrops);
             }
         } else if iface == PROXY_AP {
             // Uplink (stream feedback etc.): forward toward the servers.
@@ -778,6 +850,7 @@ impl Proxy {
                 if has_payload {
                     if !self.clients[ci].queue.push(pkt) {
                         self.stats.queue_drops += 1;
+                        self.obs.incr(Counter::ProxyQueueDrops);
                     }
                 } else {
                     // Control segments (SYN-ACK, bare ACKs, FIN) bypass the

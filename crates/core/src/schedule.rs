@@ -52,22 +52,48 @@ pub struct Schedule {
     /// its slot's end even if no marked packet arrived (§4.3 static
     /// schedules broadcast "a single (permanent) burst interval").
     pub fixed_slots: bool,
+    /// Saturation flag: per-slot overhead ate the whole interval, so this
+    /// schedule is a degraded round-robin layout that serves only a subset
+    /// of clients this interval (rotating across intervals).
+    pub saturated: bool,
 }
 
 impl Schedule {
     /// Serialize to the broadcast payload.
+    ///
+    /// Entries whose µs offsets/durations exceed the u32 wire range are
+    /// clamped to `u32::MAX` (never silently wrapped); use
+    /// [`Schedule::encode_checked`] to detect that happening.
     pub fn encode(&self) -> Bytes {
+        self.encode_checked().0
+    }
+
+    /// Serialize, also reporting how many µs fields overflowed the u32
+    /// wire range and had to be clamped. A non-zero count is a scheduler
+    /// bug (an offset or duration past ~71.6 minutes); the proxy surfaces
+    /// it as an [`crate::invariants::InvariantKind::WireOverflow`]
+    /// violation rather than letting the cast wrap to a tiny slot.
+    pub fn encode_checked(&self) -> (Bytes, usize) {
+        let mut overflows = 0usize;
+        let mut wire_us = |d: SimDuration| -> u32 {
+            u32::try_from(d.as_us()).unwrap_or_else(|_| {
+                overflows += 1;
+                u32::MAX
+            })
+        };
         let mut b = BytesMut::with_capacity(19 + 12 * self.entries.len());
         b.put_u64(self.seq);
-        b.put_u8(self.unchanged as u8 | (self.fixed_slots as u8) << 1);
+        b.put_u8(
+            self.unchanged as u8 | (self.fixed_slots as u8) << 1 | (self.saturated as u8) << 2,
+        );
         b.put_u16(self.entries.len() as u16);
         b.put_u64(self.next_srp.as_us());
         for e in &self.entries {
             b.put_u32(e.client.0);
-            b.put_u32(e.rp_offset.as_us() as u32);
-            b.put_u32(e.duration.as_us() as u32);
+            b.put_u32(wire_us(e.rp_offset));
+            b.put_u32(wire_us(e.duration));
         }
-        b.freeze()
+        (b.freeze(), overflows)
     }
 
     /// Parse a broadcast payload.
@@ -78,6 +104,7 @@ impl Schedule {
         let seq = u64::from_be_bytes(p[0..8].try_into().ok()?);
         let unchanged = p[8] & 1 != 0;
         let fixed_slots = p[8] & 2 != 0;
+        let saturated = p[8] & 4 != 0;
         let n = u16::from_be_bytes(p[9..11].try_into().ok()?) as usize;
         let next_srp = SimDuration::from_us(u64::from_be_bytes(p[11..19].try_into().ok()?));
         if p.len() < 19 + 12 * n {
@@ -95,7 +122,7 @@ impl Schedule {
                 duration: SimDuration::from_us(dur as u64),
             });
         }
-        Some(Schedule { seq, entries, next_srp, unchanged, fixed_slots })
+        Some(Schedule { seq, entries, next_srp, unchanged, fixed_slots, saturated })
     }
 
     /// Slots that apply to `me` (own slots plus all-clients slots).
@@ -232,15 +259,36 @@ fn build_psm(
             next_srp: interval,
             unchanged: false,
             fixed_slots: true,
+            saturated: false,
         };
     }
-    let avg = demands.iter().map(|d| d.avg_pkt as u64).max().unwrap_or(1_000) as usize;
+    let avg = weighted_avg_pkt(demands);
     let overhead = cfg.schedule_airtime + cfg.guard * 2;
     let window =
         drain_time(cfg, total, avg).max(cfg.min_slot).min(interval.saturating_sub(overhead));
     let mut s = lay_out(vec![(HostAddr::BROADCAST, window)], cfg, interval, seq);
     s.fixed_slots = true;
     s
+}
+
+/// Demand-weighted mean packet size across all queues, for estimating the
+/// shared PSM window. Each demand's `avg_pkt` is weighted by its queued
+/// bytes, so the per-message overhead term in [`drain_time`] reflects the
+/// actual message mix. (Taking the *max* here, as the code once did,
+/// under-counts messages for small-packet streams and mis-reserves the
+/// window whenever fidelities are mixed.)
+fn weighted_avg_pkt(demands: &[ClientDemand]) -> usize {
+    let mut bytes: u128 = 0;
+    let mut weighted: u128 = 0;
+    for d in demands {
+        let b = d.total() as u128;
+        bytes += b;
+        weighted += b * d.avg_pkt as u128;
+    }
+    match weighted.checked_div(bytes) {
+        Some(avg) => avg as usize,
+        None => 1_000,
+    }
 }
 
 /// Time to drain `bytes` of messages averaging `avg_pkt`, per the model.
@@ -265,7 +313,46 @@ fn lay_out(
         out.push(ScheduleEntry { client, rp_offset: cursor, duration: dur });
         cursor += dur + cfg.guard;
     }
-    Schedule { seq, entries: out, next_srp, unchanged: false, fixed_slots: false }
+    Schedule { seq, entries: out, next_srp, unchanged: false, fixed_slots: false, saturated: false }
+}
+
+/// Degraded layout for saturated static schedules: per-slot overhead has
+/// eaten the whole interval, so equal division would hand every client a
+/// zero-length slot (while still emitting entries). Instead, serve as many
+/// clients as fit at [`BuilderConfig::min_slot`] each, rotating the
+/// starting client with `seq` so every client is eventually served, and
+/// flag the schedule as saturated so clients and audits can see the
+/// degradation. `tcp_slot` prepends a broadcast slot (the slotted policy's
+/// TCP window) so spliced traffic keeps trickling even when saturated.
+fn saturated_round_robin(
+    interval: SimDuration,
+    cfg: &BuilderConfig,
+    demands: &[ClientDemand],
+    seq: u64,
+    tcp_slot: bool,
+) -> Schedule {
+    let n = demands.len();
+    debug_assert!(n > 0, "saturated fallback needs at least one client");
+    let per_slot = (cfg.min_slot + cfg.guard).as_us().max(1);
+    let lead = cfg.schedule_airtime + cfg.guard;
+    let mut avail = interval.saturating_sub(lead + cfg.guard).as_us();
+    let mut entries = Vec::new();
+    if tcp_slot && avail >= per_slot {
+        entries.push((HostAddr::BROADCAST, cfg.min_slot));
+        avail -= per_slot;
+    }
+    // Always serve at least one party per interval, even if the layout
+    // must then be clamped at the interval boundary.
+    let fit = ((avail / per_slot) as usize).min(n).max(usize::from(entries.is_empty()));
+    let start = (seq as usize) % n;
+    for j in 0..fit {
+        entries.push((demands[(start + j) % n].client, cfg.min_slot));
+    }
+    let mut s = lay_out(entries, cfg, interval, seq);
+    clamp_to_interval(&mut s, interval, cfg.guard);
+    s.fixed_slots = true;
+    s.saturated = true;
+    s
 }
 
 fn build_fixed(
@@ -283,6 +370,7 @@ fn build_fixed(
             next_srp: interval,
             unchanged: false,
             fixed_slots: false,
+            saturated: false,
         };
     }
     let overhead = cfg.schedule_airtime + cfg.guard * (active.len() as u64 + 1);
@@ -318,6 +406,7 @@ fn build_variable(
             next_srp: min,
             unchanged: false,
             fixed_slots: false,
+            saturated: false,
         };
     }
     let mut slots: Vec<(HostAddr, SimDuration)> = active
@@ -358,11 +447,17 @@ fn build_static(
             next_srp: interval,
             unchanged: false,
             fixed_slots: false,
+            saturated: false,
         };
     }
     let n = demands.len() as u64;
     let overhead = cfg.schedule_airtime + cfg.guard * (n + 1);
     let share = interval.saturating_sub(overhead) / n;
+    if share < cfg.min_slot {
+        // Overhead has eaten the interval: equal division would emit
+        // zero-length (or sub-minimum) slots for everyone.
+        return saturated_round_robin(interval, cfg, demands, seq, false);
+    }
     let entries = demands.iter().map(|d| (d.client, share)).collect();
     let mut s = lay_out(entries, cfg, interval, seq);
     s.fixed_slots = true;
@@ -384,6 +479,7 @@ fn build_slotted(
             next_srp: interval,
             unchanged: false,
             fixed_slots: false,
+            saturated: false,
         };
     }
     let n = demands.len() as u64;
@@ -391,6 +487,11 @@ fn build_slotted(
     let usable = interval.saturating_sub(overhead);
     let tcp_slot = SimDuration::from_us((usable.as_us() as f64 * tcp_weight) as u64);
     let udp_share = usable.saturating_sub(tcp_slot) / n;
+    if udp_share < cfg.min_slot {
+        // Same degradation as the static policy, but keep a broadcast TCP
+        // slot so spliced streams aren't starved entirely.
+        return saturated_round_robin(interval, cfg, demands, seq, true);
+    }
     let mut entries = Vec::with_capacity(demands.len() + 1);
     entries.push((HostAddr::BROADCAST, tcp_slot));
     for d in demands {
@@ -445,6 +546,7 @@ mod tests {
             next_srp: SimDuration::from_ms(100),
             unchanged: true,
             fixed_slots: true,
+            saturated: true,
         };
         let d = Schedule::decode(&s.encode()).unwrap();
         assert_eq!(d, s);
@@ -462,10 +564,123 @@ mod tests {
             next_srp: SimDuration::from_ms(100),
             unchanged: false,
             fixed_slots: false,
+            saturated: false,
         };
         let b = s.encode();
         assert!(Schedule::decode(&b[..b.len() - 1]).is_none());
         assert!(Schedule::decode(&b[..5]).is_none());
+    }
+
+    #[test]
+    fn wire_encoding_clamps_and_reports_u32_overflow() {
+        let entry = |dur_us: u64| Schedule {
+            seq: 1,
+            entries: vec![ScheduleEntry {
+                client: HostAddr(1),
+                rp_offset: SimDuration::from_ms(1),
+                duration: SimDuration::from_us(dur_us),
+            }],
+            next_srp: SimDuration::from_ms(100),
+            unchanged: false,
+            fixed_slots: false,
+            saturated: false,
+        };
+
+        // Exactly at the boundary: encodes cleanly and round-trips.
+        let at_max = entry(u32::MAX as u64);
+        let (bytes, overflows) = at_max.encode_checked();
+        assert_eq!(overflows, 0);
+        assert_eq!(Schedule::decode(&bytes).unwrap(), at_max);
+
+        // One past the boundary: reported, and clamped to u32::MAX — the
+        // old `as u32` cast would have wrapped this to a zero-length slot.
+        let past_max = entry(u32::MAX as u64 + 1);
+        let (bytes, overflows) = past_max.encode_checked();
+        assert_eq!(overflows, 1);
+        let decoded = Schedule::decode(&bytes).unwrap();
+        assert_eq!(decoded.entries[0].duration, SimDuration::from_us(u32::MAX as u64));
+    }
+
+    /// Regression for the PSM window estimate: the old code took the *max*
+    /// of `avg_pkt` across demands and fed it to `drain_time` as if it
+    /// were the mean. Fewer, bigger messages means fewer per-message
+    /// `alpha` overheads, so with a mixed 56/512 kbps client set the max
+    /// mis-reserves the shared window (shorter than the true per-demand
+    /// drain time); the demand-weighted mean lands closer to truth.
+    #[test]
+    fn psm_window_uses_demand_weighted_mean_pkt_size() {
+        let c = cfg();
+        // 56 kbps stream: small packets; 512 kbps stream: near-MTU packets.
+        let d56 =
+            ClientDemand { client: HostAddr(1), udp_bytes: 7_000, tcp_bytes: 0, avg_pkt: 350 };
+        let d512 =
+            ClientDemand { client: HostAddr(2), udp_bytes: 64_000, tcp_bytes: 0, avg_pkt: 1_400 };
+        let demands = [d56, d512];
+        let total: u64 = demands.iter().map(|d| d.total()).sum();
+
+        // Ground truth: drain each queue at its own packet size.
+        let exact_us: u64 =
+            demands.iter().map(|d| super::drain_time(&c, d.total(), d.avg_pkt).as_us()).sum();
+        let old_max = demands.iter().map(|d| d.avg_pkt).max().unwrap();
+        let old_us = super::drain_time(&c, total, old_max).as_us();
+        let new_us = super::drain_time(&c, total, super::weighted_avg_pkt(&demands)).as_us();
+
+        assert!(old_us < exact_us, "max-based estimate mis-reserves: {old_us} vs exact {exact_us}");
+        assert!(
+            exact_us.abs_diff(new_us) < exact_us.abs_diff(old_us),
+            "weighted mean ({new_us}µs) must beat the max ({old_us}µs) against exact ({exact_us}µs)"
+        );
+
+        // And the built schedule actually reserves the larger window
+        // (interval chosen big enough that no clamping hides the fix).
+        let s = build_schedule(
+            SchedulePolicy::PsmBeacon { interval: SimDuration::from_secs(1) },
+            &c,
+            &demands,
+            0,
+        );
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[0].duration.as_us(), new_us);
+    }
+
+    #[test]
+    fn static_saturates_gracefully_when_overhead_exceeds_interval() {
+        let interval = SimDuration::from_ms(5);
+        let demands: Vec<ClientDemand> = (0..10).map(|i| demand(i, 1_000, 0)).collect();
+        // Overhead alone (2 ms airtime + 11 guards) dwarfs the 5 ms
+        // interval; the old integer division handed all 10 clients
+        // zero-length slots and emitted every entry anyway.
+        let s = build_schedule(SchedulePolicy::StaticEqual { interval }, &cfg(), &demands, 0);
+        assert!(s.saturated, "schedule must be flagged saturated");
+        assert!(!s.entries.is_empty(), "at least one client is served per interval");
+        assert!(s.entries.iter().all(|e| !e.duration.is_zero()), "no zero-length slots");
+        assert!(s.entries.len() < demands.len(), "only a subset fits when saturated");
+
+        // The round-robin rotates with the sequence number so every
+        // client is eventually served.
+        let s1 = build_schedule(SchedulePolicy::StaticEqual { interval }, &cfg(), &demands, 1);
+        assert_ne!(s.entries[0].client, s1.entries[0].client, "rotation by seq");
+
+        // The flag survives the wire.
+        assert!(Schedule::decode(&s.encode()).unwrap().saturated);
+    }
+
+    #[test]
+    fn slotted_saturates_gracefully_and_keeps_tcp_slot() {
+        let interval = SimDuration::from_ms(30);
+        let demands: Vec<ClientDemand> = (0..40).map(|i| demand(i, 1_000, 0)).collect();
+        let s = build_schedule(
+            SchedulePolicy::SlottedStatic { interval, tcp_weight: 0.33 },
+            &cfg(),
+            &demands,
+            0,
+        );
+        assert!(s.saturated);
+        assert!(!s.entries.is_empty());
+        assert!(s.entries[0].client.is_broadcast(), "TCP slot survives saturation");
+        assert!(s.entries.iter().all(|e| !e.duration.is_zero()));
+        let end = s.entries.last().map(|e| e.rp_offset + e.duration).unwrap();
+        assert!(end <= interval, "saturated layout still fits the interval");
     }
 
     #[test]

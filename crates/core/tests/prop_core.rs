@@ -47,6 +47,7 @@ proptest! {
         seq in 0u64..u64::MAX,
         unchanged in any::<bool>(),
         fixed_slots in any::<bool>(),
+        saturated in any::<bool>(),
         next_srp_us in 0u64..10_000_000,
         entries in prop::collection::vec(
             (0u32..1_000, 0u64..4_000_000, 0u64..4_000_000),
@@ -66,6 +67,7 @@ proptest! {
             next_srp: SimDuration::from_us(next_srp_us),
             unchanged,
             fixed_slots,
+            saturated,
         };
         prop_assert_eq!(Schedule::decode(&s.encode()), Some(s));
     }

@@ -12,6 +12,7 @@
 //! asleep means the frame is missed; that policy decision lives in the
 //! network layer, which queries [`Wnic::is_listening`].
 
+use powerburst_obs::{Counter, EventKind, Gauge, Recorder};
 use powerburst_sim::{SimDuration, SimTime};
 
 use crate::card::CardSpec;
@@ -25,6 +26,17 @@ enum RadioState {
     Waking { until: SimTime },
     /// High-power mode, able to receive and transmit.
     Awake,
+}
+
+impl RadioState {
+    /// Static label for observability events.
+    fn label(self) -> &'static str {
+        match self {
+            RadioState::Sleeping => "sleep",
+            RadioState::Waking { .. } => "waking",
+            RadioState::Awake => "awake",
+        }
+    }
 }
 
 /// Accumulated per-mode time and energy for one client WNIC.
@@ -74,6 +86,10 @@ pub struct Wnic {
     /// Instant the current billing segment began.
     since: SimTime,
     report: EnergyReport,
+    /// Observability handle; disabled by default, so billing costs nothing.
+    obs: Recorder,
+    /// Client id used to label state-transition events.
+    obs_client: u32,
 }
 
 impl Wnic {
@@ -85,12 +101,30 @@ impl Wnic {
             state: RadioState::Awake,
             since: SimTime::ZERO,
             report: EnergyReport::default(),
+            obs: Recorder::disabled(),
+            obs_client: 0,
         }
+    }
+
+    /// Attach an observability recorder, labelling this radio as `client`.
+    /// The radio starts awake, so an attached recorder sees it in the
+    /// awake population immediately.
+    pub fn set_recorder(&mut self, rec: Recorder, client: u32) {
+        if rec.enabled() && !matches!(self.state, RadioState::Sleeping) {
+            rec.gauge_add(Gauge::RadiosAwake, 1);
+        }
+        self.obs = rec;
+        self.obs_client = client;
     }
 
     /// The card spec this radio is using.
     pub fn spec(&self) -> &CardSpec {
         &self.spec
+    }
+
+    /// Emit a state-transition event (no-op when observability is off).
+    fn obs_transition(&self, t: SimTime, from: &'static str, to: &'static str) {
+        self.obs.event(t.as_us(), EventKind::WnicState { client: self.obs_client, from, to });
     }
 
     /// Close the billing segment ending at `now`.
@@ -106,6 +140,7 @@ impl Wnic {
                 self.report.total_mj += self.spec.idle_mw * waking_part.as_secs_f64();
                 self.state = RadioState::Awake;
                 self.since = until;
+                self.obs_transition(until, "waking", "awake");
             }
         }
         let span = now.since(self.since);
@@ -132,6 +167,9 @@ impl Wnic {
         if self.state == RadioState::Sleeping {
             self.state = RadioState::Waking { until: now + self.spec.wake_transition };
             self.report.wake_transitions += 1;
+            self.obs.incr(Counter::WnicWakes);
+            self.obs.gauge_add(Gauge::RadiosAwake, 1);
+            self.obs_transition(now, "sleep", "waking");
         }
     }
 
@@ -139,6 +177,11 @@ impl Wnic {
     /// wake transition is abandoned.
     pub fn sleep(&mut self, now: SimTime) {
         self.bill(now);
+        if !matches!(self.state, RadioState::Sleeping) {
+            self.obs.incr(Counter::WnicSleeps);
+            self.obs.gauge_add(Gauge::RadiosAwake, -1);
+            self.obs_transition(now, self.state.label(), "sleep");
+        }
         self.state = RadioState::Sleeping;
     }
 

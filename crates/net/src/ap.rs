@@ -17,6 +17,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 
+use powerburst_obs::{Counter, Recorder};
 use powerburst_sim::{SimDuration, SimTime};
 use rand::Rng;
 
@@ -144,6 +145,8 @@ pub struct AccessPoint {
     /// Sampled from the dedicated fault stream, never from the node's own
     /// RNG, so baseline runs are unaffected.
     fault_jitter: Option<ApJitterFault>,
+    /// Observability handle; disabled by default.
+    obs: Recorder,
 }
 
 impl AccessPoint {
@@ -160,6 +163,7 @@ impl AccessPoint {
             forwarded_down: 0,
             forwarded_up: 0,
             fault_jitter: None,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -167,6 +171,11 @@ impl AccessPoint {
     pub fn with_fault_jitter(mut self, fault: ApJitterFault) -> AccessPoint {
         self.fault_jitter = Some(fault);
         self
+    }
+
+    /// Attach an observability recorder.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
     }
 
     /// Injected jitter spikes applied so far.
@@ -193,6 +202,7 @@ impl Node for AccessPoint {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
         if iface == AP_WIRED {
             self.forwarded_down += 1;
+            self.obs.incr(Counter::ApForwardedDown);
             let mut d = self.delay.sample(ctx.rng());
             if let Some(f) = self.fault_jitter.as_mut() {
                 d += f.sample();
@@ -200,6 +210,7 @@ impl Node for AccessPoint {
             self.defer(ctx, AP_RADIO, pkt, d);
         } else {
             self.forwarded_up += 1;
+            self.obs.incr(Counter::ApForwardedUp);
             let d = self.uplink_delay;
             self.defer(ctx, AP_WIRED, pkt, d);
         }
@@ -211,6 +222,7 @@ impl Node for AccessPoint {
             let now = ctx.now();
             if now < self.last_sent[dir] {
                 self.fifo_violations += 1;
+                self.obs.incr(Counter::ApFifoViolations);
             }
             self.last_sent[dir] = now.max(self.last_sent[dir]);
             ctx.send(out, pkt);

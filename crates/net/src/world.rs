@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use powerburst_obs::{Counter, Recorder};
 use powerburst_sim::rng::streams;
 use powerburst_sim::{derive_rng, ClockModel, EventQueue, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -110,6 +111,11 @@ pub struct World {
     timer_index: HashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
     packet_seq: u64,
     send_buf: Vec<(IfaceId, Packet)>,
+    /// Observability handle shared with node radios; disabled by default.
+    obs: Recorder,
+    /// Events dispatched by the loop so far (always counted — it feeds the
+    /// events/sec profiling figure even when observability is off).
+    events_processed: u64,
 }
 
 impl World {
@@ -132,12 +138,32 @@ impl World {
             timer_index: HashMap::new(),
             packet_seq: 0,
             send_buf: Vec::new(),
+            obs: Recorder::disabled(),
+            events_processed: 0,
         }
     }
 
     /// The master seed this world was built with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Attach an observability recorder. Forwards it to every live radio
+    /// already added (labelled by the node's host address), so call this
+    /// after the topology is assembled.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        for (i, slot) in self.nodes.iter_mut().enumerate() {
+            if let Some(w) = slot.wnic.as_mut() {
+                let label = slot.host.map(|h| h.0).unwrap_or(i as u32);
+                w.set_recorder(rec.clone(), label);
+            }
+        }
+        self.obs = rec;
+    }
+
+    /// Events dispatched by the event loop so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Current simulation time.
@@ -275,6 +301,8 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        self.events_processed += 1;
+        self.obs.incr(Counter::WorldEvents);
         match ev {
             Ev::Timer { node, token } => {
                 // Keep the cancellation index from growing without bound.

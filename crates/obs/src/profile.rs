@@ -1,0 +1,183 @@
+//! Wall-clock profiling, quarantined from the deterministic exports.
+//!
+//! Everything in this module measures *host* time (`std::time::Instant`)
+//! and therefore varies run to run. It feeds the `BENCH_*.json` perf
+//! reports the CI trajectory tracks — events/sec, per-experiment and
+//! per-sweep-job wall time — and must never leak into a metrics or trace
+//! export, which are required to be bit-identical across repeats.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { t0: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_s(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// One profiled sweep job (a single simulation run).
+#[derive(Debug, Clone)]
+pub struct BenchJob {
+    /// Job label (e.g. the experiment row it produced).
+    pub label: String,
+    /// Wall time, seconds.
+    pub wall_s: f64,
+    /// Simulation events dispatched during the run (0 if unknown).
+    pub sim_events: u64,
+}
+
+/// One profiled stage (an experiment, a sweep, or a pipeline step).
+#[derive(Debug, Clone)]
+pub struct BenchStage {
+    /// Stage name.
+    pub name: String,
+    /// Wall time for the whole stage, seconds.
+    pub wall_s: f64,
+    /// Worker threads the stage ran with (1 for inline stages).
+    pub threads: usize,
+    /// Total simulation events dispatched across the stage's runs.
+    pub sim_events: u64,
+    /// Per-job profiles, in input order.
+    pub jobs: Vec<BenchJob>,
+}
+
+impl BenchStage {
+    /// Simulation events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A whole perf report (`BENCH_pr3.json`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Report label.
+    pub name: String,
+    /// Profiled stages, in execution order.
+    pub stages: Vec<BenchStage>,
+}
+
+impl BenchReport {
+    /// A new, empty report.
+    pub fn new(name: &str) -> Self {
+        BenchReport { name: name.to_string(), stages: Vec::new() }
+    }
+
+    /// Total wall time across stages, seconds.
+    pub fn total_wall_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_s).sum()
+    }
+
+    /// Total simulation events across stages.
+    pub fn total_events(&self) -> u64 {
+        self.stages.iter().map(|s| s.sim_events).sum()
+    }
+
+    /// Render as JSON. Floats use fixed 6-decimal formatting; this report
+    /// is wall-clock data and is *not* expected to be deterministic.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!(
+            "{{\"report\":\"{}\",\"total_wall_s\":{:.6},\"total_sim_events\":{},\"stages\":[",
+            self.name,
+            self.total_wall_s(),
+            self.total_events()
+        ));
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"wall_s\":{:.6},\"threads\":{},\"sim_events\":{},\
+                 \"events_per_sec\":{:.1},\"jobs\":[",
+                st.name,
+                st.wall_s,
+                st.threads,
+                st.sim_events,
+                st.events_per_sec()
+            ));
+            for (j, job) in st.jobs.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"label\":\"{}\",\"wall_s\":{:.6},\"sim_events\":{}}}",
+                    job.label, job.wall_s, job.sim_events
+                ));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_s() >= 0.0);
+    }
+
+    #[test]
+    fn report_totals_and_json() {
+        let mut r = BenchReport::new("pr3");
+        r.stages.push(BenchStage {
+            name: "fig4".into(),
+            wall_s: 2.0,
+            threads: 4,
+            sim_events: 1_000,
+            jobs: vec![BenchJob { label: "i100".into(), wall_s: 0.5, sim_events: 250 }],
+        });
+        r.stages.push(BenchStage {
+            name: "instrumented".into(),
+            wall_s: 1.0,
+            threads: 1,
+            sim_events: 500,
+            jobs: Vec::new(),
+        });
+        assert!((r.total_wall_s() - 3.0).abs() < 1e-9);
+        assert_eq!(r.total_events(), 1_500);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"report\":\"pr3\""));
+        assert!(j.contains("\"events_per_sec\":500.0"));
+        assert!(j.contains("\"label\":\"i100\""));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_stage_rate_is_zero() {
+        let st = BenchStage {
+            name: "x".into(),
+            wall_s: 0.0,
+            threads: 1,
+            sim_events: 0,
+            jobs: Vec::new(),
+        };
+        assert_eq!(st.events_per_sec(), 0.0);
+    }
+}

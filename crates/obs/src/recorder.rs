@@ -1,0 +1,265 @@
+//! The recorder handle the instrumented layers hold.
+//!
+//! [`Recorder`] is a cheap-to-clone handle over an optional shared core.
+//! The disabled recorder (the default) is a `None`: every recording call
+//! is one branch, no atomics touched, no heap allocation — instrumented
+//! hot paths cost nothing when observability is off. The enabled core
+//! stores counters/gauges/histograms in fixed-size atomic arrays indexed
+//! by the static catalog, so the enabled hot path is allocation-free too;
+//! the event channel is pre-allocated to its cap for the same reason.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::events::{EventKind, ObsEvent};
+use crate::metrics::{Counter, Gauge, Hist, BUCKETS};
+use crate::report::{HistSnapshot, ObsReport};
+
+/// Recorder construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Record structured events (metrics are always on for an enabled
+    /// recorder; the event channel is the optional, heavier half).
+    pub events: bool,
+    /// Maximum events retained; later events are counted as dropped. The
+    /// buffer is pre-allocated to this cap so recording never allocates.
+    pub event_cap: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig { events: true, event_cap: 65_536 }
+    }
+}
+
+struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistCore {
+    fn new() -> Self {
+        HistCore {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+struct ObsCore {
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicI64; Gauge::COUNT],
+    hists: [HistCore; Hist::COUNT],
+    events_on: bool,
+    event_cap: usize,
+    events: Mutex<Vec<ObsEvent>>,
+    events_dropped: AtomicU64,
+}
+
+/// Handle through which the simulation layers record metrics and events.
+///
+/// A recorder is scoped to one simulation run: `run_scenario` constructs
+/// one per run, so sweeps running many runs in parallel never share state
+/// and exports stay deterministic regardless of thread count.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    core: Option<Arc<ObsCore>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("enabled", &self.core.is_some()).finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: records nothing, costs one branch per call.
+    pub const fn disabled() -> Self {
+        Recorder { core: None }
+    }
+
+    /// An enabled recorder.
+    pub fn new(cfg: RecorderConfig) -> Self {
+        Recorder {
+            core: Some(Arc::new(ObsCore {
+                counters: [const { AtomicU64::new(0) }; Counter::COUNT],
+                gauges: [const { AtomicI64::new(0) }; Gauge::COUNT],
+                hists: std::array::from_fn(|_| HistCore::new()),
+                events_on: cfg.events,
+                event_cap: cfg.event_cap,
+                events: Mutex::new(Vec::with_capacity(if cfg.events { cfg.event_cap } else { 0 })),
+                events_dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Is this recorder collecting anything at all?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Is the event channel collecting?
+    #[inline]
+    pub fn events_on(&self) -> bool {
+        self.core.as_ref().is_some_and(|c| c.events_on)
+    }
+
+    /// Add `v` to a counter.
+    #[inline]
+    pub fn add(&self, c: Counter, v: u64) {
+        if let Some(core) = &self.core {
+            core.counters[c.idx()].fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn incr(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Set a gauge to `v`.
+    #[inline]
+    pub fn gauge_set(&self, g: Gauge, v: i64) {
+        if let Some(core) = &self.core {
+            core.gauges[g.idx()].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `dv` (possibly negative) to a gauge.
+    #[inline]
+    pub fn gauge_add(&self, g: Gauge, dv: i64) {
+        if let Some(core) = &self.core {
+            core.gauges[g.idx()].fetch_add(dv, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn observe(&self, h: Hist, v: u64) {
+        if let Some(core) = &self.core {
+            let hc = &core.hists[h.idx()];
+            hc.buckets[Hist::bucket(v)].fetch_add(1, Ordering::Relaxed);
+            hc.count.fetch_add(1, Ordering::Relaxed);
+            hc.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a structured event at simulation time `t_us`.
+    #[inline]
+    pub fn event(&self, t_us: u64, kind: EventKind) {
+        let Some(core) = &self.core else { return };
+        if !core.events_on {
+            return;
+        }
+        let mut ev = core.events.lock().expect("obs event channel poisoned");
+        if ev.len() < core.event_cap {
+            ev.push(ObsEvent { t_us, kind });
+        } else {
+            core.events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot everything recorded so far into a plain-data report.
+    /// Returns `None` for the disabled recorder.
+    pub fn export(&self) -> Option<ObsReport> {
+        let core = self.core.as_ref()?;
+        let counters =
+            Counter::ALL.iter().map(|c| core.counters[c.idx()].load(Ordering::Relaxed)).collect();
+        let gauges =
+            Gauge::ALL.iter().map(|g| core.gauges[g.idx()].load(Ordering::Relaxed)).collect();
+        let hists = Hist::ALL
+            .iter()
+            .map(|h| {
+                let hc = &core.hists[h.idx()];
+                HistSnapshot {
+                    count: hc.count.load(Ordering::Relaxed),
+                    sum: hc.sum.load(Ordering::Relaxed),
+                    buckets: hc.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                }
+            })
+            .collect();
+        let events = core.events.lock().expect("obs event channel poisoned").clone();
+        Some(ObsReport {
+            counters,
+            gauges,
+            hists,
+            events,
+            events_dropped: core.events_dropped.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_exports_nothing() {
+        let r = Recorder::disabled();
+        r.incr(Counter::BurstsStarted);
+        r.observe(Hist::WakeLeadUs, 7);
+        r.event(1, EventKind::BurstStart { client: 1, budget_us: 10 });
+        assert!(!r.enabled());
+        assert!(!r.events_on());
+        assert!(r.export().is_none());
+    }
+
+    #[test]
+    fn counters_gauges_hists_round_trip() {
+        let r = Recorder::new(RecorderConfig::default());
+        r.incr(Counter::SchedulesBuilt);
+        r.add(Counter::UdpBytesSent, 1_000);
+        r.gauge_set(Gauge::LastScheduleEntries, 5);
+        r.gauge_add(Gauge::ActiveSplices, 2);
+        r.gauge_add(Gauge::ActiveSplices, -1);
+        r.observe(Hist::SlotMarginUs, 3);
+        r.observe(Hist::SlotMarginUs, 1_000_000_000);
+        let rep = r.export().unwrap();
+        assert_eq!(rep.counter(Counter::SchedulesBuilt), 1);
+        assert_eq!(rep.counter(Counter::UdpBytesSent), 1_000);
+        assert_eq!(rep.counter(Counter::BurstsStarted), 0);
+        assert_eq!(rep.gauge(Gauge::LastScheduleEntries), 5);
+        assert_eq!(rep.gauge(Gauge::ActiveSplices), 1);
+        let h = rep.hist(Hist::SlotMarginUs);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1_000_000_003);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(*h.buckets.last().unwrap(), 1, "huge sample lands in overflow");
+    }
+
+    #[test]
+    fn event_channel_caps_and_counts_drops() {
+        let r = Recorder::new(RecorderConfig { events: true, event_cap: 2 });
+        for i in 0..5 {
+            r.event(i, EventKind::BurstStart { client: 1, budget_us: i });
+        }
+        let rep = r.export().unwrap();
+        assert_eq!(rep.events.len(), 2);
+        assert_eq!(rep.events_dropped, 3);
+    }
+
+    #[test]
+    fn events_can_be_disabled_independently() {
+        let r = Recorder::new(RecorderConfig { events: false, event_cap: 16 });
+        assert!(r.enabled());
+        assert!(!r.events_on());
+        r.event(1, EventKind::BurstStart { client: 1, budget_us: 1 });
+        r.incr(Counter::BurstsStarted);
+        let rep = r.export().unwrap();
+        assert!(rep.events.is_empty());
+        assert_eq!(rep.counter(Counter::BurstsStarted), 1);
+    }
+
+    #[test]
+    fn clones_share_the_core() {
+        let r = Recorder::new(RecorderConfig::default());
+        let r2 = r.clone();
+        r.incr(Counter::WnicWakes);
+        r2.incr(Counter::WnicWakes);
+        assert_eq!(r.export().unwrap().counter(Counter::WnicWakes), 2);
+    }
+}

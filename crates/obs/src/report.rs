@@ -1,0 +1,187 @@
+//! Plain-data snapshots and the deterministic exporters.
+//!
+//! An [`ObsReport`] is what a [`crate::Recorder`] export produces: owned
+//! vectors of integers in catalog order, safe to ship across sweep worker
+//! threads and compare byte-for-byte. The JSON and CSV renderings contain
+//! only integral simulation quantities in a fixed order — no floats, no
+//! wall-clock data, no hash-map iteration — so a given run's export is
+//! bit-identical across repeats and across thread counts.
+
+use crate::events::ObsEvent;
+use crate::metrics::{Counter, Gauge, Hist, BUCKET_BOUNDS};
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts ([`BUCKET_BOUNDS`] plus a final overflow bucket).
+    pub buckets: Vec<u64>,
+}
+
+/// Everything one recorder collected, as plain data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsReport {
+    /// Counter values in [`Counter::ALL`] order.
+    pub counters: Vec<u64>,
+    /// Gauge values in [`Gauge::ALL`] order.
+    pub gauges: Vec<i64>,
+    /// Histogram snapshots in [`Hist::ALL`] order.
+    pub hists: Vec<HistSnapshot>,
+    /// Recorded events, in recording order.
+    pub events: Vec<ObsEvent>,
+    /// Events discarded after the channel cap was reached.
+    pub events_dropped: u64,
+}
+
+impl ObsReport {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.idx()]
+    }
+
+    /// Value of one gauge.
+    pub fn gauge(&self, g: Gauge) -> i64 {
+        self.gauges[g.idx()]
+    }
+
+    /// Snapshot of one histogram.
+    pub fn hist(&self, h: Hist) -> &HistSnapshot {
+        &self.hists[h.idx()]
+    }
+
+    /// Render the metrics (counters, gauges, histograms) as one JSON
+    /// object. Hand-rolled: every field is an integer or a static name.
+    pub fn metrics_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\"counters\":{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", c.name(), self.counters[i]));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", g.name(), self.gauges[i]));
+        }
+        s.push_str("},\"hists\":{");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let hs = &self.hists[i];
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.name(),
+                hs.count,
+                hs.sum
+            ));
+            for (j, b) in hs.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&b.to_string());
+            }
+            s.push_str("]}");
+        }
+        s.push_str(&format!("}},\"events_dropped\":{}}}", self.events_dropped));
+        s
+    }
+
+    /// Render the metrics as CSV: `class,name,key,value` rows in catalog
+    /// order. Histograms emit one row per bucket (keyed by its upper
+    /// bound, `inf` for overflow) plus `count` and `sum` rows.
+    pub fn metrics_csv(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("class,name,key,value\n");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            s.push_str(&format!("counter,{},,{}\n", c.name(), self.counters[i]));
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            s.push_str(&format!("gauge,{},,{}\n", g.name(), self.gauges[i]));
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            let hs = &self.hists[i];
+            s.push_str(&format!("hist,{},count,{}\n", h.name(), hs.count));
+            s.push_str(&format!("hist,{},sum,{}\n", h.name(), hs.sum));
+            for (j, b) in hs.buckets.iter().enumerate() {
+                match BUCKET_BOUNDS.get(j) {
+                    Some(bound) => {
+                        s.push_str(&format!("hist,{},le_{},{}\n", h.name(), bound, b));
+                    }
+                    None => s.push_str(&format!("hist,{},le_inf,{}\n", h.name(), b)),
+                }
+            }
+        }
+        s
+    }
+
+    /// Render the event stream as JSON-lines, one event per line, in
+    /// recording order.
+    pub fn events_jsonl(&self) -> String {
+        let mut s = String::with_capacity(self.events.len() * 80);
+        for e in &self.events {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use crate::recorder::{Recorder, RecorderConfig};
+
+    fn sample_report() -> ObsReport {
+        let r = Recorder::new(RecorderConfig::default());
+        r.incr(Counter::SchedulesBuilt);
+        r.add(Counter::UdpBytesSent, 4_242);
+        r.gauge_set(Gauge::BacklogBytes, 17);
+        r.observe(Hist::WakeLeadUs, 100);
+        r.event(10, EventKind::QueueDepth { client: 100, bytes: 512, pkts: 2 });
+        r.export().unwrap()
+    }
+
+    #[test]
+    fn json_contains_catalog_in_order() {
+        let j = sample_report().metrics_json();
+        assert!(j.starts_with("{\"counters\":{\"schedules_built\":1,"));
+        assert!(j.contains("\"udp_bytes_sent\":4242"));
+        assert!(j.contains("\"backlog_bytes\":17"));
+        assert!(j.contains("\"wake_lead_us\":{\"count\":1,\"sum\":100,\"buckets\":["));
+        assert!(j.ends_with("\"events_dropped\":0}"));
+    }
+
+    #[test]
+    fn csv_has_header_and_bucket_rows() {
+        let c = sample_report().metrics_csv();
+        assert!(c.starts_with("class,name,key,value\n"));
+        assert!(c.contains("counter,udp_bytes_sent,,4242\n"));
+        assert!(c.contains("hist,wake_lead_us,count,1\n"));
+        assert!(c.contains("hist,wake_lead_us,le_inf,0\n"));
+    }
+
+    #[test]
+    fn exports_are_reproducible() {
+        let a = sample_report();
+        let b = sample_report();
+        assert_eq!(a.metrics_json(), b.metrics_json());
+        assert_eq!(a.metrics_csv(), b.metrics_csv());
+        assert_eq!(a.events_jsonl(), b.events_jsonl());
+    }
+
+    #[test]
+    fn events_jsonl_one_line_per_event() {
+        let rep = sample_report();
+        assert_eq!(rep.events_jsonl().lines().count(), 1);
+        assert!(rep.events_jsonl().contains("\"kind\":\"queue_depth\""));
+    }
+}

@@ -15,6 +15,7 @@ use powerburst_net::{
     ports, AccessPoint, Endpoint, HostAddr, IfaceId, NodeConfig, NodeId, Pipe, SockAddr,
     StaticRouter, Switch, World, AP_WIRED,
 };
+use powerburst_obs::{Counter, Recorder, RecorderConfig};
 use powerburst_sim::rng::streams;
 use powerburst_sim::{derive_rng, ClockModel, SimDuration, SimTime};
 use powerburst_trace::{analyze_client, utilization, PolicyParams};
@@ -61,12 +62,23 @@ pub struct Assembled {
     pub video_server: NodeId,
     /// The byte server's node id.
     pub byte_server: NodeId,
+    /// The run's observability recorder (disabled unless the scenario
+    /// enables collection). Every instrumented layer holds a clone.
+    pub obs: Recorder,
 }
 
 /// Build the world for a scenario without running it.
 pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     let mut world = World::new(cfg.seed);
     let n = cfg.clients.len();
+
+    // One recorder per run: sweep jobs never share observability state, so
+    // exports are deterministic regardless of how runs are parallelized.
+    let obs = if cfg.obs.metrics {
+        Recorder::new(RecorderConfig { events: cfg.obs.events, event_cap: cfg.obs.event_cap })
+    } else {
+        Recorder::disabled()
+    };
 
     // --- traffic provisioning ------------------------------------------------
     // §4.1: requests are spaced "roughly one second apart in order to
@@ -124,8 +136,10 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     pcfg.mode = cfg.proxy_mode;
     pcfg.flag_unchanged = cfg.flag_unchanged;
     pcfg.admission = cfg.admission;
+    let mut proxy_node = Proxy::new(pcfg);
+    proxy_node.set_recorder(obs.clone());
     let proxy = world.add_node(
-        Box::new(Proxy::new(pcfg)),
+        Box::new(proxy_node),
         NodeConfig { host: Some(hosts::PROXY), clock: ClockModel::perfect(), wnic: None },
     );
 
@@ -138,6 +152,7 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
             derive_rng(cfg.seed, fault_stream(fault_streams::AP)),
         ));
     }
+    ap_node.set_recorder(obs.clone());
     let ap = world.add_node(Box::new(ap_node), NodeConfig::infrastructure());
 
     // --- wiring ----------------------------------------------------------------------
@@ -220,8 +235,10 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         // Fault plan: pile an extra frequency error on top, so the
         // client↔proxy skew ramps linearly over the run.
         clock.drift_ppm += clock_skew_ramp(&cfg.faults, &mut skew_rng);
+        let mut daemon = PowerClient::new(ccfg, app);
+        daemon.set_recorder(obs.clone());
         let node = world.add_node(
-            Box::new(PowerClient::new(ccfg, app)),
+            Box::new(daemon),
             NodeConfig {
                 host: Some(host),
                 clock,
@@ -235,7 +252,10 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         client_ids.push(node);
     }
 
-    Assembled { world, proxy, ap, clients: client_ids, video_server, byte_server }
+    // Last: the world forwards the recorder to every live radio added above.
+    world.set_recorder(obs.clone());
+
+    Assembled { world, proxy, ap, clients: client_ids, video_server, byte_server, obs }
 }
 
 /// Run a scenario to completion and collect results.
@@ -372,6 +392,9 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         );
         f
     };
+    // Mirror the invariant total into the metric catalog so a metrics
+    // export alone is enough for CI to fail on violations.
+    a.obs.add(Counter::InvariantViolations, invariants.total());
     ScenarioResult {
         clients,
         proxy: proxy_stats,
@@ -383,6 +406,8 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         admission,
         faults,
         invariants,
+        sim_events: a.world.events_processed(),
+        obs: a.obs.export(),
     }
 }
 

@@ -98,6 +98,43 @@ impl ClientSpec {
     }
 }
 
+/// Observability settings for a scenario run.
+///
+/// Disabled by default: the recorder handed to every layer is the no-op
+/// handle, so instrumented hot paths cost one branch and allocate nothing.
+/// One recorder is created *per run* (inside `assemble`), never shared
+/// across sweep jobs, so exports are deterministic at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect metrics (counters, gauges, histograms).
+    pub metrics: bool,
+    /// Also collect the structured event stream (heavier).
+    pub events: bool,
+    /// Event-channel capacity; later events are counted as dropped.
+    pub event_cap: usize,
+}
+
+impl ObsConfig {
+    /// Everything off (the default).
+    pub const OFF: ObsConfig = ObsConfig { metrics: false, events: false, event_cap: 0 };
+
+    /// Metrics only.
+    pub fn metrics() -> ObsConfig {
+        ObsConfig { metrics: true, events: false, event_cap: 0 }
+    }
+
+    /// Metrics plus the event stream at the default capacity.
+    pub fn full() -> ObsConfig {
+        ObsConfig { metrics: true, events: true, event_cap: 65_536 }
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::OFF
+    }
+}
+
 /// How client radios are modeled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RadioMode {
@@ -143,6 +180,8 @@ pub struct ScenarioConfig {
     /// Deterministic fault injection (loss/dup/reorder/SRP drops, AP
     /// jitter spikes, clock-skew ramps). Defaults to no faults.
     pub faults: FaultPlan,
+    /// Observability (metrics/events) collection. Defaults to off.
+    pub obs: ObsConfig,
 }
 
 impl ScenarioConfig {
@@ -163,6 +202,7 @@ impl ScenarioConfig {
             pipe: None,
             admission: None,
             faults: FaultPlan::NONE,
+            obs: ObsConfig::OFF,
         }
     }
 
@@ -175,6 +215,12 @@ impl ScenarioConfig {
     /// Inject faults (builder style).
     pub fn with_faults(mut self, plan: FaultPlan) -> ScenarioConfig {
         self.faults = plan;
+        self
+    }
+
+    /// Enable observability collection (builder style).
+    pub fn with_obs(mut self, obs: ObsConfig) -> ScenarioConfig {
+        self.obs = obs;
         self
     }
 }

@@ -11,15 +11,17 @@ use std::sync::Mutex;
 use powerburst_core::{ProxyMode, SchedulePolicy};
 use powerburst_energy::{optimal_savings_for_rate, CardSpec};
 use powerburst_net::PipeSpec;
-use powerburst_sim::{default_threads, parallel_sweep, SimDuration, Summary};
+use powerburst_obs::{BenchJob, BenchReport, BenchStage, Stopwatch};
+use powerburst_sim::{default_threads, parallel_sweep, parallel_sweep_timed, SimDuration, Summary};
 use powerburst_traffic::{Fidelity, WebScriptConfig};
 
 use crate::build::run_scenario;
 use crate::calibrate::{calibrate, Calibration, DEFAULT_SIZES};
 use crate::config::{
-    ClientKind, ClientSpec, NetworkConfig, RadioMode, ScenarioConfig, VideoPattern,
+    ClientKind, ClientSpec, NetworkConfig, ObsConfig, RadioMode, ScenarioConfig, VideoPattern,
 };
 use crate::report::{banner, fmt_summary, Table};
+use crate::results::ScenarioResult;
 
 /// Common experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -1300,4 +1302,82 @@ pub fn run_all(opt: &ExpOptions) -> String {
     push(render_admission(&abl_admission_control(opt)));
     push(render_bandwidth_model(&tab_bandwidth_model(opt)));
     out.into_inner().expect("experiment output poisoned")
+}
+
+// ---------------------------------------------------------------------------
+// Perf profiling — the BENCH_pr3.json report.
+// ---------------------------------------------------------------------------
+
+/// Profile the Figure-4 sweep plus one fully instrumented run.
+///
+/// Stage 1 fans the fifteen Figure-4 configurations across
+/// [`parallel_sweep_timed`] workers with observability **off** (the
+/// production-speed baseline) and records per-job wall time and simulation
+/// event counts. Stage 2 runs one mixed-pattern scenario with metrics and
+/// the event channel **on**, both to time the instrumented path and to
+/// produce an observability export for CI artifacts.
+///
+/// Returns the wall-clock report (non-deterministic by nature) and the
+/// instrumented run's full result (whose `obs` export *is* deterministic).
+pub fn bench_fig4(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
+    let patterns = [
+        VideoPattern::All56,
+        VideoPattern::All256,
+        VideoPattern::All512,
+        VideoPattern::Half56Half512,
+        VideoPattern::Mixed,
+    ];
+    let mut configs = Vec::new();
+    for (iname, ikind) in INTERVALS {
+        for p in patterns {
+            let cfg = ScenarioConfig::new(opt.seed, ikind.policy(), video_clients(p, 10))
+                .with_duration(opt.duration);
+            configs.push((iname, p, cfg));
+        }
+    }
+    let labels: Vec<String> =
+        configs.iter().map(|(iname, p, _)| format!("{iname}/{}", p.label())).collect();
+    let (events, timing) =
+        parallel_sweep_timed(configs, opt.threads, |(_, _, cfg)| run_scenario(cfg).sim_events);
+    let jobs: Vec<BenchJob> = labels
+        .into_iter()
+        .zip(events.iter().zip(timing.job_wall_s.iter()))
+        .map(|(label, (&sim_events, &wall_s))| BenchJob { label, wall_s, sim_events })
+        .collect();
+    let sweep_stage = BenchStage {
+        name: "fig4-sweep".to_string(),
+        wall_s: timing.wall_s,
+        threads: timing.threads,
+        sim_events: events.iter().sum(),
+        jobs,
+    };
+
+    // All56 rather than Mixed: the mixed-fidelity pattern has a known
+    // pre-existing missing-client quirk (see ROADMAP), and the bench's
+    // instrumented run doubles as CI's fail-on-invariants gate.
+    let icfg = ScenarioConfig::new(
+        opt.seed,
+        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        video_clients(VideoPattern::All56, 10),
+    )
+    .with_duration(opt.duration)
+    .with_obs(ObsConfig::full());
+    let sw = Stopwatch::start();
+    let r = run_scenario(&icfg);
+    let wall_s = sw.elapsed_s();
+    let instrumented_stage = BenchStage {
+        name: "instrumented-run".to_string(),
+        wall_s,
+        threads: 1,
+        sim_events: r.sim_events,
+        jobs: vec![BenchJob {
+            label: "100ms/56k+obs".to_string(),
+            wall_s,
+            sim_events: r.sim_events,
+        }],
+    };
+
+    let mut report = BenchReport::new("pr3");
+    report.stages = vec![sweep_stage, instrumented_stage];
+    (report, r)
 }

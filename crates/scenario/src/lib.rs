@@ -25,6 +25,8 @@ pub mod results;
 
 pub use build::{assemble, hosts, run_scenario, Assembled};
 pub use calibrate::{calibrate, Calibration, DEFAULT_SIZES};
-pub use config::{ClientKind, ClientSpec, NetworkConfig, RadioMode, ScenarioConfig, VideoPattern};
+pub use config::{
+    ClientKind, ClientSpec, NetworkConfig, ObsConfig, RadioMode, ScenarioConfig, VideoPattern,
+};
 pub use report::{banner, fmt_pct, fmt_summary, Table};
 pub use results::{AppMetrics, ClientResult, FtpSummary, LiveSummary, ScenarioResult, WebSummary};

@@ -3,6 +3,7 @@
 use powerburst_client::ClientPowerStats;
 use powerburst_core::{InvariantLog, ProxyStats};
 use powerburst_net::{FaultStats, HostAddr};
+use powerburst_obs::ObsReport;
 use powerburst_sim::{SimDuration, Summary};
 use powerburst_trace::PostmortemReport;
 use powerburst_traffic::PlayerStats;
@@ -129,6 +130,10 @@ pub struct ScenarioResult {
     /// overruns, unmarked bursts, schedule completeness, energy
     /// conservation, AP ordering.
     pub invariants: InvariantLog,
+    /// Events processed by the simulation loop (feeds events/sec figures).
+    pub sim_events: u64,
+    /// Observability export, when the scenario enabled collection.
+    pub obs: Option<ObsReport>,
 }
 
 impl ScenarioResult {

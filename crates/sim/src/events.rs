@@ -8,9 +8,12 @@
 //!
 //! Cancellation is supported via tombstones: [`EventQueue::cancel`] records
 //! the event id and the entry is skipped when it surfaces. This keeps
-//! `cancel` O(1) at the cost of leaving the entry in the heap until it
-//! reaches the top, which is the standard trade-off for timer wheels in
-//! discrete-event simulators.
+//! `cancel` amortized O(log n) at the cost of leaving interior entries in
+//! the heap until they reach the top, which is the standard trade-off for
+//! timer wheels in discrete-event simulators. Cancellation (and pop)
+//! eagerly purge tombstones *at the top* of the heap, maintaining the
+//! invariant that the heap's minimum is always live — which is what lets
+//! [`EventQueue::peek_time`] take `&self` instead of `&mut self`.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -111,7 +114,23 @@ impl<T> EventQueue<T> {
         }
         self.cancelled.insert(id.0);
         self.live -= 1;
+        // Keep the heap's minimum live so `peek_time` can be a pure read.
+        self.purge_top();
         true
+    }
+
+    /// Drop tombstoned entries sitting at the top of the heap. Every
+    /// mutation that can leave a tombstone there calls this, so between
+    /// method calls the heap's minimum (if any) is always a live event.
+    fn purge_top(&mut self) {
+        while let Some(entry) = self.heap.peek() {
+            if !self.cancelled.contains(&entry.seq) {
+                break;
+            }
+            let seq = entry.seq;
+            self.heap.pop();
+            self.cancelled.remove(&seq);
+        }
     }
 
     /// Remove and return the earliest live event.
@@ -122,23 +141,20 @@ impl<T> EventQueue<T> {
             }
             self.pending.remove(&entry.seq);
             self.live -= 1;
+            // Removing the minimum can expose an interior tombstone at the
+            // top; purge so the next `peek_time` sees a live minimum.
+            self.purge_top();
             return Some((entry.time, entry.item));
         }
         None
     }
 
     /// The time of the earliest live event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.time);
-        }
-        None
+    ///
+    /// A pure read: `cancel` eagerly purges tombstones from the heap top,
+    /// so the minimum entry is always live.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|entry| entry.time)
     }
 
     /// Number of live (non-cancelled) events.
@@ -215,6 +231,22 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_ms(9)));
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn peek_time_is_a_pure_read() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_ms(1), "a");
+        q.push(SimTime::from_ms(5), "b");
+        let c = q.push(SimTime::from_ms(2), "c");
+        // Cancel an interior entry, then the (new) top: the top must be
+        // purged eagerly so an immutable peek sees a live minimum.
+        q.cancel(c);
+        q.cancel(a);
+        let q_ref: &EventQueue<&str> = &q;
+        assert_eq!(q_ref.peek_time(), Some(SimTime::from_ms(5)));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

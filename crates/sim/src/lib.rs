@@ -38,5 +38,5 @@ pub use clock::{ClockModel, LocalTime};
 pub use events::{EventId, EventQueue};
 pub use rng::derive_rng;
 pub use stats::{LinearFit, Summary};
-pub use sweep::{default_threads, parallel_sweep};
+pub use sweep::{default_threads, parallel_sweep, parallel_sweep_timed, SweepTiming};
 pub use time::{SimDuration, SimTime};

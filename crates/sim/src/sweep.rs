@@ -6,9 +6,37 @@
 //! harnesses fan configurations out over scoped worker threads that pull
 //! jobs from a shared atomic cursor. Results come back in input order
 //! regardless of completion order, so tables are reproducible.
+//!
+//! Result collection is lock-free: the atomic cursor hands each job index
+//! to exactly one worker, so every result slot has a single writer and
+//! workers never contend on a shared lock to publish results.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::time::Instant;
+
+/// Wall-clock profile of one [`parallel_sweep_timed`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTiming {
+    /// Wall time of the whole sweep, seconds.
+    pub wall_s: f64,
+    /// Per-job wall time, seconds, in input order.
+    pub job_wall_s: Vec<f64>,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// One result slot, written by exactly one worker.
+///
+/// The cursor's `fetch_add` hands each index to a single worker, so each
+/// `UnsafeCell` has one writer for the lifetime of the scope; the main
+/// thread only reads after `thread::scope` has joined every worker, which
+/// provides the happens-before edge.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: see the struct docs — per-index single writer, reads only after
+// all workers have been joined.
+unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Run `f` over every config, using up to `threads` worker threads.
 /// Results are returned in the same order as `configs`.
@@ -21,24 +49,47 @@ where
     R: Send,
     F: Fn(&C) -> R + Sync,
 {
+    parallel_sweep_timed(configs, threads, f).0
+}
+
+/// [`parallel_sweep`] plus a wall-clock profile: total sweep time and
+/// per-job time in input order. Results are identical to the untimed
+/// variant; only the profile varies run to run.
+pub fn parallel_sweep_timed<C, R, F>(configs: Vec<C>, threads: usize, f: F) -> (Vec<R>, SweepTiming)
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    let sweep_start = Instant::now();
     let n = configs.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), SweepTiming::default());
     }
     let threads = threads.min(n);
     if threads <= 1 {
-        return configs.iter().map(&f).collect();
+        let mut job_wall_s = Vec::with_capacity(n);
+        let results = configs
+            .iter()
+            .map(|c| {
+                let t0 = Instant::now();
+                let r = f(c);
+                job_wall_s.push(t0.elapsed().as_secs_f64());
+                r
+            })
+            .collect();
+        let timing =
+            SweepTiming { wall_s: sweep_start.elapsed().as_secs_f64(), job_wall_s, threads: 1 };
+        return (results, timing);
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    let out = Mutex::new(out);
+    let slots: Vec<Slot<(R, f64)>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let cursor = &cursor;
-            let out = &out;
+            let slots = &slots;
             let f = &f;
             let configs = &configs;
             scope.spawn(move || loop {
@@ -46,17 +97,25 @@ where
                 if idx >= n {
                     break;
                 }
+                let t0 = Instant::now();
                 let r = f(&configs[idx]);
-                out.lock().expect("sweep results poisoned")[idx] = Some(r);
+                let dt = t0.elapsed().as_secs_f64();
+                // SAFETY: `idx` came from the cursor's fetch_add, so this
+                // worker is the only writer of `slots[idx]`; the main
+                // thread reads only after the scope joins all workers.
+                unsafe { *slots[idx].0.get() = Some((r, dt)) };
             });
         }
     });
 
-    out.into_inner()
-        .expect("sweep results poisoned")
-        .into_iter()
-        .map(|r| r.expect("every job produced a result"))
-        .collect()
+    let mut results = Vec::with_capacity(n);
+    let mut job_wall_s = Vec::with_capacity(n);
+    for s in slots {
+        let (r, dt) = s.0.into_inner().expect("every job produced a result");
+        results.push(r);
+        job_wall_s.push(dt);
+    }
+    (results, SweepTiming { wall_s: sweep_start.elapsed().as_secs_f64(), job_wall_s, threads })
 }
 
 /// Pick a default worker count: the available parallelism, capped so sweeps
@@ -108,5 +167,28 @@ mod tests {
     fn more_threads_than_jobs_is_fine() {
         let out = parallel_sweep(vec![1, 2], 32, |c| c + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn timed_variant_profiles_every_job() {
+        for threads in [1, 4] {
+            let configs: Vec<u64> = (0..10).collect();
+            let (out, timing) = parallel_sweep_timed(configs, threads, |c| c + 1);
+            assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+            assert_eq!(timing.job_wall_s.len(), 10);
+            assert!(timing.job_wall_s.iter().all(|&t| t >= 0.0));
+            assert!(timing.wall_s >= 0.0);
+            assert_eq!(timing.threads, threads);
+        }
+    }
+
+    #[test]
+    fn results_survive_nontrivial_types() {
+        // Heap-owning results exercise the slot handoff (drop correctness).
+        let configs: Vec<usize> = (0..50).collect();
+        let out = parallel_sweep(configs, 8, |c| vec![*c; 3]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![i; 3]);
+        }
     }
 }

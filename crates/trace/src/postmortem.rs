@@ -647,6 +647,7 @@ mod tests {
             next_srp: SimDuration::from_ms(interval_ms),
             unchanged: false,
             fixed_slots: false,
+            saturated: false,
         }
     }
 

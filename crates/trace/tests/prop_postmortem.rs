@@ -25,6 +25,7 @@ fn sched_record(t_us: u64, seq: u64, rp_ms: u64, dur_ms: u64, interval_ms: u64) 
         next_srp: SimDuration::from_ms(interval_ms),
         unchanged: false,
         fixed_slots: false,
+        saturated: false,
     };
     let pkt = Packet::udp(
         0,

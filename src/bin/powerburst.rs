@@ -4,6 +4,10 @@
 //! powerburst run [--clients N] [--pattern P] [--interval I] [--secs S]
 //!                [--seed K] [--web N] [--ftp BYTES] [--live] [--psm]
 //!                [--static] [--admission] [--trace-out FILE]
+//!                [--metrics-out FILE] [--trace-events FILE]
+//!                [--fail-on-invariants]
+//! powerburst bench [--secs S] [--seed K] [--threads N] [--out FILE]
+//!                  [--metrics-out FILE]
 //! powerburst calibrate [--seed K]
 //! powerburst experiment <name>|all [--secs S] [--seed K]
 //! powerburst list
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     match cmd.as_str() {
         "run" => cmd_run(rest),
+        "bench" => cmd_bench(rest),
         "calibrate" => cmd_calibrate(rest),
         "experiment" => cmd_experiment(rest),
         "list" => {
@@ -56,10 +61,14 @@ USAGE:
                  [--interval 100|500|var] [--secs S] [--seed K]
                  [--web N] [--ftp BYTES] [--live] [--psm] [--static]
                  [--admission] [--trace-out FILE]
+                 [--metrics-out FILE] [--trace-events FILE]
+                 [--fail-on-invariants]
                  [--fault-loss P] [--fault-dup P] [--fault-reorder P]
                  [--fault-reorder-ms M] [--fault-sched-drop P]
                  [--fault-jitter-ms M] [--fault-jitter-prob P]
                  [--fault-skew-ppm X]
+  powerburst bench [--secs S] [--seed K] [--threads N] [--out FILE]
+                   [--metrics-out FILE] [--fail-on-invariants]
   powerburst calibrate [--seed K]
   powerburst experiment <name>|all [--secs S] [--seed K]
   powerburst list";
@@ -167,6 +176,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         ap_jitter_max: SimDuration::from_ms(f.parse("--fault-jitter-ms", 0)),
         clock_skew_ppm: f.parse("--fault-skew-ppm", 0.0),
     };
+    let metrics_out = f.get("--metrics-out");
+    let events_out = f.get("--trace-events");
+    if metrics_out.is_some() || events_out.is_some() {
+        cfg.obs = ObsConfig { metrics: true, events: events_out.is_some(), event_cap: 65_536 };
+    }
 
     eprintln!(
         "running {} clients for {secs}s (seed {seed}, {} radio)...",
@@ -232,6 +246,90 @@ fn cmd_run(args: &[String]) -> ExitCode {
         for v in r.invariants.violations().iter().take(5) {
             println!("  {v}");
         }
+    }
+    if let Err(code) = write_obs_exports(&r, metrics_out, events_out) {
+        return code;
+    }
+    if f.has("--fail-on-invariants") && !r.invariants.is_clean() {
+        eprintln!("failing: {} invariant violation(s)", r.invariants.total());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Write the metrics (JSON, or CSV when the path ends in `.csv`) and the
+/// event stream (JSON-lines) exports of an instrumented run.
+fn write_obs_exports(
+    r: &ScenarioResult,
+    metrics_out: Option<&str>,
+    events_out: Option<&str>,
+) -> Result<(), ExitCode> {
+    let Some(rep) = r.obs.as_ref() else {
+        if metrics_out.is_some() || events_out.is_some() {
+            eprintln!("no observability export (collection was not enabled)");
+            return Err(ExitCode::FAILURE);
+        }
+        return Ok(());
+    };
+    if let Some(path) = metrics_out {
+        let body = if path.ends_with(".csv") { rep.metrics_csv() } else { rep.metrics_json() };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("metrics -> {path}");
+    }
+    if let Some(path) = events_out {
+        if let Err(e) = std::fs::write(path, rep.events_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("events: {} ({} dropped) -> {path}", rep.events.len(), rep.events_dropped);
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let f = Flags { args };
+    let opt = exp::ExpOptions {
+        duration: SimDuration::from_secs(f.parse("--secs", 25)),
+        seed: f.parse("--seed", 7),
+        threads: f.parse("--threads", powerburst::sim::default_threads()),
+    };
+    eprintln!(
+        "profiling fig4 sweep + instrumented run ({} s, seed {}, {} threads)...",
+        opt.duration.as_secs_f64(),
+        opt.seed,
+        opt.threads
+    );
+    let (report, r) = exp::bench_fig4(&opt);
+    let out = f.get("--out").unwrap_or("BENCH_pr3.json");
+    if let Err(e) = std::fs::write(out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for st in &report.stages {
+        println!(
+            "{:<18} {:>8.2}s  {:>12} events  {:>12.0} events/s  ({} jobs, {} threads)",
+            st.name,
+            st.wall_s,
+            st.sim_events,
+            st.events_per_sec(),
+            st.jobs.len(),
+            st.threads,
+        );
+    }
+    println!("bench report -> {out}");
+    if let Err(code) = write_obs_exports(&r, f.get("--metrics-out"), f.get("--trace-events")) {
+        return code;
+    }
+    if !r.invariants.is_clean() {
+        println!("invariants: {} violation(s) in instrumented run", r.invariants.total());
+        if f.has("--fail-on-invariants") {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("invariants: clean");
     }
     ExitCode::SUCCESS
 }

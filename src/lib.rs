@@ -35,6 +35,7 @@ pub use powerburst_client as client;
 pub use powerburst_core as core;
 pub use powerburst_energy as energy;
 pub use powerburst_net as net;
+pub use powerburst_obs as obs;
 pub use powerburst_scenario as scenario;
 pub use powerburst_sim as sim;
 pub use powerburst_trace as trace;
@@ -54,9 +55,10 @@ pub mod prelude {
     pub use powerburst_net::{
         AirtimeModel, ApDelayParams, FaultPlan, FaultStats, HostAddr, LinkSpec, PipeSpec, World,
     };
+    pub use powerburst_obs::{ObsReport, Recorder, RecorderConfig};
     pub use powerburst_scenario::{
-        assemble, calibrate, run_scenario, ClientKind, ClientSpec, NetworkConfig, RadioMode,
-        ScenarioConfig, ScenarioResult, VideoPattern,
+        assemble, calibrate, run_scenario, ClientKind, ClientSpec, NetworkConfig, ObsConfig,
+        RadioMode, ScenarioConfig, ScenarioResult, VideoPattern,
     };
     pub use powerburst_sim::{SimDuration, SimTime, Summary};
     pub use powerburst_trace::{analyze_client, PolicyParams, PostmortemReport};

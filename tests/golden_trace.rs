@@ -92,3 +92,41 @@ fn different_seed_renders_differently() {
     let b = render_run(&run_scenario(&video_cfg(43)));
     assert_ne!(a, b);
 }
+
+/// All three observability exports of one instrumented run.
+fn obs_exports(cfg: &ScenarioConfig) -> (String, String, String) {
+    let r = run_scenario(cfg);
+    let rep = r.obs.expect("obs collection enabled");
+    (rep.metrics_json(), rep.metrics_csv(), rep.events_jsonl())
+}
+
+#[test]
+fn obs_exports_are_byte_identical_across_repeats() {
+    let cfg = video_cfg(42).with_obs(ObsConfig::full());
+    let (j1, c1, e1) = obs_exports(&cfg);
+    let (j2, c2, e2) = obs_exports(&cfg);
+    assert!(!e1.is_empty(), "instrumented run records events");
+    assert_eq!(j1, j2, "metrics JSON must be byte-identical across repeats");
+    assert_eq!(c1, c2, "metrics CSV must be byte-identical across repeats");
+    assert_eq!(e1, e2, "event stream must be byte-identical across repeats");
+}
+
+#[test]
+fn obs_exports_are_byte_identical_across_sweep_thread_counts() {
+    // Each run owns its recorder, so fanning instrumented runs across
+    // worker threads must not perturb any export byte.
+    let configs: Vec<ScenarioConfig> =
+        (0..4).map(|i| video_cfg(42 + i).with_obs(ObsConfig::full())).collect();
+    let single = powerburst::sim::parallel_sweep(configs.clone(), 1, obs_exports);
+    let multi = powerburst::sim::parallel_sweep(configs, 4, obs_exports);
+    assert_eq!(single, multi, "exports must not depend on sweep thread count");
+}
+
+#[test]
+fn instrumentation_is_passive() {
+    // Turning observability on must not change what the simulation does:
+    // the golden-checked rendering is identical with and without it.
+    let plain = render_run(&run_scenario(&video_cfg(42)));
+    let instrumented = render_run(&run_scenario(&video_cfg(42).with_obs(ObsConfig::full())));
+    assert_eq!(plain, instrumented, "observability must not perturb the run");
+}
