@@ -8,6 +8,8 @@
 //!   trailer length used throughout the paper);
 //! * `PB_SEED` — master seed (default 7).
 
+#![forbid(unsafe_code)]
+
 use powerburst_scenario::experiments::ExpOptions;
 use powerburst_sim::SimDuration;
 

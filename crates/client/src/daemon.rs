@@ -216,12 +216,7 @@ impl PowerClient {
         let next = self.planned_wakes.iter().min().copied();
         match next {
             Some(t) if t.since(now) < self.cfg.min_sleep => { /* not worth it */ }
-            _ => {
-                if std::env::var("PB_DEBUG_CLIENT").is_ok() {
-                    eprintln!("[{}] sleep at {} (next wake {:?})", self.cfg.me, now, next);
-                }
-                ctx.radio_sleep()
-            }
+            _ => ctx.radio_sleep(),
         }
     }
 
@@ -245,19 +240,6 @@ impl PowerClient {
     fn handle_schedule(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
         let Some(sched) = Schedule::decode(&pkt.payload) else { return };
         self.stats.schedules_received += 1;
-        if std::env::var("PB_DEBUG_CLIENT").is_ok() {
-            let mine: Vec<_> = sched.slots_for(self.cfg.me).collect();
-            eprintln!(
-                "[{}] sched seq={} at {} in_burst={} mine={:?} next_srp={}",
-                self.cfg.me,
-                sched.seq,
-                ctx.now(),
-                self.in_burst,
-                mine,
-                sched.next_srp
-            );
-        }
-
         // Ordering rule (1): mid-burst schedules wait for the mark — unless
         // one is already pending, in which case the mark was evidently lost
         // and we adopt the newest schedule immediately.
@@ -428,9 +410,6 @@ impl Node for PowerClient {
         let now = ctx.now();
         match token {
             T_WAKE_SRP => {
-                if std::env::var("PB_DEBUG_CLIENT").is_ok() {
-                    eprintln!("[{}] wake-srp at {}", self.cfg.me, ctx.now());
-                }
                 ctx.radio_wake();
                 self.woke_for = Some((WokeFor::Srp, now + self.cfg.wake_transition));
                 ctx.set_timer(self.lead() + self.cfg.miss_slack, T_MISS);
@@ -444,9 +423,6 @@ impl Node for PowerClient {
             }
             t if (T_WAKE_SLOT..T_WAKE_SLOT + MAX_SLOTS).contains(&t) => {
                 let k = (t - T_WAKE_SLOT) as usize;
-                if std::env::var("PB_DEBUG_CLIENT").is_ok() {
-                    eprintln!("[{}] wake-slot{k} at {}", self.cfg.me, ctx.now());
-                }
                 ctx.radio_wake();
                 let Some(slot) = self.slots.get(k).copied() else { return };
                 self.woke_for = Some((WokeFor::Burst, now + self.cfg.wake_transition));

@@ -6,6 +6,7 @@
 //! delay compensation, §3.3), sleeps on the marked packet, recovers from
 //! missed schedules, and hosts the unmodified client application.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;

@@ -13,7 +13,7 @@
 //! keep their scheduled slots, their low loss, and their energy savings
 //! even when the cell is oversubscribed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use powerburst_net::SockAddr;
 use powerburst_sim::{SimDuration, SimTime};
@@ -73,7 +73,9 @@ pub struct AdmissionControl {
     cfg: AdmissionConfig,
     /// Airtime cost per payload byte at typical media framing, seconds.
     airtime_per_byte_s: f64,
-    flows: HashMap<FlowKey, FlowState>,
+    /// Keyed by flow; a BTreeMap so load sums iterate in a fixed order
+    /// (f64 addition is order-sensitive — lint rule D002).
+    flows: BTreeMap<FlowKey, FlowState>,
     /// Statistics.
     pub stats: AdmissionStats,
 }
@@ -86,7 +88,7 @@ impl AdmissionControl {
         AdmissionControl {
             cfg,
             airtime_per_byte_s: per_pkt / typical_pkt as f64,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             stats: AdmissionStats::default(),
         }
     }
@@ -128,10 +130,9 @@ impl AdmissionControl {
     /// flow is (or becomes) admitted; `false` means the proxy must refuse
     /// the packet.
     pub fn offer(&mut self, key: FlowKey, bytes: usize, now: SimTime) -> bool {
-        if let Some(st) = self.flows.get(&key).copied() {
+        let tau = self.cfg.tau.as_secs_f64();
+        if let Some(st) = self.flows.get_mut(&key) {
             if st.admitted {
-                let tau = self.cfg.tau.as_secs_f64();
-                let st = self.flows.get_mut(&key).expect("present");
                 let decayed = {
                     let dt = now.since(st.last_update).as_secs_f64();
                     st.rate_bytes_s * (-dt / tau).exp()

@@ -7,9 +7,10 @@
 //! * [`proxy`] — the proxy node: interception with address spoofing, split
 //!   connections, per-client buffering, burst execution, schedule
 //!   broadcast; includes the pass-through ablation mode;
-//! * [`schedule`] — schedule wire format and the four construction
-//!   policies (dynamic fixed, dynamic variable, static equal, slotted
-//!   TCP/UDP static);
+//! * [`schedule`] — the four schedule construction policies (dynamic
+//!   fixed, dynamic variable, static equal, slotted TCP/UDP static);
+//! * [`wire`] — the schedule broadcast wire codec (integer-only by
+//!   contract, policed by the sim-purity lint's D005 rule);
 //! * [`bandwidth`] — the fitted linear send-cost model (§3.2.2);
 //! * [`marking`] — the three-counter end-of-burst marking protocol
 //!   (§3.2.2) with its `forwarded ≤ sent` invariant;
@@ -19,6 +20,7 @@
 //!   budgets, end-of-burst marks, schedule completeness, energy
 //!   conservation), collected into the run report.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
@@ -28,6 +30,7 @@ pub mod marking;
 pub mod proxy;
 pub mod queues;
 pub mod schedule;
+pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionControl, AdmissionStats};
 pub use bandwidth::BandwidthModel;

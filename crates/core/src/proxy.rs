@@ -318,18 +318,6 @@ impl Proxy {
             }
             self.obs.gauge_set(Gauge::BacklogBytes, backlog);
         }
-        if std::env::var("PB_DEBUG_SRP").is_ok() {
-            let total: u64 = demands.iter().map(|d| d.total()).sum();
-            if total > 0 || !self.splices.is_empty() {
-                eprintln!(
-                    "srp at {} demands={:?} splices={} held={:?}",
-                    ctx.now(),
-                    demands.iter().map(|d| d.total()).collect::<Vec<_>>(),
-                    self.splices.len(),
-                    self.splices.iter().map(|s| s.held.len()).collect::<Vec<_>>()
-                );
-            }
-        }
         let bcfg = BuilderConfig {
             schedule_airtime: self.schedule_airtime_estimate(),
             guard: self.cfg.guard,
@@ -480,7 +468,7 @@ impl Proxy {
                     continue;
                 }
                 remaining -= cost;
-                let pkt = self.clients[ci].queue.pop().expect("peeked");
+                let pkt = self.clients[ci].queue.pop().expect("invariant: peek_size saw a packet");
                 out.push((ci, pkt));
                 progress = true;
             }
@@ -537,7 +525,7 @@ impl Proxy {
                 break;
             }
             *remaining -= cost;
-            let pkt = self.clients[ci].queue.pop().expect("peeked");
+            let pkt = self.clients[ci].queue.pop().expect("invariant: peek_size saw a packet");
             if let Some(prev) = last_pkt.replace(pkt) {
                 self.stats.udp_bytes_sent += prev.wire_size() as u64;
                 self.obs.add(Counter::UdpBytesSent, prev.wire_size() as u64);
@@ -623,12 +611,6 @@ impl Proxy {
                 feeds.push((sid, allow));
             }
         }
-        if std::env::var("PB_DEBUG_BURST").is_ok() {
-            eprintln!(
-                "burst ci={ci} held_sent={} feeds={:?} budget_left={byte_budget}",
-                total, feeds
-            );
-        }
         let last_feed = feeds.len().checked_sub(1);
         let mut nominated = false;
         for (k, &(sid, allow)) in feeds.iter().enumerate() {
@@ -639,13 +621,7 @@ impl Proxy {
                 // at the end of its burst; here the burst boundary is known
                 // up front, so nominate it before emission.
                 s.mark.on_burst_bytes(allow);
-                let m = s.mark.end_burst().expect("non-empty burst");
-                if std::env::var("PB_DEBUG_BURST").is_ok() {
-                    eprintln!(
-                        "  set_mark m={m} stream_len={} allow={allow}",
-                        s.client_side.stream_len()
-                    );
-                }
+                let m = s.mark.end_burst().expect("invariant: allow > 0 bytes were just burst");
                 s.client_side.set_mark(m);
                 nominated = true;
             } else {
@@ -653,7 +629,10 @@ impl Proxy {
             }
             let mut left = allow;
             while left > 0 {
-                let mut chunk = s.pending.pop_front().expect("bytes tracked");
+                let mut chunk = s
+                    .pending
+                    .pop_front()
+                    .expect("invariant: pending_bytes tracks queued chunks exactly");
                 if chunk.len() as u64 > left {
                     let rest = chunk.split_off(left as usize);
                     s.pending.push_front(rest);

@@ -1,4 +1,4 @@
-//! Schedules: wire format and construction policies.
+//! Schedules: construction policies (the wire codec is in [`crate::wire`]).
 //!
 //! §3.2.1: "The proxy broadcasts a schedule message as a UDP packet to all
 //! active clients at well-defined intervals. ... The schedule describes the
@@ -17,7 +17,6 @@
 //! * **slotted static TCP/UDP** (Figure 7): a fixed TCP slot during which
 //!   *all* clients listen, then equal per-client UDP slots.
 
-use bytes::{BufMut, Bytes, BytesMut};
 use powerburst_sim::SimDuration;
 
 use powerburst_net::HostAddr;
@@ -59,71 +58,8 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Serialize to the broadcast payload.
-    ///
-    /// Entries whose µs offsets/durations exceed the u32 wire range are
-    /// clamped to `u32::MAX` (never silently wrapped); use
-    /// [`Schedule::encode_checked`] to detect that happening.
-    pub fn encode(&self) -> Bytes {
-        self.encode_checked().0
-    }
-
-    /// Serialize, also reporting how many µs fields overflowed the u32
-    /// wire range and had to be clamped. A non-zero count is a scheduler
-    /// bug (an offset or duration past ~71.6 minutes); the proxy surfaces
-    /// it as an [`crate::invariants::InvariantKind::WireOverflow`]
-    /// violation rather than letting the cast wrap to a tiny slot.
-    pub fn encode_checked(&self) -> (Bytes, usize) {
-        let mut overflows = 0usize;
-        let mut wire_us = |d: SimDuration| -> u32 {
-            u32::try_from(d.as_us()).unwrap_or_else(|_| {
-                overflows += 1;
-                u32::MAX
-            })
-        };
-        let mut b = BytesMut::with_capacity(19 + 12 * self.entries.len());
-        b.put_u64(self.seq);
-        b.put_u8(
-            self.unchanged as u8 | (self.fixed_slots as u8) << 1 | (self.saturated as u8) << 2,
-        );
-        b.put_u16(self.entries.len() as u16);
-        b.put_u64(self.next_srp.as_us());
-        for e in &self.entries {
-            b.put_u32(e.client.0);
-            b.put_u32(wire_us(e.rp_offset));
-            b.put_u32(wire_us(e.duration));
-        }
-        (b.freeze(), overflows)
-    }
-
-    /// Parse a broadcast payload.
-    pub fn decode(p: &[u8]) -> Option<Schedule> {
-        if p.len() < 19 {
-            return None;
-        }
-        let seq = u64::from_be_bytes(p[0..8].try_into().ok()?);
-        let unchanged = p[8] & 1 != 0;
-        let fixed_slots = p[8] & 2 != 0;
-        let saturated = p[8] & 4 != 0;
-        let n = u16::from_be_bytes(p[9..11].try_into().ok()?) as usize;
-        let next_srp = SimDuration::from_us(u64::from_be_bytes(p[11..19].try_into().ok()?));
-        if p.len() < 19 + 12 * n {
-            return None;
-        }
-        let mut entries = Vec::with_capacity(n);
-        for i in 0..n {
-            let off = 19 + 12 * i;
-            let client = HostAddr(u32::from_be_bytes(p[off..off + 4].try_into().ok()?));
-            let rp = u32::from_be_bytes(p[off + 4..off + 8].try_into().ok()?);
-            let dur = u32::from_be_bytes(p[off + 8..off + 12].try_into().ok()?);
-            entries.push(ScheduleEntry {
-                client,
-                rp_offset: SimDuration::from_us(rp as u64),
-                duration: SimDuration::from_us(dur as u64),
-            });
-        }
-        Some(Schedule { seq, entries, next_srp, unchanged, fixed_slots, saturated })
-    }
+    // The wire codec (`encode` / `encode_checked` / `decode`) lives in
+    // [`crate::wire`], an integer-only module policed by lint rule D005.
 
     /// Slots that apply to `me` (own slots plus all-clients slots).
     pub fn slots_for(&self, me: HostAddr) -> impl Iterator<Item = &ScheduleEntry> {
@@ -355,6 +291,48 @@ fn saturated_round_robin(
     s
 }
 
+/// Per-client shares over `usable`, proportional to `weights`, floored at
+/// `min_slot`, and guaranteed to sum to at most `usable`.
+///
+/// Plain proportional-with-floor can overflow `usable` when one weight
+/// dominates and many tiny weights each get padded up to the floor; the
+/// layout clamp would then silently drop the trailing clients' slots — the
+/// bug behind the mixed-fidelity `missing-client` violations. When the
+/// padded shares do not fit, the floor is granted to everyone first and
+/// only the *remaining* space is divided proportionally, so every client
+/// keeps a slot. Returns `None` when even the floors alone exceed `usable`
+/// (the caller degrades to the saturated round-robin layout).
+fn fit_shares(
+    usable: SimDuration,
+    min_slot: SimDuration,
+    weights: &[u64],
+) -> Option<Vec<SimDuration>> {
+    let n = weights.len() as u64;
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let total = total.max(1);
+    let prop: Vec<SimDuration> = weights
+        .iter()
+        .map(|&w| {
+            SimDuration::from_us((usable.as_us() as u128 * w as u128 / total) as u64).max(min_slot)
+        })
+        .collect();
+    let padded: u64 = prop.iter().map(|d| d.as_us()).sum();
+    if padded <= usable.as_us() {
+        return Some(prop);
+    }
+    let floors = min_slot.as_us().checked_mul(n)?;
+    if floors > usable.as_us() {
+        return None;
+    }
+    let extra = (usable.as_us() - floors) as u128;
+    Some(
+        weights
+            .iter()
+            .map(|&w| SimDuration::from_us(min_slot.as_us() + (extra * w as u128 / total) as u64))
+            .collect(),
+    )
+}
+
 fn build_fixed(
     interval: SimDuration,
     cfg: &BuilderConfig,
@@ -375,18 +353,16 @@ fn build_fixed(
     }
     let overhead = cfg.schedule_airtime + cfg.guard * (active.len() as u64 + 1);
     let usable = interval.saturating_sub(overhead);
-    let entries = active
-        .iter()
-        .map(|d| {
-            let share = SimDuration::from_us(
-                (usable.as_us() as u128 * d.total() as u128 / total_bytes as u128) as u64,
-            );
-            (d.client, share.max(cfg.min_slot))
-        })
-        .collect();
+    let weights: Vec<u64> = active.iter().map(|d| d.total()).collect();
+    let Some(shares) = fit_shares(usable, cfg.min_slot, &weights) else {
+        // Even min_slot floors do not fit: serve a rotating subset rather
+        // than letting the clamp starve whoever happens to be laid out last.
+        return saturated_round_robin(interval, cfg, demands, seq, false);
+    };
+    let entries = active.iter().zip(shares).map(|(d, share)| (d.client, share)).collect();
     let mut s = lay_out(entries, cfg, interval, seq);
-    // min_slot padding can overflow the interval with many tiny queues;
-    // clamp trailing slots so the layout never crosses the SRP.
+    // Shares fit by construction; the clamp only trims sub-guard rounding
+    // at the tail and can no longer drop an active client's slot.
     clamp_to_interval(&mut s, interval, cfg.guard);
     s
 }
@@ -421,12 +397,18 @@ fn build_variable(
     let interval = needed.max(min).min(max);
     if needed > interval {
         // Demand exceeds the cap: shrink slots proportionally ("each client
-        // can empty its packet queue" no longer holds — overload).
-        let budget = interval.saturating_sub(overhead).as_us() as u128;
-        let total: u128 = slots.iter().map(|(_, d)| d.as_us() as u128).sum();
-        for (_, d) in &mut slots {
-            *d = SimDuration::from_us((d.as_us() as u128 * budget / total.max(1)) as u64)
-                .max(cfg.min_slot);
+        // can empty its packet queue" no longer holds — overload). The
+        // same fit guarantee as the fixed policy applies: min_slot padding
+        // must never push a trailing client past the clamp.
+        let budget = interval.saturating_sub(overhead);
+        let weights: Vec<u64> = slots.iter().map(|(_, d)| d.as_us()).collect();
+        match fit_shares(budget, cfg.min_slot, &weights) {
+            Some(shares) => {
+                for ((_, d), share) in slots.iter_mut().zip(shares) {
+                    *d = share;
+                }
+            }
+            None => return saturated_round_robin(interval, cfg, demands, seq, false),
         }
     }
     let mut s = lay_out(slots, cfg, interval, seq);
@@ -527,79 +509,7 @@ mod tests {
         BuilderConfig::default()
     }
 
-    #[test]
-    fn encode_decode_round_trip() {
-        let s = Schedule {
-            seq: 42,
-            entries: vec![
-                ScheduleEntry {
-                    client: HostAddr(7),
-                    rp_offset: SimDuration::from_ms(3),
-                    duration: SimDuration::from_ms(20),
-                },
-                ScheduleEntry {
-                    client: HostAddr::BROADCAST,
-                    rp_offset: SimDuration::from_ms(24),
-                    duration: SimDuration::from_ms(50),
-                },
-            ],
-            next_srp: SimDuration::from_ms(100),
-            unchanged: true,
-            fixed_slots: true,
-            saturated: true,
-        };
-        let d = Schedule::decode(&s.encode()).unwrap();
-        assert_eq!(d, s);
-    }
-
-    #[test]
-    fn decode_rejects_truncation() {
-        let s = Schedule {
-            seq: 1,
-            entries: vec![ScheduleEntry {
-                client: HostAddr(1),
-                rp_offset: SimDuration::from_ms(1),
-                duration: SimDuration::from_ms(1),
-            }],
-            next_srp: SimDuration::from_ms(100),
-            unchanged: false,
-            fixed_slots: false,
-            saturated: false,
-        };
-        let b = s.encode();
-        assert!(Schedule::decode(&b[..b.len() - 1]).is_none());
-        assert!(Schedule::decode(&b[..5]).is_none());
-    }
-
-    #[test]
-    fn wire_encoding_clamps_and_reports_u32_overflow() {
-        let entry = |dur_us: u64| Schedule {
-            seq: 1,
-            entries: vec![ScheduleEntry {
-                client: HostAddr(1),
-                rp_offset: SimDuration::from_ms(1),
-                duration: SimDuration::from_us(dur_us),
-            }],
-            next_srp: SimDuration::from_ms(100),
-            unchanged: false,
-            fixed_slots: false,
-            saturated: false,
-        };
-
-        // Exactly at the boundary: encodes cleanly and round-trips.
-        let at_max = entry(u32::MAX as u64);
-        let (bytes, overflows) = at_max.encode_checked();
-        assert_eq!(overflows, 0);
-        assert_eq!(Schedule::decode(&bytes).unwrap(), at_max);
-
-        // One past the boundary: reported, and clamped to u32::MAX — the
-        // old `as u32` cast would have wrapped this to a zero-length slot.
-        let past_max = entry(u32::MAX as u64 + 1);
-        let (bytes, overflows) = past_max.encode_checked();
-        assert_eq!(overflows, 1);
-        let decoded = Schedule::decode(&bytes).unwrap();
-        assert_eq!(decoded.entries[0].duration, SimDuration::from_us(u32::MAX as u64));
-    }
+    // Wire codec tests live in `crate::wire`.
 
     /// Regression for the PSM window estimate: the old code took the *max*
     /// of `avg_pkt` across demands and fed it to `drain_time` as if it
@@ -696,6 +606,74 @@ mod tests {
         let d2 = s.entries[1].duration.as_us() as f64;
         assert!((d1 / d2 - 3.0).abs() < 0.2, "ratio {}", d1 / d2);
         assert_eq!(s.next_srp, SimDuration::from_ms(100));
+    }
+
+    /// Regression for the mixed-fidelity `missing-client` violations: one
+    /// dominant queue plus many tiny ones made min_slot padding overflow
+    /// the usable interval, and `clamp_to_interval` then dropped whichever
+    /// active client was laid out last.
+    #[test]
+    fn fixed_keeps_every_active_client_under_min_slot_pressure() {
+        let mut c = cfg();
+        c.min_slot = SimDuration::from_ms(4); // the proxy's default, not the builder's
+        let interval = SimDuration::from_ms(100);
+        let mut demands = vec![demand(0, 500_000, 0)];
+        for i in 1..10 {
+            demands.push(demand(i, 300, 0));
+        }
+        let s = build_schedule(SchedulePolicy::DynamicFixed { interval }, &c, &demands, 0);
+        assert!(!s.saturated, "floors fit: 10 × 4 ms within 100 ms");
+        for d in &demands {
+            assert!(
+                s.entries.iter().any(|e| e.client == d.client),
+                "active client {} lost its slot: {:?}",
+                d.client.0,
+                s.entries
+            );
+        }
+        let end = s.entries.last().map(|e| e.rp_offset + e.duration).unwrap();
+        assert!(end <= interval, "layout spills past the SRP: {end}");
+        assert!(s.entries.iter().all(|e| e.duration >= SimDuration::from_ms(3)), "floors hold");
+    }
+
+    #[test]
+    fn fixed_saturates_when_even_floors_do_not_fit() {
+        let mut c = cfg();
+        c.min_slot = SimDuration::from_ms(4);
+        let interval = SimDuration::from_ms(20);
+        let demands: Vec<ClientDemand> = (0..10).map(|i| demand(i, 1_000, 0)).collect();
+        let s = build_schedule(SchedulePolicy::DynamicFixed { interval }, &c, &demands, 0);
+        assert!(s.saturated, "10 × 4 ms floors cannot fit 20 ms");
+        assert!(!s.entries.is_empty());
+        assert!(s.entries.iter().all(|e| !e.duration.is_zero()));
+    }
+
+    #[test]
+    fn variable_overload_keeps_every_active_client() {
+        let mut c = cfg();
+        c.min_slot = SimDuration::from_ms(4);
+        let mut demands = vec![demand(0, 2_000_000, 0)];
+        for i in 1..10 {
+            demands.push(demand(i, 300, 0));
+        }
+        let s = build_schedule(
+            SchedulePolicy::DynamicVariable {
+                min: SimDuration::from_ms(100),
+                max: SimDuration::from_ms(500),
+            },
+            &c,
+            &demands,
+            0,
+        );
+        for d in &demands {
+            assert!(
+                s.entries.iter().any(|e| e.client == d.client),
+                "active client {} lost its slot under overload",
+                d.client.0
+            );
+        }
+        let end = s.entries.last().map(|e| e.rp_offset + e.duration).unwrap();
+        assert!(end <= s.next_srp, "layout spills past the SRP: {end}");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Schedule wire codec: the broadcast payload format.
+//!
+//! lint: wire-encoding — this module is integer-only by contract. The
+//! schedule payload is decoded independently by every client and replayed
+//! byte-for-byte by the postmortem analyzer, so its encoding must be exact:
+//! no floating-point may appear anywhere in this module (rule D005 of the
+//! sim-purity lint enforces that at build time).
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! u64 seq | u8 flags | u16 n | u64 next_srp_us | n × (u32 client, u32 rp_us, u32 dur_us)
+//! ```
+
+use bytes::{BufMut, Bytes, BytesMut};
+use powerburst_sim::SimDuration;
+
+use powerburst_net::HostAddr;
+
+use crate::schedule::{Schedule, ScheduleEntry};
+
+impl Schedule {
+    /// Serialize to the broadcast payload.
+    ///
+    /// Entries whose µs offsets/durations exceed the u32 wire range are
+    /// clamped to `u32::MAX` (never silently wrapped); use
+    /// [`Schedule::encode_checked`] to detect that happening.
+    pub fn encode(&self) -> Bytes {
+        self.encode_checked().0
+    }
+
+    /// Serialize, also reporting how many µs fields overflowed the u32
+    /// wire range and had to be clamped. A non-zero count is a scheduler
+    /// bug (an offset or duration past ~71.6 minutes); the proxy surfaces
+    /// it as an [`crate::invariants::InvariantKind::WireOverflow`]
+    /// violation rather than letting the cast wrap to a tiny slot.
+    pub fn encode_checked(&self) -> (Bytes, usize) {
+        let mut overflows = 0usize;
+        let mut wire_us = |d: SimDuration| -> u32 {
+            u32::try_from(d.as_us()).unwrap_or_else(|_| {
+                overflows += 1;
+                u32::MAX
+            })
+        };
+        let mut b = BytesMut::with_capacity(19 + 12 * self.entries.len());
+        b.put_u64(self.seq);
+        b.put_u8(
+            self.unchanged as u8 | (self.fixed_slots as u8) << 1 | (self.saturated as u8) << 2,
+        );
+        b.put_u16(self.entries.len() as u16);
+        b.put_u64(self.next_srp.as_us());
+        for e in &self.entries {
+            b.put_u32(e.client.0);
+            b.put_u32(wire_us(e.rp_offset));
+            b.put_u32(wire_us(e.duration));
+        }
+        (b.freeze(), overflows)
+    }
+
+    /// Parse a broadcast payload.
+    pub fn decode(p: &[u8]) -> Option<Schedule> {
+        if p.len() < 19 {
+            return None;
+        }
+        let seq = u64::from_be_bytes(p[0..8].try_into().ok()?);
+        let unchanged = p[8] & 1 != 0;
+        let fixed_slots = p[8] & 2 != 0;
+        let saturated = p[8] & 4 != 0;
+        let n = u16::from_be_bytes(p[9..11].try_into().ok()?) as usize;
+        let next_srp = SimDuration::from_us(u64::from_be_bytes(p[11..19].try_into().ok()?));
+        if p.len() < 19 + 12 * n {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 19 + 12 * i;
+            let client = HostAddr(u32::from_be_bytes(p[off..off + 4].try_into().ok()?));
+            let rp = u32::from_be_bytes(p[off + 4..off + 8].try_into().ok()?);
+            let dur = u32::from_be_bytes(p[off + 8..off + 12].try_into().ok()?);
+            entries.push(ScheduleEntry {
+                client,
+                rp_offset: SimDuration::from_us(rp as u64),
+                duration: SimDuration::from_us(dur as u64),
+            });
+        }
+        Some(Schedule { seq, entries, next_srp, unchanged, fixed_slots, saturated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = Schedule {
+            seq: 42,
+            entries: vec![
+                ScheduleEntry {
+                    client: HostAddr(7),
+                    rp_offset: SimDuration::from_ms(3),
+                    duration: SimDuration::from_ms(20),
+                },
+                ScheduleEntry {
+                    client: HostAddr::BROADCAST,
+                    rp_offset: SimDuration::from_ms(24),
+                    duration: SimDuration::from_ms(50),
+                },
+            ],
+            next_srp: SimDuration::from_ms(100),
+            unchanged: true,
+            fixed_slots: true,
+            saturated: true,
+        };
+        let d = Schedule::decode(&s.encode()).unwrap();
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let s = Schedule {
+            seq: 1,
+            entries: vec![ScheduleEntry {
+                client: HostAddr(1),
+                rp_offset: SimDuration::from_ms(1),
+                duration: SimDuration::from_ms(1),
+            }],
+            next_srp: SimDuration::from_ms(100),
+            unchanged: false,
+            fixed_slots: false,
+            saturated: false,
+        };
+        let b = s.encode();
+        assert!(Schedule::decode(&b[..b.len() - 1]).is_none());
+        assert!(Schedule::decode(&b[..5]).is_none());
+    }
+
+    #[test]
+    fn wire_encoding_clamps_and_reports_u32_overflow() {
+        let entry = |dur_us: u64| Schedule {
+            seq: 1,
+            entries: vec![ScheduleEntry {
+                client: HostAddr(1),
+                rp_offset: SimDuration::from_ms(1),
+                duration: SimDuration::from_us(dur_us),
+            }],
+            next_srp: SimDuration::from_ms(100),
+            unchanged: false,
+            fixed_slots: false,
+            saturated: false,
+        };
+
+        // Exactly at the boundary: encodes cleanly and round-trips.
+        let at_max = entry(u32::MAX as u64);
+        let (bytes, overflows) = at_max.encode_checked();
+        assert_eq!(overflows, 0);
+        assert_eq!(Schedule::decode(&bytes).unwrap(), at_max);
+
+        // One past the boundary: reported, and clamped to u32::MAX — the
+        // old `as u32` cast would have wrapped this to a zero-length slot.
+        let past_max = entry(u32::MAX as u64 + 1);
+        let (bytes, overflows) = past_max.encode_checked();
+        assert_eq!(overflows, 1);
+        let decoded = Schedule::decode(&bytes).unwrap();
+        assert_eq!(decoded.entries[0].duration, SimDuration::from_us(u32::MAX as u64));
+    }
+}

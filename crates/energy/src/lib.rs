@@ -11,6 +11,7 @@
 //!   integration, plus the naive-client baseline;
 //! * [`optimal`] — the paper's theoretical-optimal savings formula (§4.3).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod card;

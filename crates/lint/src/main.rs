@@ -1,0 +1,66 @@
+//! CLI for the sim-purity lint. Run from anywhere inside the workspace:
+//!
+//! ```text
+//! cargo run -p powerburst-lint            # lint the enclosing workspace
+//! cargo run -p powerburst-lint -- <root>  # lint an explicit tree
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or stale allowlist entries, 2 usage
+//! or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use powerburst_lint::{lint_workspace, ALLOWLIST_FILE};
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => match std::env::current_dir().map(|d| find_workspace_root(&d)) {
+            Ok(Some(r)) => r,
+            Ok(None) => {
+                eprintln!("powerburst-lint: no workspace root (crates/ dir) above cwd");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("powerburst-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("powerburst-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for s in &report.stale {
+        println!(
+            "{ALLOWLIST_FILE}:{} stale allowlist entry: {} {} no longer fires — remove it",
+            s.line, s.file, s.rule
+        );
+    }
+    eprintln!(
+        "powerburst-lint: {} files, {} violation(s), {} suppressed, {} stale",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed,
+        report.stale.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walk up from `start` to the first directory containing `crates/`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    start.ancestors().find(|d| d.join("crates").is_dir()).map(Path::to_path_buf)
+}

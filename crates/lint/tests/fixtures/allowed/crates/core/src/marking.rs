@@ -1,0 +1,4 @@
+//! Fixture: a grandfathered violation covered by lint-allow.txt.
+pub fn legacy(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

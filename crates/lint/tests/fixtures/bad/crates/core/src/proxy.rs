@@ -1,0 +1,22 @@
+//! Fixture: D002 — hash-container iteration in a sim-path crate.
+use std::collections::HashMap;
+
+pub struct Proxy {
+    queues: HashMap<u32, Vec<u8>>,
+}
+
+impl Proxy {
+    pub fn total(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    pub fn lookup(&self, k: u32) -> Option<&Vec<u8>> {
+        self.queues.get(&k) // keyed access is fine
+    }
+
+    pub fn drop_all(&mut self) {
+        for (_, q) in &mut self.queues {
+            q.clear();
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: D005 — floating-point in a wire-encoding module.
+//! lint: wire-encoding
+pub fn encode(share: f64) -> u32 {
+    (share * 1000.5) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn still_applies_in_tests() {
+        let _x: f32 = 1.0;
+    }
+}

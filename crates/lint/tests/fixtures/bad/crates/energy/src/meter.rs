@@ -1,0 +1,9 @@
+//! Fixture: D001 — wall-clock time in a sim-path crate.
+use std::time::Instant;
+
+pub fn now_wall() -> Instant {
+    Instant::now()
+}
+
+// The word Instant in a comment must not fire.
+pub fn fine() {}

@@ -1,0 +1,7 @@
+//! Fixture: obs::profile is the sanctioned home for wall-clock time —
+//! D001 must NOT fire here.
+use std::time::Instant;
+
+pub fn stopwatch() -> Instant {
+    Instant::now()
+}

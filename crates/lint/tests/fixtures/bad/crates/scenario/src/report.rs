@@ -1,0 +1,7 @@
+//! Fixture: D007 — console output outside the CLI.
+pub fn show(x: u64) {
+    println!("result: {x}");
+    eprintln!("warn: {x}");
+    let msg = "println! in a string must not fire";
+    let _ = msg;
+}

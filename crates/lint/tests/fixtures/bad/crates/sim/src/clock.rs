@@ -1,0 +1,8 @@
+//! Fixture: D004 — host-environment dependence in a sim-path crate.
+pub fn tick() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn seed() -> u64 {
+    std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}

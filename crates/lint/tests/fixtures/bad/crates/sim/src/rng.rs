@@ -1,0 +1,5 @@
+//! Fixture: sim::rng is the sanctioned seeded-RNG home — D003 must NOT
+//! fire here even though the forbidden names appear.
+pub fn fallback() -> u64 {
+    rand::thread_rng().next()
+}

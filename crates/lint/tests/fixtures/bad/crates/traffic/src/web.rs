@@ -1,0 +1,5 @@
+//! Fixture: D003 — unseeded randomness outside sim::rng.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::random::<u64>() ^ rng.next()
+}

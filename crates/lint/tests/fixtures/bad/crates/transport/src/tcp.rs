@@ -1,0 +1,24 @@
+//! Fixture: D006 — unwrap()/undocumented expect() in sim-path code.
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("should be present")
+}
+
+pub fn good_expect(v: Option<u32>) -> u32 {
+    v.expect("invariant: caller checked is_some() first")
+}
+
+pub fn good_fallback(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

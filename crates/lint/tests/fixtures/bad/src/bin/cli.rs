@@ -1,0 +1,4 @@
+//! Fixture: the CLI may print — D007 must NOT fire here.
+fn main() {
+    println!("hello");
+}

@@ -1,0 +1,4 @@
+//! Fixture: a clean file; the tree's allowlist entry matches nothing.
+pub fn clean(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

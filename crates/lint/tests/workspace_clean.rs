@@ -1,0 +1,24 @@
+//! Tier-1 gate: the real workspace passes the sim-purity lint with a
+//! non-stale allowlist. This is the same pass CI runs via
+//! `cargo run -p powerburst-lint`.
+
+use std::path::Path;
+
+use powerburst_lint::lint_workspace;
+
+#[test]
+fn workspace_passes_sim_purity_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = lint_workspace(root).expect("workspace readable");
+    assert!(report.files_scanned > 50, "walked only {} files", report.files_scanned);
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(rendered.is_empty(), "sim-purity violations:\n{}", rendered.join("\n"));
+    assert!(
+        report.stale.is_empty(),
+        "stale lint-allow.txt entries (fix the list): {:?}",
+        report.stale
+    );
+}

@@ -19,6 +19,7 @@
 //!   driven by a deterministic event loop, with per-client WNIC energy
 //!   billed exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;

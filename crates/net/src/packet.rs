@@ -147,7 +147,7 @@ impl Packet {
 
     /// The TCP header, panicking if not TCP — for use after a proto check.
     pub fn tcp_header(&self) -> &TcpHeader {
-        self.tcp.as_ref().expect("not a TCP packet")
+        self.tcp.as_ref().expect("invariant: caller checked proto == Tcp before tcp_header()")
     }
 }
 

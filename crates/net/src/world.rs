@@ -275,7 +275,7 @@ impl World {
             .node
             .as_any_mut()
             .downcast_mut::<T>()
-            .expect("node has a different concrete type")
+            .expect("invariant: caller names the node's registered concrete type (see Panics)")
     }
 
     /// Run the event loop until simulated `t` (inclusive of events at `t`).
@@ -289,7 +289,7 @@ impl World {
         loop {
             match self.queue.peek_time() {
                 Some(ev_t) if ev_t <= t => {
-                    let (ev_t, ev) = self.queue.pop().expect("peeked");
+                    let (ev_t, ev) = self.queue.pop().expect("invariant: peek_time saw an event");
                     debug_assert!(ev_t >= self.now, "event from the past");
                     self.now = ev_t;
                     self.dispatch(ev);
@@ -361,7 +361,7 @@ impl World {
                 let l = &mut self.links[link];
                 let dir = l
                     .direction_from(from, iface)
-                    .expect("attachment table and link endpoints agree");
+                    .expect("invariant: attachment table and link endpoints agree");
                 match l.transmit(self.now, dir, pkt.wire_size()) {
                     WireOutcome::Sent { arrive } => {
                         let peer = l.peer(dir);
@@ -381,7 +381,8 @@ impl World {
                     Some(f) => (f.reorder_delay(), f.duplicate()),
                     None => (None, false),
                 };
-                let med = self.medium.as_mut().expect("wireless send without a medium");
+                let med =
+                    self.medium.as_mut().expect("invariant: wireless attachment implies a medium");
                 match med.transmit(self.now, pkt.wire_size(), &mut self.medium_rng) {
                     TxOutcome::Sent { finish, airtime } => {
                         if dup {
@@ -504,7 +505,8 @@ impl World {
                     && Some(id) != self.infrastructure =>
             {
                 let slot = &mut self.nodes[id.index()];
-                let wiface = slot.wireless_iface.expect("checked");
+                let wiface =
+                    slot.wireless_iface.expect("invariant: match arm checked wireless_iface");
                 let listening = match slot.wnic.as_mut() {
                     Some(w) => w.is_listening(now),
                     None => true,
@@ -536,7 +538,7 @@ impl World {
                     Some(ap) if ap != from => {
                         let wiface = self.nodes[ap.index()]
                             .wireless_iface
-                            .expect("AP must have a radio iface");
+                            .expect("invariant: the registered AP always has a radio iface");
                         self.sniffer.record(SnifferRecord::of(
                             now,
                             &pkt,

@@ -23,6 +23,7 @@
 //! The crate is dependency-free (timestamps are plain `u64` microseconds),
 //! so every other workspace crate can depend on it without cycles.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod events;

@@ -14,6 +14,7 @@
 //! * [`experiments`] — one function per paper table/figure (E1–E10, A1–A3);
 //! * [`report`] — text-table rendering for harness output.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod build;

@@ -11,6 +11,7 @@
 //! * [`golden`] — the golden-trace regression harness: canonical summary
 //!   rendering plus snapshot compare/refresh.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod golden;

@@ -202,13 +202,6 @@ impl Replay {
     }
 
     fn sleep_if_idle(&mut self, t: SimTime) {
-        if std::env::var("PB_DEBUG_REPLAY").is_ok() {
-            eprintln!(
-                "[replay {}] sleep_if_idle t={t} in_burst={} miss={} synced={} woke={:?} wakes={:?}",
-                self.client.0, self.in_burst, self.miss_since.is_some(), self.synced,
-                self.woke_for, self.planned_wakes
-            );
-        }
         if self.in_burst || self.miss_since.is_some() || !self.synced {
             return;
         }
@@ -280,18 +273,6 @@ impl Replay {
             self.miss_since = Some(t);
             self.srp_pred = Some((anchor + sched.next_srp, sched.next_srp));
             return;
-        }
-        if std::env::var("PB_DEBUG_MISS").is_ok() {
-            eprintln!(
-                "[apply {}] t={t} arrival={arrival} anchor={anchor} next_srp={} unchanged={} mine={:?}",
-                self.client.0,
-                sched.next_srp,
-                sched.unchanged,
-                sched
-                    .slots_for(self.client)
-                    .map(|e| (e.rp_offset, e.duration))
-                    .collect::<Vec<_>>()
-            );
         }
         self.synced = true;
         self.gen += 1;
@@ -394,9 +375,6 @@ impl Replay {
                 }
                 self.wnic.wake(t);
                 let Some(slot) = self.slots.get(idx).copied() else { return };
-                if std::env::var("PB_DEBUG_MISS").is_ok() {
-                    eprintln!("[wakeslot {}] t={t} idx={idx} dur={}", self.client.0, slot.duration);
-                }
                 self.woke_for = Some((WokeFor::Burst, t + self.p.wake_transition));
                 if slot.sleep_at_end {
                     // Fixed slots end on their own clock: linger briefly
@@ -430,12 +408,6 @@ impl Replay {
             PEv::SlotEnd { gen, extended } => {
                 if gen != self.gen {
                     return;
-                }
-                if std::env::var("PB_DEBUG_MISS").is_ok() {
-                    eprintln!(
-                        "[slotend {}] t={t} ext={extended} woke={:?}",
-                        self.client.0, self.woke_for
-                    );
                 }
                 // Only the burst expectation ends with the slot; an SRP
                 // expectation (the SRP wake may already have fired) must
@@ -537,16 +509,6 @@ impl Replay {
                 }
             } else {
                 self.missed += 1;
-                if std::env::var("PB_DEBUG_MISS").is_ok() {
-                    eprintln!(
-                        "[miss {}] t={t} mark={} wakes={:?} in_burst={} woke={:?}",
-                        self.client.0,
-                        rec.tos_mark,
-                        self.planned_wakes,
-                        self.in_burst,
-                        self.woke_for
-                    );
-                }
             }
         }
     }

@@ -13,6 +13,7 @@
 //! * [`app`] — the [`App`] trait client nodes host, the `drive_endpoint`
 //!   helper, and the naive (always-on) client baseline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;

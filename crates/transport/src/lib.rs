@@ -16,6 +16,7 @@
 //!   tests;
 //! * [`rtt`], [`congestion`], [`reassembly`], [`sendbuf`] — the pieces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod congestion;

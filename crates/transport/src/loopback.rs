@@ -99,7 +99,8 @@ impl Loopback {
         let Some(t) = next else { return false };
         self.now = self.now.max(t);
         if pkt_t == Some(t) {
-            let (_, (dest, pkt)) = self.queue.pop().expect("peeked");
+            let (_, (dest, pkt)) =
+                self.queue.pop().expect("invariant: peek_time saw a queued packet");
             match dest {
                 Dest::A => self.a.on_packet(self.now, &pkt),
                 Dest::B => self.b.on_packet(self.now, &pkt),

@@ -57,7 +57,7 @@ impl Reassembly {
             if o > self.next {
                 break;
             }
-            let (o, d) = self.held.pop_first().expect("non-empty");
+            let (o, d) = self.held.pop_first().expect("invariant: first_key_value saw an entry");
             let d_end = o + d.len() as u64;
             if d_end <= self.next {
                 continue; // overlapped by previous release

@@ -32,18 +32,19 @@ impl RttEstimator {
     /// per Karn's algorithm — the caller enforces that).
     pub fn sample(&mut self, rtt: SimDuration) {
         let r = rtt.as_secs_f64();
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(r);
                 self.rttvar = r / 2.0;
+                r
             }
             Some(srtt) => {
                 // RFC 6298: alpha = 1/8, beta = 1/4.
                 self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
-                self.srtt = Some(0.875 * srtt + 0.125 * r);
+                0.875 * srtt + 0.125 * r
             }
-        }
-        let rto = self.srtt.unwrap() + (4.0 * self.rttvar).max(0.000_1);
+        };
+        self.srtt = Some(srtt);
+        let rto = srtt + (4.0 * self.rttvar).max(0.000_1);
         self.rto = SimDuration::from_secs_f64(rto).max(self.min_rto).min(self.max_rto);
     }
 

@@ -98,7 +98,10 @@ impl SendBuffer {
             if end <= upto {
                 self.inflight.pop_first();
             } else if off < upto {
-                let seg = self.inflight.remove(&off).expect("present");
+                let seg = self
+                    .inflight
+                    .remove(&off)
+                    .expect("invariant: first_key_value returned this offset");
                 let keep = seg.slice((upto - off) as usize..);
                 self.inflight.insert(upto, keep);
                 break;

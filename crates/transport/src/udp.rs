@@ -41,8 +41,10 @@ impl StreamPayload {
         if payload.len() < STREAM_HEADER {
             return None;
         }
-        let flow = u64::from_be_bytes(payload[0..8].try_into().expect("8 bytes"));
-        let seq = u64::from_be_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let flow =
+            u64::from_be_bytes(payload[0..8].try_into().expect("invariant: slice is 8 bytes"));
+        let seq =
+            u64::from_be_bytes(payload[8..16].try_into().expect("invariant: slice is 8 bytes"));
         Some(StreamPayload { flow, seq })
     }
 }

@@ -29,6 +29,7 @@
 //! assert!(result.saved_all().mean > 50.0, "low-rate streams save energy");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use powerburst_client as client;

@@ -111,6 +111,26 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn mixed_fidelity_schedules_cover_every_active_client() {
+    // ROADMAP open item (`run --clients 10 --pattern mix --secs 30`): with
+    // one 512 kbps queue dominating and many tiny 56 kbps queues padded up
+    // to min_slot, the fixed-interval layout overflowed the usable
+    // interval and the clamp dropped the trailing client's slot — a
+    // missing-client violation every few seconds. Shares are now fitted so
+    // every active client keeps a slot.
+    let clients: Vec<ClientSpec> = VideoPattern::Mixed
+        .fidelities(10)
+        .into_iter()
+        .map(|fi| ClientSpec::new(ClientKind::Video { fidelity: fi }))
+        .collect();
+    let cfg = ScenarioConfig::new(7, fixed(100), clients).with_duration(SimDuration::from_secs(30));
+    let r = run_scenario(&cfg);
+    let missing: Vec<_> = r.invariants.of_kind(InvariantKind::MissingClient).collect();
+    assert!(missing.is_empty(), "schedule omitted active clients: {missing:?}");
+    assert!(r.invariants.is_clean(), "violations: {:?}", r.invariants.violations());
+}
+
+#[test]
 fn ftp_download_completes_through_the_splice() {
     let mut cfg = ScenarioConfig::new(
         11,

@@ -1,0 +1,20 @@
+//! Tier-1 gate at the workspace root: plain `cargo test -q` runs the
+//! sim-purity lint (the same pass as `cargo run -p powerburst-lint` and
+//! the `sim-purity` CI job). See DESIGN.md §11 for the rule catalog.
+
+use std::path::Path;
+
+use powerburst_lint::lint_workspace;
+
+#[test]
+fn workspace_passes_sim_purity_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace readable");
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(rendered.is_empty(), "sim-purity violations:\n{}", rendered.join("\n"));
+    assert!(
+        report.stale.is_empty(),
+        "stale lint-allow.txt entries (remove them): {:?}",
+        report.stale
+    );
+}
