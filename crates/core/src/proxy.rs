@@ -174,8 +174,6 @@ pub struct Proxy {
     client_index: HashMap<HostAddr, usize>,
     splices: Vec<Splice>,
     splice_index: HashMap<(SockAddr, SockAddr), usize>,
-    /// Entries of the schedule currently in force (for burst timers).
-    current: Vec<crate::schedule::ScheduleEntry>,
     /// Client index whose burst slot is executing right now, if any.
     bursting: Option<usize>,
     /// §3.2.1 admission controller, when configured.
@@ -211,7 +209,6 @@ impl Proxy {
             client_index,
             splices: Vec::new(),
             splice_index: HashMap::new(),
-            current: Vec::new(),
             bursting: None,
             admission,
             prev_schedule: None,
@@ -388,14 +385,16 @@ impl Proxy {
             ctx.set_timer(e.rp_offset, TOKEN_BURST_BASE + i as TimerToken);
         }
         ctx.set_timer(sched.next_srp, TOKEN_SRP);
-        self.current = sched.entries.clone();
+        // `prev_schedule` doubles as the schedule in force: burst timers
+        // index into its entries, so no per-interval clone is needed.
         self.prev_schedule = Some(sched);
     }
 
     // ---- burst execution ----------------------------------------------------
 
     fn run_burst(&mut self, ctx: &mut Ctx<'_>, entry_idx: usize) {
-        let Some(entry) = self.current.get(entry_idx).copied() else { return };
+        let current = self.prev_schedule.as_ref().map(|s| s.entries.as_slice()).unwrap_or(&[]);
+        let Some(entry) = current.get(entry_idx).copied() else { return };
         if entry.client.is_broadcast() {
             if matches!(self.cfg.policy, SchedulePolicy::PsmBeacon { .. }) {
                 self.psm_burst(ctx, entry.duration);

@@ -82,7 +82,23 @@ struct NodeSlot {
     host: Option<HostAddr>,
     wnic: Option<Wnic>,
     wireless_iface: Option<IfaceId>,
+    /// Dense per-interface attachment table, indexed by `IfaceId`. Built
+    /// at wiring time; interface ids are tiny (0..=2 in practice), so the
+    /// per-hop routing lookup is one bounds-checked array load instead of
+    /// a `(NodeId, IfaceId)` hash probe.
+    attachments: Vec<Option<Attachment>>,
     stats: NodeStats,
+}
+
+impl NodeSlot {
+    /// Record `iface`'s attachment; panics if it is already attached.
+    fn attach(&mut self, iface: IfaceId, att: Attachment) {
+        let i = iface.0 as usize;
+        if self.attachments.len() <= i {
+            self.attachments.resize(i + 1, None);
+        }
+        assert!(self.attachments[i].replace(att).is_none(), "iface attached twice");
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -98,8 +114,12 @@ pub struct World {
     started: bool,
     queue: EventQueue<Ev>,
     nodes: Vec<NodeSlot>,
-    host_index: HashMap<HostAddr, NodeId>,
-    attachments: HashMap<(NodeId, IfaceId), Attachment>,
+    /// Dense host → node table, indexed by `HostAddr.0`. Host addresses
+    /// are small and assigned at wiring time (servers in the single
+    /// digits, clients from a low base), so the per-frame destination
+    /// lookup is an array load; `HostAddr::BROADCAST` (`u32::MAX`) never
+    /// indexes because broadcast frames take the broadcast path first.
+    host_index: Vec<Option<NodeId>>,
     links: Vec<Link>,
     medium: Option<Medium>,
     medium_rng: StdRng,
@@ -127,8 +147,7 @@ impl World {
             started: false,
             queue: EventQueue::with_capacity(1024),
             nodes: Vec::new(),
-            host_index: HashMap::new(),
-            attachments: HashMap::new(),
+            host_index: Vec::new(),
             links: Vec::new(),
             medium: None,
             medium_rng: derive_rng(seed, streams::AP_DELAY),
@@ -175,7 +194,12 @@ impl World {
     pub fn add_node(&mut self, node: Box<dyn Node>, cfg: NodeConfig) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         if let Some(h) = cfg.host {
-            assert!(self.host_index.insert(h, id).is_none(), "host {h} assigned to two nodes");
+            assert!(!h.is_broadcast(), "the broadcast address cannot be a node's host");
+            let i = h.0 as usize;
+            if self.host_index.len() <= i {
+                self.host_index.resize(i + 1, None);
+            }
+            assert!(self.host_index[i].replace(id).is_none(), "host {h} assigned to two nodes");
         }
         self.nodes.push(NodeSlot {
             node,
@@ -184,18 +208,24 @@ impl World {
             host: cfg.host,
             wnic: cfg.wnic.map(Wnic::new),
             wireless_iface: None,
+            attachments: Vec::new(),
             stats: NodeStats::default(),
         });
         id
+    }
+
+    /// The node owning host address `h`, if any.
+    #[inline]
+    fn host_lookup(&self, h: HostAddr) -> Option<NodeId> {
+        self.host_index.get(h.0 as usize).copied().flatten()
     }
 
     /// Connect two node interfaces with a wired link.
     pub fn add_link(&mut self, a: Endpoint, b: Endpoint, spec: LinkSpec) {
         let idx = self.links.len();
         self.links.push(Link::new(a, b, spec));
-        let prev_a = self.attachments.insert((a.node, a.iface), Attachment::Wired { link: idx });
-        let prev_b = self.attachments.insert((b.node, b.iface), Attachment::Wired { link: idx });
-        assert!(prev_a.is_none() && prev_b.is_none(), "iface attached twice");
+        self.nodes[a.node.index()].attach(a.iface, Attachment::Wired { link: idx });
+        self.nodes[b.node.index()].attach(b.iface, Attachment::Wired { link: idx });
     }
 
     /// Install the (single) shared wireless medium, naming the access-point
@@ -225,9 +255,21 @@ impl World {
 
     /// Mark `iface` on `node` as the node's radio interface.
     pub fn attach_wireless(&mut self, node: NodeId, iface: IfaceId) {
-        let prev = self.attachments.insert((node, iface), Attachment::Wireless);
-        assert!(prev.is_none(), "iface attached twice");
-        self.nodes[node.index()].wireless_iface = Some(iface);
+        let slot = &mut self.nodes[node.index()];
+        slot.attach(iface, Attachment::Wireless);
+        slot.wireless_iface = Some(iface);
+    }
+
+    /// Pre-size the event queue and the send buffer from the assembled
+    /// topology, so the steady-state hot path never reallocates. Purely a
+    /// capacity hint: it cannot change any simulated outcome.
+    pub fn presize_from_topology(&mut self) {
+        // Empirically a node keeps a few dozen events in flight at peak
+        // (timers, frames on the wire, schedule broadcasts fanned out).
+        self.queue.reserve(self.nodes.len().saturating_mul(64));
+        // `send_buf` is empty between dispatches, so this is an absolute
+        // capacity floor for one handler's burst of sends.
+        self.send_buf.reserve(32);
     }
 
     /// The host address a node owns.
@@ -352,9 +394,11 @@ impl World {
 
     /// Route one outbound frame onto its attachment.
     fn route_send(&mut self, from: NodeId, iface: IfaceId, pkt: Packet) {
-        let att = *self
+        let att = self.nodes[from.index()]
             .attachments
-            .get(&(from, iface))
+            .get(iface.0 as usize)
+            .copied()
+            .flatten()
             .unwrap_or_else(|| panic!("node {from:?} iface {iface:?} not attached"));
         match att {
             Attachment::Wired { link } => {
@@ -409,7 +453,7 @@ impl World {
                             SimDuration::ZERO,
                             Delivery::QueueDrop,
                         ));
-                        if let Some(&dst) = self.host_index.get(&pkt.dst.host) {
+                        if let Some(dst) = self.host_lookup(pkt.dst.host) {
                             self.nodes[dst.index()].stats.queue_drops += 1;
                         }
                     }
@@ -498,7 +542,7 @@ impl World {
         }
 
         // Unicast: find the owner of the destination host.
-        let target = self.host_index.get(&pkt.dst.host).copied();
+        let target = self.host_lookup(pkt.dst.host);
         match target {
             Some(id)
                 if self.nodes[id.index()].wireless_iface.is_some()

@@ -69,7 +69,7 @@ impl BenchStage {
     }
 }
 
-/// A whole perf report (`BENCH_pr3.json`).
+/// A whole perf report (`BENCH_pr5.json`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
     /// Report label.
@@ -133,6 +133,50 @@ impl BenchReport {
     }
 }
 
+/// Extract `(stage name, events_per_sec)` pairs from a rendered
+/// [`BenchReport::to_json`] string.
+///
+/// A deliberately tiny scanner rather than a JSON dependency: stage
+/// objects are the only places the report writes a `"name"` key (jobs use
+/// `"label"`), and each stage's `"events_per_sec"` follows its `"name"`.
+/// Returns an empty vec for input that doesn't look like a bench report.
+pub fn parse_stage_rates(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(p) = rest.find("\"name\":\"") {
+        rest = &rest[p + 8..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        rest = &rest[end..];
+        let Some(rp) = rest.find("\"events_per_sec\":") else { break };
+        rest = &rest[rp + 17..];
+        let num_end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        if let Ok(rate) = rest[..num_end].parse::<f64>() {
+            out.push((name, rate));
+        }
+        rest = &rest[num_end..];
+    }
+    out
+}
+
+/// Render a report-only comparison of `current` against `baseline`
+/// events/sec figures (both from [`parse_stage_rates`]), one line per
+/// stage present in `current`.
+pub fn delta_lines(current: &[(String, f64)], baseline: &[(String, f64)]) -> Vec<String> {
+    current
+        .iter()
+        .map(|(name, rate)| match baseline.iter().find(|(b, _)| b == name).map(|(_, r)| *r) {
+            Some(base) if base > 0.0 => {
+                let pct = (rate - base) / base * 100.0;
+                format!("{name:<18} {rate:>12.0} events/s  vs baseline {base:>12.0}  ({pct:+.1}%)")
+            }
+            _ => format!("{name:<18} {rate:>12.0} events/s  (no baseline stage)"),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +211,43 @@ mod tests {
         assert!(j.contains("\"events_per_sec\":500.0"));
         assert!(j.contains("\"label\":\"i100\""));
         assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn stage_rates_round_trip_through_json() {
+        let mut r = BenchReport::new("pr5");
+        for (name, events) in [("video", 4_000u64), ("web", 2_000)] {
+            r.stages.push(BenchStage {
+                name: name.into(),
+                wall_s: 2.0,
+                threads: 1,
+                sim_events: events,
+                jobs: vec![BenchJob { label: "job".into(), wall_s: 2.0, sim_events: events }],
+            });
+        }
+        let rates = parse_stage_rates(&r.to_json());
+        assert_eq!(rates.len(), 2, "one rate per stage, job labels ignored");
+        assert_eq!(rates[0].0, "video");
+        assert!((rates[0].1 - 2_000.0).abs() < 1e-6);
+        assert_eq!(rates[1].0, "web");
+        assert!((rates[1].1 - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_stage_rates_tolerates_garbage() {
+        assert!(parse_stage_rates("").is_empty());
+        assert!(parse_stage_rates("not json at all").is_empty());
+        assert!(parse_stage_rates("{\"name\":\"x\"").is_empty());
+    }
+
+    #[test]
+    fn delta_lines_report_relative_change() {
+        let cur = vec![("video".to_string(), 1_500.0), ("new".to_string(), 10.0)];
+        let base = vec![("video".to_string(), 1_000.0)];
+        let lines = delta_lines(&cur, &base);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("+50.0%"), "line: {}", lines[0]);
+        assert!(lines[1].contains("no baseline stage"), "line: {}", lines[1]);
     }
 
     #[test]

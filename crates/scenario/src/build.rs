@@ -254,6 +254,7 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
 
     // Last: the world forwards the recorder to every live radio added above.
     world.set_recorder(obs.clone());
+    world.presize_from_topology();
 
     Assembled { world, proxy, ap, clients: client_ids, video_server, byte_server, obs }
 }

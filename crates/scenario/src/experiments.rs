@@ -1305,21 +1305,74 @@ pub fn run_all(opt: &ExpOptions) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Perf profiling — the BENCH_pr3.json report.
+// Perf profiling — the BENCH_pr5.json report.
 // ---------------------------------------------------------------------------
 
-/// Profile the Figure-4 sweep plus one fully instrumented run.
+/// The named single-run throughput scenarios of the bench suite. Each
+/// becomes its own [`BenchStage`] whose `events_per_sec` is the
+/// first-class throughput figure the CI trajectory tracks.
+pub const BENCH_SCENARIOS: [&str; 4] = ["video", "web", "mix", "faulted"];
+
+/// Build one named throughput scenario (see [`BENCH_SCENARIOS`]).
+fn bench_scenario(name: &str, opt: &ExpOptions) -> ScenarioConfig {
+    let policy = SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) };
+    let cfg = match name {
+        // Figure 4's densest row: ten streaming clients.
+        "video" => ScenarioConfig::new(opt.seed, policy, video_clients(VideoPattern::All56, 10)),
+        // §4.2: ten TCP web clients exercising the splice path.
+        "web" => {
+            let clients = (0..10)
+                .map(|_| ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }))
+                .collect();
+            ScenarioConfig::new(opt.seed, policy, clients)
+        }
+        // Figure 5's blend: seven video + three web clients.
+        "mix" => {
+            let mut clients = video_clients(VideoPattern::All56, 7);
+            for _ in 0..3 {
+                clients
+                    .push(ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }));
+            }
+            ScenarioConfig::new(opt.seed, policy, clients)
+        }
+        // The golden faulted mix: loss + dup + reorder + SRP drops +
+        // AP jitter + clock skew, all drawn from dedicated fault streams.
+        "faulted" => {
+            let mut cfg =
+                ScenarioConfig::new(opt.seed, policy, video_clients(VideoPattern::All56, 10));
+            cfg.faults = powerburst_net::FaultPlan {
+                loss_prob: 0.05,
+                dup_prob: 0.01,
+                reorder_prob: 0.02,
+                reorder_max: SimDuration::from_ms(5),
+                sched_drop_prob: 0.02,
+                ap_jitter_prob: 0.2,
+                ap_jitter_max: SimDuration::from_ms(10),
+                clock_skew_ppm: 40.0,
+            };
+            cfg
+        }
+        other => unreachable!("unknown bench scenario {other}"),
+    };
+    cfg.with_duration(opt.duration)
+}
+
+/// Profile the full hot-path bench suite: the Figure-4 sweep, the four
+/// named throughput scenarios, and one fully instrumented run.
 ///
 /// Stage 1 fans the fifteen Figure-4 configurations across
 /// [`parallel_sweep_timed`] workers with observability **off** (the
 /// production-speed baseline) and records per-job wall time and simulation
-/// event counts. Stage 2 runs one mixed-pattern scenario with metrics and
-/// the event channel **on**, both to time the instrumented path and to
-/// produce an observability export for CI artifacts.
+/// event counts. Stages 2–5 run each [`BENCH_SCENARIOS`] scenario inline
+/// on one thread, so their events/sec figures are single-run throughput
+/// numbers unperturbed by sweep scheduling. The final stage runs one
+/// scenario with metrics and the event channel **on**, both to time the
+/// instrumented path and to produce an observability export for CI
+/// artifacts.
 ///
 /// Returns the wall-clock report (non-deterministic by nature) and the
 /// instrumented run's full result (whose `obs` export *is* deterministic).
-pub fn bench_fig4(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
+pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
     let patterns = [
         VideoPattern::All56,
         VideoPattern::All256,
@@ -1352,9 +1405,31 @@ pub fn bench_fig4(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
         jobs,
     };
 
-    // All56 rather than Mixed: the mixed-fidelity pattern has a known
-    // pre-existing missing-client quirk (see ROADMAP), and the bench's
-    // instrumented run doubles as CI's fail-on-invariants gate.
+    let mut report = BenchReport::new("pr5");
+    report.stages.push(sweep_stage);
+
+    // Per-scenario throughput: one single-threaded run per named scenario.
+    for name in BENCH_SCENARIOS {
+        let cfg = bench_scenario(name, opt);
+        let sw = Stopwatch::start();
+        let r = run_scenario(&cfg);
+        let wall_s = sw.elapsed_s();
+        report.stages.push(BenchStage {
+            name: name.to_string(),
+            wall_s,
+            threads: 1,
+            sim_events: r.sim_events,
+            jobs: vec![BenchJob {
+                label: format!("{name}/100ms"),
+                wall_s,
+                sim_events: r.sim_events,
+            }],
+        });
+    }
+
+    // All56 rather than Mixed: the bench's instrumented run doubles as
+    // CI's fail-on-invariants gate, so it sticks to the best-understood
+    // pattern.
     let icfg = ScenarioConfig::new(
         opt.seed,
         SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
@@ -1365,7 +1440,7 @@ pub fn bench_fig4(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
     let sw = Stopwatch::start();
     let r = run_scenario(&icfg);
     let wall_s = sw.elapsed_s();
-    let instrumented_stage = BenchStage {
+    report.stages.push(BenchStage {
         name: "instrumented-run".to_string(),
         wall_s,
         threads: 1,
@@ -1375,9 +1450,6 @@ pub fn bench_fig4(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
             wall_s,
             sim_events: r.sim_events,
         }],
-    };
-
-    let mut report = BenchReport::new("pr3");
-    report.stages = vec![sweep_stage, instrumented_stage];
+    });
     (report, r)
 }

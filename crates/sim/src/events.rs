@@ -1,70 +1,102 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events
-//! by `(time, sequence)` so that two events scheduled for the same instant
-//! pop in the order they were pushed. This tie-break is what makes whole
-//! simulation runs bit-for-bit reproducible across platforms — `BinaryHeap`
-//! alone gives no guarantee for equal keys.
+//! A slab-backed **indexed 4-ary min-heap** ordered by `(time, sequence)`,
+//! so two events scheduled for the same instant pop in the order they were
+//! pushed. This tie-break is what makes whole simulation runs bit-for-bit
+//! reproducible across platforms — a plain binary heap alone gives no
+//! guarantee for equal keys. Sequence numbers are unique, so the key order
+//! is total and pop order is independent of the heap's internal shape:
+//! rewriting the structure cannot perturb a golden trace.
 //!
-//! Cancellation is supported via tombstones: [`EventQueue::cancel`] records
-//! the event id and the entry is skipped when it surfaces. This keeps
-//! `cancel` amortized O(log n) at the cost of leaving interior entries in
-//! the heap until they reach the top, which is the standard trade-off for
-//! timer wheels in discrete-event simulators. Cancellation (and pop)
-//! eagerly purge tombstones *at the top* of the heap, maintaining the
-//! invariant that the heap's minimum is always live — which is what lets
-//! [`EventQueue::peek_time`] take `&self` instead of `&mut self`.
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+//! ## Why indexed instead of tombstoned
+//!
+//! The previous implementation wrapped `std::collections::BinaryHeap` and
+//! cancelled events by recording their sequence numbers in a tombstone
+//! `HashSet`, paying two hash operations per push/pop/cancel and leaving
+//! dead entries in the heap until they surfaced. Here every slab slot
+//! remembers its current heap position (updated on every sift swap), so:
+//!
+//! * [`EventQueue::cancel`] is a true O(log n) *removal* — swap the hole
+//!   with the last leaf and re-sift — with no tombstones and no hashing;
+//! * [`EventQueue::pop`] touches only the heap array and the slab;
+//! * the heap never holds dead entries, so its minimum is always live and
+//!   [`EventQueue::peek_time`] stays a pure `&self` read.
+//!
+//! The 4-ary layout halves the tree height versus binary and keeps the
+//! hot sift-down loop within one cache line of child indices — the same
+//! trade NS-3-style simulators make for their pending-event sets.
+//!
+//! ## Handle safety
+//!
+//! [`EventId`] packs `(slot, generation)` into one `u64`. A slot's
+//! generation bumps every time the slot is freed (pop, cancel, or clear),
+//! so a stale handle — double cancel, cancel-after-pop, or a handle from
+//! before [`EventQueue::clear`] — fails the generation check and
+//! [`EventQueue::cancel`] returns `false` instead of killing an unrelated
+//! event that happens to reuse the slot.
 
 use crate::time::SimTime;
 
+/// Sentinel for "no free slot" in the slab free list.
+const NIL: u32 = u32::MAX;
+
 /// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// Internally `(slot, generation)` packed into a `u64`; the generation
+/// makes handles single-use (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
 impl EventId {
-    /// The raw sequence number, mostly useful in logs.
+    fn new(slot: u32, generation: u32) -> EventId {
+        EventId(((generation as u64) << 32) | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The raw packed handle bits, mostly useful in logs.
     pub fn raw(self) -> u64 {
         self.0
     }
 }
 
-struct Entry<T> {
-    time: SimTime,
-    seq: u64,
-    item: T,
+/// One slab slot: either a live event plus its current heap position, or
+/// a link in the free list. The generation survives frees so stale
+/// [`EventId`]s can be rejected.
+struct Slot<T> {
+    generation: u32,
+    state: SlotState<T>,
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
-    }
+enum SlotState<T> {
+    Occupied {
+        time: SimTime,
+        seq: u64,
+        /// Index of this slot's entry in `EventQueue::heap`; maintained by
+        /// every sift swap.
+        pos: u32,
+        item: T,
+    },
+    Free {
+        next: u32,
+    },
 }
 
 /// A deterministic min-priority queue of timed events.
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    /// Slot storage; indices are stable for an event's lifetime.
+    slots: Vec<Slot<T>>,
+    /// 4-ary min-heap of slot indices, ordered by the slots' `(time, seq)`.
+    heap: Vec<u32>,
+    /// Head of the free-slot list (`NIL` when every slot is live).
+    free_head: u32,
     next_seq: u64,
-    /// Sequence numbers still pending (pushed, not yet popped/cancelled).
-    pending: HashSet<u64>,
-    cancelled: HashSet<u64>,
-    live: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -76,103 +108,197 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
-            live: 0,
-        }
+        EventQueue { slots: Vec::new(), heap: Vec::new(), free_head: NIL, next_seq: 0 }
     }
 
     /// An empty queue with pre-reserved capacity for `cap` events.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            heap: Vec::with_capacity(cap),
+            free_head: NIL,
             next_seq: 0,
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
-            live: 0,
         }
+    }
+
+    /// Reserve room for at least `additional` more live events, so wiring
+    /// code can pre-size the queue from the topology before the run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+        self.heap.reserve(additional);
+    }
+
+    /// The `(time, seq)` sort key of a live slot.
+    #[inline]
+    fn key(&self, slot: u32) -> (SimTime, u64) {
+        match self.slots[slot as usize].state {
+            SlotState::Occupied { time, seq, .. } => (time, seq),
+            SlotState::Free { .. } => unreachable!("heap entries are always occupied"),
+        }
+    }
+
+    /// Record that the entry at heap position `pos` now lives there.
+    #[inline]
+    fn set_pos(&mut self, pos: usize) {
+        let slot = self.heap[pos];
+        match &mut self.slots[slot as usize].state {
+            SlotState::Occupied { pos: p, .. } => *p = pos as u32,
+            SlotState::Free { .. } => unreachable!("heap entries are always occupied"),
+        }
+    }
+
+    /// Move the entry at `pos` toward the root until its parent is
+    /// smaller. Returns the final position.
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        let key = self.key(self.heap[pos]);
+        while pos > 0 {
+            let parent = (pos - 1) / 4;
+            if self.key(self.heap[parent]) <= key {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            self.set_pos(pos);
+            pos = parent;
+        }
+        self.set_pos(pos);
+        pos
+    }
+
+    /// Move the entry at `pos` toward the leaves until no child is
+    /// smaller.
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        let key = self.key(self.heap[pos]);
+        loop {
+            let first_child = 4 * pos + 1;
+            if first_child >= len {
+                break;
+            }
+            // Smallest of up to four children.
+            let mut best = first_child;
+            let mut best_key = self.key(self.heap[first_child]);
+            let last_child = (first_child + 3).min(len - 1);
+            for c in first_child + 1..=last_child {
+                let k = self.key(self.heap[c]);
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if key <= best_key {
+                break;
+            }
+            self.heap.swap(pos, best);
+            self.set_pos(pos);
+            pos = best;
+        }
+        self.set_pos(pos);
+    }
+
+    /// Detach heap position `pos`: swap with the last leaf, shrink, and
+    /// re-sift the displaced leaf. The caller owns freeing the slot.
+    fn remove_at(&mut self, pos: usize) {
+        self.heap.swap_remove(pos);
+        if pos < self.heap.len() {
+            // The displaced leaf can need to move either direction.
+            let settled = self.sift_up(pos);
+            if settled == pos {
+                self.sift_down(pos);
+            }
+        }
+    }
+
+    /// Return `slot` to the free list, invalidating outstanding handles.
+    fn free_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.generation = s.generation.wrapping_add(1);
+        s.state = SlotState::Free { next: self.free_head };
+        self.free_head = slot;
     }
 
     /// Schedule `item` at `time`. Returns a handle for cancellation.
     pub fn push(&mut self, time: SimTime, item: T) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, item });
-        self.pending.insert(seq);
-        self.live += 1;
-        EventId(seq)
+        let pos = self.heap.len() as u32;
+        let state = SlotState::Occupied { time, seq, pos, item };
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            match s.state {
+                SlotState::Free { next } => self.free_head = next,
+                SlotState::Occupied { .. } => unreachable!("free list links only free slots"),
+            }
+            s.state = state;
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            assert!(slot != NIL, "event queue slot space exhausted");
+            self.slots.push(Slot { generation: 0, state });
+            slot
+        };
+        self.heap.push(slot);
+        self.sift_up(pos as usize);
+        EventId::new(slot, self.slots[slot as usize].generation)
     }
 
     /// Cancel a previously pushed event. Returns `true` if the event was
-    /// still pending (i.e. not yet popped or already cancelled).
+    /// still pending (i.e. not yet popped or already cancelled); a stale
+    /// or foreign handle returns `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending.remove(&id.0) {
-            return false; // unknown, already popped, or already cancelled
+        let slot = id.slot();
+        let Some(s) = self.slots.get(slot as usize) else {
+            return false; // never-allocated slot: unknown handle
+        };
+        if s.generation != id.generation() {
+            return false; // already popped, cancelled, or cleared
         }
-        self.cancelled.insert(id.0);
-        self.live -= 1;
-        // Keep the heap's minimum live so `peek_time` can be a pure read.
-        self.purge_top();
+        let SlotState::Occupied { pos, .. } = s.state else {
+            return false;
+        };
+        self.remove_at(pos as usize);
+        self.free_slot(slot);
         true
-    }
-
-    /// Drop tombstoned entries sitting at the top of the heap. Every
-    /// mutation that can leave a tombstone there calls this, so between
-    /// method calls the heap's minimum (if any) is always a live event.
-    fn purge_top(&mut self) {
-        while let Some(entry) = self.heap.peek() {
-            if !self.cancelled.contains(&entry.seq) {
-                break;
-            }
-            let seq = entry.seq;
-            self.heap.pop();
-            self.cancelled.remove(&seq);
-        }
     }
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue; // tombstoned
-            }
-            self.pending.remove(&entry.seq);
-            self.live -= 1;
-            // Removing the minimum can expose an interior tombstone at the
-            // top; purge so the next `peek_time` sees a live minimum.
-            self.purge_top();
-            return Some((entry.time, entry.item));
+        let &slot = self.heap.first()?;
+        self.remove_at(0);
+        let s = &mut self.slots[slot as usize];
+        s.generation = s.generation.wrapping_add(1);
+        let state = std::mem::replace(&mut s.state, SlotState::Free { next: self.free_head });
+        self.free_head = slot;
+        match state {
+            SlotState::Occupied { time, item, .. } => Some((time, item)),
+            SlotState::Free { .. } => unreachable!("heap entries are always occupied"),
         }
-        None
     }
 
     /// The time of the earliest live event without removing it.
     ///
-    /// A pure read: `cancel` eagerly purges tombstones from the heap top,
-    /// so the minimum entry is always live.
+    /// A pure read: the heap holds no cancelled entries, so its minimum is
+    /// always live.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|entry| entry.time)
+        self.heap.first().map(|&slot| self.key(slot).0)
     }
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.heap.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.heap.is_empty()
     }
 
-    /// Drop all pending events.
+    /// Drop all pending events. Outstanding handles are invalidated:
+    /// cancelling one afterwards returns `false`.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
-        self.live = 0;
+        while let Some(slot) = self.heap.pop() {
+            self.free_slot(slot);
+        }
     }
 }
 
@@ -268,5 +394,63 @@ mod tests {
         q.push(SimTime::from_ms(10), 3);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    // ---- tests added with the indexed rewrite -----------------------------
+
+    #[test]
+    fn clear_invalidates_outstanding_handles() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_ms(1), 1);
+        q.clear();
+        assert!(!q.cancel(a), "handles from before clear() must be stale");
+        // The slot is reused; the old handle must not kill the new event.
+        let b = q.push(SimTime::from_ms(2), 2);
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_ms(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // "b" reuses a's slab slot; the popped handle must be rejected.
+        q.push(SimTime::from_ms(2), "b");
+        assert!(!q.cancel(a), "handle of a popped event must be stale");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn interior_cancellation_keeps_order() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..32).map(|i| q.push(SimTime::from_ms(i), i)).collect();
+        // Remove every third event from the middle of the heap.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 3 == 1 {
+                assert!(q.cancel(*id));
+            }
+        }
+        let mut expect: Vec<u64> = (0..32).filter(|i| i % 3 != 1).collect();
+        expect.sort_unstable();
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..8 {
+                q.push(SimTime::from_ms(round * 8 + i), (round, i));
+            }
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+        }
+        // 8 live events at peak → at most 8 slab slots ever allocated.
+        assert!(q.slots.len() <= 8, "slab grew to {} slots", q.slots.len());
     }
 }

@@ -118,9 +118,18 @@ where
     (results, SweepTiming { wall_s: sweep_start.elapsed().as_secs_f64(), job_wall_s, threads })
 }
 
-/// Pick a default worker count: the available parallelism, capped so sweeps
-/// don't oversubscribe small CI machines.
+/// Pick a default worker count: `PB_THREADS` when set (clamped to ≥ 1, so
+/// CI and laptops can pin sweep width), otherwise the available
+/// parallelism capped so sweeps don't oversubscribe small CI machines.
+///
+/// Thread count only changes how sweep jobs are scheduled onto workers,
+/// never any simulated result (see the thread-count determinism tests).
 pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("PB_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
 }
 
@@ -180,6 +189,21 @@ mod tests {
             assert!(timing.wall_s >= 0.0);
             assert_eq!(timing.threads, threads);
         }
+    }
+
+    #[test]
+    fn pb_threads_overrides_and_clamps() {
+        // One test owns this env var end to end: no other test in the
+        // crate reads it, so serial set/check/remove is race-free.
+        std::env::set_var("PB_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("PB_THREADS", "0");
+        assert_eq!(default_threads(), 1, "zero clamps to one worker");
+        std::env::set_var("PB_THREADS", "not-a-number");
+        let fallback = default_threads();
+        assert!(fallback >= 1, "garbage falls back to detection");
+        std::env::remove_var("PB_THREADS");
+        assert!(default_threads() >= 1);
     }
 
     #[test]

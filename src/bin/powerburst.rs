@@ -7,7 +7,7 @@
 //!                [--metrics-out FILE] [--trace-events FILE]
 //!                [--fail-on-invariants]
 //! powerburst bench [--secs S] [--seed K] [--threads N] [--out FILE]
-//!                  [--metrics-out FILE]
+//!                  [--metrics-out FILE] [--baseline FILE]
 //! powerburst calibrate [--seed K]
 //! powerburst experiment <name>|all [--secs S] [--seed K]
 //! powerburst list
@@ -68,7 +68,8 @@ USAGE:
                  [--fault-jitter-ms M] [--fault-jitter-prob P]
                  [--fault-skew-ppm X]
   powerburst bench [--secs S] [--seed K] [--threads N] [--out FILE]
-                   [--metrics-out FILE] [--fail-on-invariants]
+                   [--metrics-out FILE] [--baseline FILE]
+                   [--fail-on-invariants]
   powerburst calibrate [--seed K]
   powerburst experiment <name>|all [--secs S] [--seed K]
   powerburst list";
@@ -297,13 +298,14 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         threads: f.parse("--threads", powerburst::sim::default_threads()),
     };
     eprintln!(
-        "profiling fig4 sweep + instrumented run ({} s, seed {}, {} threads)...",
+        "profiling fig4 sweep + {} scenarios + instrumented run ({} s, seed {}, {} threads)...",
+        exp::BENCH_SCENARIOS.len(),
         opt.duration.as_secs_f64(),
         opt.seed,
         opt.threads
     );
-    let (report, r) = exp::bench_fig4(&opt);
-    let out = f.get("--out").unwrap_or("BENCH_pr3.json");
+    let (report, r) = exp::bench_suite(&opt);
+    let out = f.get("--out").unwrap_or("BENCH_pr5.json");
     if let Err(e) = std::fs::write(out, report.to_json()) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -320,6 +322,21 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         );
     }
     println!("bench report -> {out}");
+    if let Some(base_path) = f.get("--baseline") {
+        // Report-only comparison against a committed baseline report:
+        // runners are noisy, so deltas inform but never fail the run.
+        match std::fs::read_to_string(base_path) {
+            Ok(base_json) => {
+                let current = powerburst::obs::parse_stage_rates(&report.to_json());
+                let baseline = powerburst::obs::parse_stage_rates(&base_json);
+                println!("events/sec vs baseline {base_path} (report-only):");
+                for line in powerburst::obs::delta_lines(&current, &baseline) {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => eprintln!("baseline {base_path} unreadable ({e}); skipping comparison"),
+        }
+    }
     if let Err(code) = write_obs_exports(&r, f.get("--metrics-out"), f.get("--trace-events")) {
         return code;
     }

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use powerburst::prelude::*;
-use powerburst::trace::{check_golden, render_postmortem};
+use powerburst::trace::{check_golden, render_postmortem, to_jsonl};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
@@ -84,6 +84,30 @@ fn faulted_run_matches_golden_snapshot() {
     }
 }
 
+/// Event-queue-rewrite regression gate: the **raw sniffer trace** of one
+/// fixed scenario, byte-compared frame by frame.
+///
+/// The run-summary snapshots above aggregate; this test does not. Every
+/// frame's timestamp, id, and delivery outcome ride on the exact order
+/// the event queue pops `(time, seq)` ties, so any rewrite of the queue
+/// or of `World::route_send`'s routing tables that perturbs pop order or
+/// routing — even transiently, in a way aggregation would wash out —
+/// shows up here as the first differing JSONL line.
+#[test]
+fn sniffer_trace_matches_golden_snapshot() {
+    let cfg = video_cfg(42).with_duration(SimDuration::from_secs(5));
+    let run = || {
+        let mut a = powerburst::scenario::assemble(&cfg);
+        a.world.run_until(SimTime::ZERO + cfg.duration);
+        to_jsonl(&a.world.take_trace())
+    };
+    let rendered = run();
+    assert_eq!(rendered, run(), "same-seed traces must be byte-identical");
+    if let Err(e) = check_golden(&golden_path("trace_5c_seed42.jsonl"), &rendered) {
+        panic!("{e}");
+    }
+}
+
 #[test]
 fn different_seed_renders_differently() {
     // Guard against a renderer that ignores its input: a different seed
@@ -129,4 +153,19 @@ fn instrumentation_is_passive() {
     let plain = render_run(&run_scenario(&video_cfg(42)));
     let instrumented = render_run(&run_scenario(&video_cfg(42).with_obs(ObsConfig::full())));
     assert_eq!(plain, instrumented, "observability must not perturb the run");
+}
+
+#[test]
+fn determinism_and_passivity_hold_across_seeds() {
+    // The queue/routing rewrite must preserve these properties for every
+    // seed, not just the snapshotted one: repeats are byte-identical and
+    // instrumentation stays passive across seeds 1/2/3/7.
+    for seed in [1, 2, 3, 7] {
+        let cfg = video_cfg(seed).with_duration(SimDuration::from_secs(10));
+        let plain = render_run(&run_scenario(&cfg));
+        let again = render_run(&run_scenario(&cfg));
+        assert_eq!(plain, again, "seed {seed}: repeats must render identically");
+        let instrumented = render_run(&run_scenario(&cfg.clone().with_obs(ObsConfig::full())));
+        assert_eq!(plain, instrumented, "seed {seed}: observability must stay passive");
+    }
 }
