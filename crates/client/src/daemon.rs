@@ -143,6 +143,10 @@ pub struct PowerClient {
     planned_wakes: Vec<SimTime>,
     /// Deferred schedule under ordering rule (1), with its arrival time.
     pending_schedule: Option<(Schedule, SimTime)>,
+    /// Recycled schedule buffer: broadcasts are decoded into it
+    /// ([`Schedule::decode_into`]) and it is returned after application,
+    /// so the once-per-interval decode reuses one entries allocation.
+    decode_buf: Schedule,
     /// Awaiting the marked packet of a burst.
     in_burst: bool,
     /// Set while awake after a wake-up, until the awaited packet arrives:
@@ -170,6 +174,7 @@ impl PowerClient {
             slots: Vec::new(),
             planned_wakes: Vec::new(),
             pending_schedule: None,
+            decode_buf: Schedule::default(),
             in_burst: false,
             woke_for: None,
             miss_since: None,
@@ -238,7 +243,11 @@ impl PowerClient {
     }
 
     fn handle_schedule(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        let Some(sched) = Schedule::decode(&pkt.payload) else { return };
+        let mut sched = std::mem::take(&mut self.decode_buf);
+        if !Schedule::decode_into(&pkt.payload, &mut sched) {
+            self.decode_buf = sched;
+            return;
+        }
         self.stats.schedules_received += 1;
         // Ordering rule (1): mid-burst schedules wait for the mark — unless
         // one is already pending, in which case the mark was evidently lost
@@ -274,7 +283,9 @@ impl PowerClient {
         // its rendezvous points are in the past. Invalidate local plans and
         // stay awake until a fresh schedule arrives.
         if now > arrival + sched.next_srp {
-            for k in 0..MAX_SLOTS {
+            // Only indices the previous interval actually armed can be
+            // pending (wake timers per slot, end timers per woken slot).
+            for k in 0..self.slots.len() as TimerToken {
                 ctx.cancel_timer(T_WAKE_SLOT + k);
                 ctx.cancel_timer(T_SLOT_END + k);
             }
@@ -282,6 +293,7 @@ impl PowerClient {
             self.slots.clear();
             self.planned_wakes.clear();
             self.miss_since = Some(now);
+            self.decode_buf = sched;
             return;
         }
         self.synced = true;
@@ -309,8 +321,9 @@ impl PowerClient {
             SimDuration::from_us(us.max(0) as u64)
         };
 
-        // Cancel any stale wake-ups from the previous interval.
-        for k in 0..MAX_SLOTS {
+        // Cancel any stale wake-ups from the previous interval; only the
+        // slot indices it armed can hold pending timers.
+        for k in 0..self.slots.len() as TimerToken {
             ctx.cancel_timer(T_WAKE_SLOT + k);
             ctx.cancel_timer(T_SLOT_END + k);
         }
@@ -319,9 +332,11 @@ impl PowerClient {
         self.slots.clear();
 
         let lead = self.lead();
-        let mine: Vec<_> =
-            sched.slots_for(self.cfg.me).take(MAX_SLOTS as usize / 2).cloned().collect();
-        for e in mine.iter() {
+        // `sched` is owned, so its slots can be walked directly while the
+        // daemon's own state is updated — no collected copy needed.
+        let mut any_slots = false;
+        for e in sched.slots_for(self.cfg.me).take(MAX_SLOTS as usize / 2) {
+            any_slots = true;
             // A schedule applied late (deferred past its own burst) must
             // not arm wake-ups for slots that already completed — the mark
             // that released it was that burst's end.
@@ -340,10 +355,10 @@ impl PowerClient {
 
         // Next SRP wake — possibly skipped under the §5 optimization, in
         // which case this schedule is reused for the following interval.
-        if sched.unchanged && self.cfg.skip_unchanged && !mine.is_empty() {
+        if sched.unchanged && self.cfg.skip_unchanged && any_slots {
             self.stats.skipped_srp_wakes += 1;
             self.obs.incr(Counter::ClientSkippedWakes);
-            for e in mine.iter() {
+            for e in sched.slots_for(self.cfg.me).take(MAX_SLOTS as usize / 2) {
                 let idx = self.slots.len();
                 self.slots.push(MySlot {
                     duration: e.duration,
@@ -363,6 +378,8 @@ impl PowerClient {
         }
 
         self.sleep_if_idle(ctx);
+        // Recycle the schedule's entries buffer for the next decode.
+        self.decode_buf = sched;
     }
 
     fn handle_data(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {

@@ -29,7 +29,9 @@
 //!   window-shrink slowdown the split design exists to avoid.
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use powerburst_sim::FastHashMap;
 
 use bytes::Bytes;
 use powerburst_obs::{Counter, EventKind, Gauge, Hist, Recorder};
@@ -163,17 +165,18 @@ struct Splice {
     closed: bool,
     /// Data/FIN frames emitted outside a burst window (cwnd growth, RTO
     /// retransmissions): held until the client's next burst so they are
-    /// never transmitted at a sleeping radio.
-    held: Vec<Packet>,
+    /// never transmitted at a sleeping radio. A deque: bursts release from
+    /// the front while new frames park at the back.
+    held: VecDeque<Packet>,
 }
 
 /// The proxy node.
 pub struct Proxy {
     cfg: ProxyConfig,
     clients: Vec<ClientState>,
-    client_index: HashMap<HostAddr, usize>,
+    client_index: FastHashMap<HostAddr, usize>,
     splices: Vec<Splice>,
-    splice_index: HashMap<(SockAddr, SockAddr), usize>,
+    splice_index: FastHashMap<(SockAddr, SockAddr), usize>,
     /// Client index whose burst slot is executing right now, if any.
     bursting: Option<usize>,
     /// §3.2.1 admission controller, when configured.
@@ -186,6 +189,18 @@ pub struct Proxy {
     audit: ScheduleAuditor,
     /// Observability sink (disabled by default; one branch per call).
     obs: Recorder,
+    // Reused scratch buffers — the per-interval paths must not allocate in
+    // steady state, so each keeps its capacity across calls.
+    /// Demand snapshot built at every SRP.
+    demand_scratch: Vec<ClientDemand>,
+    /// PSM shared-window round-robin output.
+    psm_out: Vec<(usize, Packet)>,
+    /// Per-client last-frame index within `psm_out`.
+    psm_last_of: Vec<Option<usize>>,
+    /// Splice ids of the client being burst.
+    burst_splices: Vec<usize>,
+    /// Per-splice byte feeds planned for the current burst.
+    burst_feeds: Vec<(usize, u64)>,
 }
 
 impl Proxy {
@@ -201,14 +216,15 @@ impl Proxy {
                 burst_until: SimTime::ZERO,
             })
             .collect();
-        let client_index = cfg.clients.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let client_index: FastHashMap<_, _> =
+            cfg.clients.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let admission = cfg.admission.map(|a| AdmissionControl::new(a, &cfg.bw, 728));
         Proxy {
             cfg,
             clients,
             client_index,
             splices: Vec::new(),
-            splice_index: HashMap::new(),
+            splice_index: FastHashMap::default(),
             bursting: None,
             admission,
             prev_schedule: None,
@@ -216,6 +232,11 @@ impl Proxy {
             stats: ProxyStats::default(),
             audit: ScheduleAuditor::new(),
             obs: Recorder::disabled(),
+            demand_scratch: Vec::new(),
+            psm_out: Vec::new(),
+            psm_last_of: Vec::new(),
+            burst_splices: Vec::new(),
+            burst_feeds: Vec::new(),
         }
     }
 
@@ -265,30 +286,32 @@ impl Proxy {
 
     // ---- schedule construction and broadcast -------------------------------
 
-    fn demand_snapshot(&self) -> Vec<ClientDemand> {
-        self.clients
-            .iter()
-            .map(|c| {
-                let tcp_bytes: u64 = c
-                    .splices
-                    .iter()
-                    .map(|&i| {
-                        let s = &self.splices[i];
-                        s.pending_bytes
-                            + s.client_side.unsent()
-                            + s.held.iter().map(|p| p.wire_size() as u64).sum::<u64>()
-                    })
-                    .sum();
-                let avg_pkt =
-                    if !c.queue.is_empty() { c.queue.bytes() / c.queue.len() } else { 1_000 };
-                ClientDemand {
-                    client: c.host,
-                    udp_bytes: c.queue.bytes() as u64,
-                    tcp_bytes,
-                    avg_pkt,
-                }
-            })
-            .collect()
+    /// Snapshot per-client demand into the reused scratch Vec (runs every
+    /// SRP; must not allocate in steady state). The caller puts the Vec
+    /// back into `self.demand_scratch` when done.
+    fn demand_snapshot(&mut self) -> Vec<ClientDemand> {
+        let mut demands = std::mem::take(&mut self.demand_scratch);
+        demands.clear();
+        for c in &self.clients {
+            let tcp_bytes: u64 = c
+                .splices
+                .iter()
+                .map(|&i| {
+                    let s = &self.splices[i];
+                    s.pending_bytes
+                        + s.client_side.unsent()
+                        + s.held.iter().map(|p| p.wire_size() as u64).sum::<u64>()
+                })
+                .sum();
+            let avg_pkt = if !c.queue.is_empty() { c.queue.bytes() / c.queue.len() } else { 1_000 };
+            demands.push(ClientDemand {
+                client: c.host,
+                udp_bytes: c.queue.bytes() as u64,
+                tcp_bytes,
+                avg_pkt,
+            });
+        }
+        demands
     }
 
     fn schedule_airtime_estimate(&self) -> SimDuration {
@@ -332,6 +355,7 @@ impl Proxy {
             }
         }
         self.audit.on_schedule(ctx.now(), &sched, &demands);
+        self.demand_scratch = demands;
 
         // Broadcast the schedule. Encoding is checked: a µs field past the
         // u32 wire range is clamped, surfaced as an invariant violation,
@@ -382,9 +406,9 @@ impl Proxy {
 
         // Arm burst timers and the next SRP.
         for (i, e) in sched.entries.iter().enumerate() {
-            ctx.set_timer(e.rp_offset, TOKEN_BURST_BASE + i as TimerToken);
+            ctx.set_timer_untracked(e.rp_offset, TOKEN_BURST_BASE + i as TimerToken);
         }
-        ctx.set_timer(sched.next_srp, TOKEN_SRP);
+        ctx.set_timer_untracked(sched.next_srp, TOKEN_SRP);
         // `prev_schedule` doubles as the schedule in force: burst timers
         // index into its entries, so no per-interval clone is needed.
         self.prev_schedule = Some(sched);
@@ -456,7 +480,8 @@ impl Proxy {
             self.clients[ci].burst_until = ctx.now() + window;
         }
         let mut remaining = window;
-        let mut out: Vec<(usize, Packet)> = Vec::new();
+        let mut out = std::mem::take(&mut self.psm_out);
+        debug_assert!(out.is_empty());
         let mut progress = true;
         while progress {
             progress = false;
@@ -473,20 +498,24 @@ impl Proxy {
             }
         }
         // Mark each client's final frame of the window.
-        let mut last_of: Vec<Option<usize>> = vec![None; n];
+        let mut last_of = std::mem::take(&mut self.psm_last_of);
+        last_of.clear();
+        last_of.resize(n, None);
         for (idx, (ci, _)) in out.iter().enumerate() {
             last_of[*ci] = Some(idx);
         }
         for last in last_of.iter().flatten() {
             out[*last].1.tos_mark = true;
         }
+        self.psm_last_of = last_of;
         let sent = out.len() as u64;
-        for (_, pkt) in out {
+        for (_, pkt) in out.drain(..) {
             self.stats.udp_bytes_sent += pkt.wire_size() as u64;
             self.obs.add(Counter::UdpBytesSent, pkt.wire_size() as u64);
             self.audit.on_frame(self.cfg.bw.send_time(pkt.wire_size()), pkt.tos_mark);
             ctx.send(PROXY_AP, pkt);
         }
+        self.psm_out = out;
         self.stats.udp_packets_sent += sent;
         self.obs.add(Counter::UdpFramesSent, sent);
         if sent > 0 {
@@ -569,14 +598,16 @@ impl Proxy {
         let mut total = 0u64;
         let mut last_touched: Option<usize> = None;
         let mut last_held: Option<Packet> = None;
-        let splice_ids = self.clients[ci].splices.clone();
+        let mut splice_ids = std::mem::take(&mut self.burst_splices);
+        splice_ids.clear();
+        splice_ids.extend_from_slice(&self.clients[ci].splices);
         // Phase 1: release held frames (oldest data first). A mark that
         // spilled into the hold queue belongs to a *previous* interval and
         // is no longer the last frame of anything — strip it, or the
         // client would sleep mid-burst.
         for &sid in &splice_ids {
-            while !self.splices[sid].held.is_empty() && byte_budget > 0 {
-                let mut pkt = self.splices[sid].held.remove(0);
+            while byte_budget > 0 {
+                let Some(mut pkt) = self.splices[sid].held.pop_front() else { break };
                 pkt.tos_mark = false;
                 byte_budget = byte_budget.saturating_sub(pkt.wire_size() as u64);
                 total += pkt.payload.len() as u64;
@@ -589,7 +620,8 @@ impl Proxy {
         // Phase 2: decide how much each splice gets, so the mark can be
         // nominated *before* the final bytes hit the wire (segments are
         // emitted the moment they are fed).
-        let mut feeds: Vec<(usize, u64)> = Vec::with_capacity(splice_ids.len());
+        let mut feeds = std::mem::take(&mut self.burst_feeds);
+        feeds.clear();
         for &sid in &splice_ids {
             if byte_budget == 0 {
                 break;
@@ -669,6 +701,8 @@ impl Proxy {
         for &sid in &splice_ids {
             self.finish_splice_io(ctx, sid);
         }
+        self.burst_splices = splice_ids;
+        self.burst_feeds = feeds;
         self.stats.tcp_bytes_fed += total;
         self.obs.add(Counter::TcpBytesFed, total);
         total
@@ -689,7 +723,7 @@ impl Proxy {
             server_fin: false,
             client_fin: false,
             closed: false,
-            held: Vec::new(),
+            held: VecDeque::new(),
         });
         self.splice_index.insert((client_sock, server_sock), idx);
         self.clients[ci].splices.push(idx);
@@ -705,22 +739,22 @@ impl Proxy {
             let s = &mut self.splices[sid];
             // Uplink relay: client requests go straight to the server (only
             // downlink data is burst-scheduled).
-            for chunk in s.client_side.take_delivered() {
+            for chunk in s.client_side.delivered_mut().drain(..) {
                 if !s.server_fin {
                     s.server_side.send(now, chunk);
                 }
             }
             // Downlink buffer: server data waits for a burst slot.
-            for chunk in s.server_side.take_delivered() {
+            for chunk in s.server_side.delivered_mut().drain(..) {
                 s.pending_bytes += chunk.len() as u64;
                 s.pending.push_back(chunk);
             }
-            for ev in s.server_side.take_events() {
+            for ev in s.server_side.events_mut().drain(..) {
                 if ev == TcpEvent::RemoteFin {
                     s.server_fin = true;
                 }
             }
-            for ev in s.client_side.take_events() {
+            for ev in s.client_side.events_mut().drain(..) {
                 if ev == TcpEvent::RemoteFin && !s.client_fin {
                     s.client_fin = true;
                     s.server_side.close(now);
@@ -749,7 +783,7 @@ impl Proxy {
         let mut in_burst = self.bursting == Some(ci) || ctx.now() < self.clients[ci].burst_until;
         let mut close_window = false;
         let s = &mut self.splices[sid];
-        for pkt in s.client_side.take_packets() {
+        for pkt in s.client_side.packets_mut().drain(..) {
             if !in_burst {
                 // Dedup retransmitted copies of the same data segment
                 // (pure ACKs are never deduped: their ack fields differ).
@@ -761,7 +795,7 @@ impl Proxy {
                 let dup = key.is_some()
                     && s.held.iter().any(|q| q.tcp.map(|h| (h.seq, q.payload.len())) == key);
                 if !dup {
-                    s.held.push(pkt);
+                    s.held.push_back(pkt);
                 }
             } else {
                 // The marked frame puts the client to sleep: nothing else
@@ -778,17 +812,21 @@ impl Proxy {
             self.clients[ci].burst_until = ctx.now();
         }
         let s = &mut self.splices[sid];
-        for pkt in s.server_side.take_packets() {
+        for pkt in s.server_side.packets_mut().drain(..) {
             ctx.send_assigning(PROXY_LAN, pkt);
         }
         let base = TOKEN_SPLICE_BASE + (sid as TimerToken) * 2;
-        ctx.cancel_timer(base);
-        if let Some(dl) = s.client_side.next_deadline() {
-            ctx.set_timer(dl.since(ctx.now()), base);
+        match s.client_side.next_deadline() {
+            Some(dl) => ctx.rearm_timer_at(dl, base),
+            None => {
+                ctx.cancel_timer(base);
+            }
         }
-        ctx.cancel_timer(base + 1);
-        if let Some(dl) = s.server_side.next_deadline() {
-            ctx.set_timer(dl.since(ctx.now()), base + 1);
+        match s.server_side.next_deadline() {
+            Some(dl) => ctx.rearm_timer_at(dl, base + 1),
+            None => {
+                ctx.cancel_timer(base + 1);
+            }
         }
     }
 
@@ -909,7 +947,7 @@ impl Proxy {
 impl Node for Proxy {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // First SRP fires immediately so clients can sync from time zero.
-        ctx.set_timer(SimDuration::from_ms(1), TOKEN_SRP);
+        ctx.set_timer_untracked(SimDuration::from_ms(1), TOKEN_SRP);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {

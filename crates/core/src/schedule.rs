@@ -36,7 +36,7 @@ pub struct ScheduleEntry {
 }
 
 /// A complete schedule for one burst interval.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
     /// Monotone sequence number (burst-interval counter).
     pub seq: u64,

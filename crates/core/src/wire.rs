@@ -59,31 +59,44 @@ impl Schedule {
 
     /// Parse a broadcast payload.
     pub fn decode(p: &[u8]) -> Option<Schedule> {
-        if p.len() < 19 {
-            return None;
+        let mut s = Schedule::default();
+        Self::decode_into(p, &mut s).then_some(s)
+    }
+
+    /// Parse a broadcast payload into an existing schedule, reusing its
+    /// entries buffer — the steady-state path for clients that decode one
+    /// broadcast per burst interval. Returns `false` on a malformed
+    /// payload, in which case the contents of `into` are unspecified.
+    pub fn decode_into(p: &[u8], into: &mut Schedule) -> bool {
+        fn parse(p: &[u8], into: &mut Schedule) -> Option<()> {
+            if p.len() < 19 {
+                return None;
+            }
+            into.seq = u64::from_be_bytes(p[0..8].try_into().ok()?);
+            into.unchanged = p[8] & 1 != 0;
+            into.fixed_slots = p[8] & 2 != 0;
+            into.saturated = p[8] & 4 != 0;
+            let n = u16::from_be_bytes(p[9..11].try_into().ok()?) as usize;
+            into.next_srp = SimDuration::from_us(u64::from_be_bytes(p[11..19].try_into().ok()?));
+            if p.len() < 19 + 12 * n {
+                return None;
+            }
+            into.entries.reserve(n);
+            for i in 0..n {
+                let off = 19 + 12 * i;
+                let client = HostAddr(u32::from_be_bytes(p[off..off + 4].try_into().ok()?));
+                let rp = u32::from_be_bytes(p[off + 4..off + 8].try_into().ok()?);
+                let dur = u32::from_be_bytes(p[off + 8..off + 12].try_into().ok()?);
+                into.entries.push(ScheduleEntry {
+                    client,
+                    rp_offset: SimDuration::from_us(rp as u64),
+                    duration: SimDuration::from_us(dur as u64),
+                });
+            }
+            Some(())
         }
-        let seq = u64::from_be_bytes(p[0..8].try_into().ok()?);
-        let unchanged = p[8] & 1 != 0;
-        let fixed_slots = p[8] & 2 != 0;
-        let saturated = p[8] & 4 != 0;
-        let n = u16::from_be_bytes(p[9..11].try_into().ok()?) as usize;
-        let next_srp = SimDuration::from_us(u64::from_be_bytes(p[11..19].try_into().ok()?));
-        if p.len() < 19 + 12 * n {
-            return None;
-        }
-        let mut entries = Vec::with_capacity(n);
-        for i in 0..n {
-            let off = 19 + 12 * i;
-            let client = HostAddr(u32::from_be_bytes(p[off..off + 4].try_into().ok()?));
-            let rp = u32::from_be_bytes(p[off + 4..off + 8].try_into().ok()?);
-            let dur = u32::from_be_bytes(p[off + 8..off + 12].try_into().ok()?);
-            entries.push(ScheduleEntry {
-                client,
-                rp_offset: SimDuration::from_us(rp as u64),
-                duration: SimDuration::from_us(dur as u64),
-            });
-        }
-        Some(Schedule { seq, entries, next_srp, unchanged, fixed_slots, saturated })
+        into.entries.clear();
+        parse(p, into).is_some()
     }
 }
 

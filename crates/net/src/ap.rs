@@ -15,10 +15,9 @@
 //! amounts valuable and drives the Figure 6 trade-off.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use powerburst_obs::{Counter, Recorder};
-use powerburst_sim::{SimDuration, SimTime};
+use powerburst_sim::{FastHashMap, SimDuration, SimTime};
 use rand::Rng;
 
 use crate::addr::IfaceId;
@@ -125,7 +124,7 @@ pub struct AccessPoint {
     delay: ApDelayProcess,
     /// Fixed uplink (radio→wired) forwarding latency.
     uplink_delay: SimDuration,
-    pending: HashMap<TimerToken, (IfaceId, Packet)>,
+    pending: FastHashMap<TimerToken, (IfaceId, Packet)>,
     next_token: TimerToken,
     /// FIFO guard per direction: a frame never leaves before one that
     /// entered earlier (a real AP's forwarding queue preserves order even
@@ -155,7 +154,7 @@ impl AccessPoint {
         AccessPoint {
             delay: ApDelayProcess::new(params),
             uplink_delay: SimDuration::from_us(150),
-            pending: HashMap::new(),
+            pending: FastHashMap::default(),
             next_token: 0,
             last_out: [SimTime::ZERO; 2],
             last_sent: [SimTime::ZERO; 2],
@@ -194,7 +193,7 @@ impl AccessPoint {
         let token = self.next_token;
         self.next_token += 1;
         self.pending.insert(token, (out, pkt));
-        ctx.set_timer(release.since(now), token);
+        ctx.set_timer_untracked(release.since(now), token);
     }
 }
 
@@ -266,17 +265,17 @@ mod tests {
     fn spikes_produce_positive_skew() {
         let mut p = ApDelayProcess::new(ApDelayParams::default());
         let mut rng = derive_rng(3, 3);
-        let samples: Vec<f64> = (0..20_000).map(|_| p.sample(&mut rng).as_us() as f64).collect();
+        let mut samples: Vec<f64> =
+            (0..20_000).map(|_| p.sample(&mut rng).as_us() as f64).collect();
+        // Mean and the spike fraction are order-invariant, so compute them
+        // first and then sort the vector in place for the median — no clone.
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let median = {
-            let mut s = samples.clone();
-            s.sort_by(f64::total_cmp);
-            s[s.len() / 2]
-        };
-        assert!(mean > median, "spiky tail should pull mean above median");
         // A visible — but minority — fraction of packets see large extra
         // delay (walk excursions plus the exponential spike tail).
         let spiky = samples.iter().filter(|&&d| d > 4_500.0).count() as f64 / samples.len() as f64;
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!(mean > median, "spiky tail should pull mean above median");
         assert!(spiky > 0.01 && spiky < 0.40, "spike fraction {spiky}");
     }
 

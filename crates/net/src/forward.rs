@@ -6,16 +6,20 @@
 //! learning needed: the topology never changes mid-run).
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use crate::addr::{HostAddr, IfaceId};
 use crate::node::{Ctx, Node};
 use crate::packet::Packet;
 
 /// A static destination-host → interface routing table.
+///
+/// Host addresses are small dense integers (the world hands them out
+/// sequentially), so the table is a direct-indexed vector: resolving a
+/// route on the per-packet forwarding path is one bounds-checked load, no
+/// hashing.
 #[derive(Debug, Clone, Default)]
 pub struct StaticRouter {
-    routes: HashMap<HostAddr, IfaceId>,
+    routes: Vec<Option<IfaceId>>,
     default_iface: Option<IfaceId>,
 }
 
@@ -27,7 +31,11 @@ impl StaticRouter {
 
     /// Route `host` out `iface`.
     pub fn add_route(&mut self, host: HostAddr, iface: IfaceId) -> &mut Self {
-        self.routes.insert(host, iface);
+        let idx = host.0 as usize;
+        if idx >= self.routes.len() {
+            self.routes.resize(idx + 1, None);
+        }
+        self.routes[idx] = Some(iface);
         self
     }
 
@@ -39,7 +47,7 @@ impl StaticRouter {
 
     /// Resolve the output interface for a destination.
     pub fn route(&self, host: HostAddr) -> Option<IfaceId> {
-        self.routes.get(&host).copied().or(self.default_iface)
+        self.routes.get(host.0 as usize).copied().flatten().or(self.default_iface)
     }
 }
 

@@ -30,6 +30,7 @@ pub mod link;
 pub mod medium;
 pub mod node;
 pub mod packet;
+pub mod pattern;
 pub mod shaper;
 pub mod sniffer;
 pub mod world;
@@ -42,6 +43,7 @@ pub use link::{Endpoint, Link, LinkSpec, WireOutcome};
 pub use medium::{AirtimeModel, Medium, TxOutcome};
 pub use node::{Ctx, Ev, Node, TimerToken};
 pub use packet::{Packet, Proto, TcpFlags, TcpHeader, IP_HEADER, TCP_HEADER, UDP_HEADER};
+pub use pattern::pattern_bytes;
 pub use shaper::{Pipe, PipeSpec};
 pub use sniffer::{Delivery, Sniffer, SnifferRecord};
 pub use world::{NodeConfig, NodeStats, World};

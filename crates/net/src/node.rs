@@ -12,9 +12,8 @@
 //! the same shared state between them.
 
 use std::any::Any;
-use std::collections::HashMap;
 
-use powerburst_sim::{ClockModel, EventQueue, LocalTime, SimDuration, SimTime};
+use powerburst_sim::{ClockModel, EventQueue, FastHashMap, LocalTime, SimDuration, SimTime};
 use rand::rngs::StdRng;
 
 use powerburst_energy::Wnic;
@@ -84,7 +83,7 @@ pub struct Ctx<'a> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) wnic: Option<&'a mut Wnic>,
     pub(crate) queue: &'a mut EventQueue<Ev>,
-    pub(crate) timer_index: &'a mut HashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
+    pub(crate) timer_index: &'a mut FastHashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
     pub(crate) sends: &'a mut Vec<(IfaceId, Packet)>,
     pub(crate) packet_seq: &'a mut u64,
 }
@@ -140,6 +139,16 @@ impl Ctx<'_> {
         self.timer_index.entry((self.node, token)).or_default().push(id);
     }
 
+    /// Arm a fire-and-forget timer: the event goes straight onto the queue
+    /// without a `timer_index` entry. Use for timers that are **never
+    /// cancelled** (per-frame release timers, periodic self-rearms) — it
+    /// skips one hash-map probe per arm and one per fire. `cancel_timer`
+    /// cannot see timers armed this way, and a token must not mix tracked
+    /// and untracked arms (the fire path would pop the wrong index entry).
+    pub fn set_timer_untracked(&mut self, delay: SimDuration, token: TimerToken) {
+        self.queue.push(self.now + delay, Ev::Timer { node: self.node, token });
+    }
+
     /// Arm a timer measured on this node's **local** clock; the engine
     /// converts through the clock's drift model, so a fast clock fires
     /// early in true time.
@@ -148,14 +157,39 @@ impl Ctx<'_> {
         self.set_timer(true_delay, token);
     }
 
+    /// Keep exactly one timer pending for `token`, firing at `deadline`
+    /// (true time). Equivalent to `cancel_timer` + `set_timer`, but when
+    /// the single pending timer already fires at `deadline` — the common
+    /// case for retransmission timers re-armed after every interaction —
+    /// it is left in place, skipping both heap operations.
+    pub fn rearm_timer_at(&mut self, deadline: SimTime, token: TimerToken) {
+        if let Some(ids) = self.timer_index.get_mut(&(self.node, token)) {
+            if let [id] = ids[..] {
+                if self.queue.time_of(id) == Some(deadline) {
+                    return;
+                }
+            }
+            for id in ids.drain(..) {
+                self.queue.cancel(id);
+            }
+            let id = self.queue.push(deadline, Ev::Timer { node: self.node, token });
+            ids.push(id);
+            return;
+        }
+        let id = self.queue.push(deadline, Ev::Timer { node: self.node, token });
+        self.timer_index.entry((self.node, token)).or_default().push(id);
+    }
+
     /// Cancel **all** pending timers armed with `token` on this node.
     /// Returns how many were cancelled.
     pub fn cancel_timer(&mut self, token: TimerToken) -> usize {
-        let Some(ids) = self.timer_index.remove(&(self.node, token)) else {
+        // Drain in place rather than removing the entry, so the Vec's
+        // capacity is reused by the next set_timer on this key.
+        let Some(ids) = self.timer_index.get_mut(&(self.node, token)) else {
             return 0;
         };
         let mut n = 0;
-        for id in ids {
+        for id in ids.drain(..) {
             if self.queue.cancel(id) {
                 n += 1;
             }

@@ -7,9 +7,8 @@
 //! delay, and an i.i.d. Bernoulli dropper.
 
 use std::any::Any;
-use std::collections::HashMap;
 
-use powerburst_sim::{SimDuration, SimTime};
+use powerburst_sim::{FastHashMap, SimDuration, SimTime};
 use rand::Rng;
 
 use crate::addr::IfaceId;
@@ -53,7 +52,7 @@ impl PipeSpec {
 pub struct Pipe {
     spec: PipeSpec,
     busy_until: [SimTime; 2],
-    pending: HashMap<TimerToken, (IfaceId, Packet)>,
+    pending: FastHashMap<TimerToken, (IfaceId, Packet)>,
     next_token: TimerToken,
     /// Packets randomly dropped.
     pub random_drops: u64,
@@ -70,7 +69,7 @@ impl Pipe {
         Pipe {
             spec,
             busy_until: [SimTime::ZERO; 2],
-            pending: HashMap::new(),
+            pending: FastHashMap::default(),
             next_token: 0,
             random_drops: 0,
             overflow_drops: 0,
@@ -105,7 +104,7 @@ impl Node for Pipe {
         self.next_token += 1;
         self.pending.insert(token, (out, pkt));
         self.forwarded += 1;
-        ctx.set_timer(deliver_in, token);
+        ctx.set_timer_untracked(deliver_in, token);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {

@@ -7,11 +7,9 @@
 //! deterministic: one master seed derives every per-node and per-medium RNG
 //! stream, and all event ties break by insertion order.
 
-use std::collections::HashMap;
-
 use powerburst_obs::{Counter, Recorder};
 use powerburst_sim::rng::streams;
-use powerburst_sim::{derive_rng, ClockModel, EventQueue, SimDuration, SimTime};
+use powerburst_sim::{derive_rng, ClockModel, EventQueue, FastHashMap, SimDuration, SimTime};
 use rand::rngs::StdRng;
 
 use powerburst_energy::{CardSpec, EnergyReport, Wnic};
@@ -128,9 +126,11 @@ pub struct World {
     /// Node that bridges the radio to the wired side (the access point).
     infrastructure: Option<NodeId>,
     sniffer: Sniffer,
-    timer_index: HashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
+    timer_index: FastHashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
     packet_seq: u64,
     send_buf: Vec<(IfaceId, Packet)>,
+    /// Reused buffer for same-timestamp event batches in `run_until`.
+    batch_buf: Vec<Ev>,
     /// Observability handle shared with node radios; disabled by default.
     obs: Recorder,
     /// Events dispatched by the loop so far (always counted — it feeds the
@@ -154,9 +154,10 @@ impl World {
             faults: None,
             infrastructure: None,
             sniffer: Sniffer::new(),
-            timer_index: HashMap::new(),
+            timer_index: FastHashMap::default(),
             packet_seq: 0,
             send_buf: Vec::new(),
+            batch_buf: Vec::new(),
             obs: Recorder::disabled(),
             events_processed: 0,
         }
@@ -270,6 +271,8 @@ impl World {
         // `send_buf` is empty between dispatches, so this is an absolute
         // capacity floor for one handler's burst of sends.
         self.send_buf.reserve(32);
+        // A same-timestamp batch is at most one burst fan-out wide.
+        self.batch_buf.reserve(64);
     }
 
     /// The host address a node owns.
@@ -328,17 +331,28 @@ impl World {
                 self.with_node(NodeId(i as u32), |n, ctx| n.on_start(ctx));
             }
         }
+        // Batched dispatch: drain every event sharing the next timestamp in
+        // one pass over the heap, then run the batch from a reused buffer.
+        // Same-time events pushed *during* the batch always carry higher
+        // sequence numbers than anything drained, so they form the next
+        // batch at the same timestamp and overall dispatch order is
+        // byte-identical to popping one event at a time.
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        debug_assert!(batch.is_empty());
         loop {
             match self.queue.peek_time() {
                 Some(ev_t) if ev_t <= t => {
-                    let (ev_t, ev) = self.queue.pop().expect("invariant: peek_time saw an event");
                     debug_assert!(ev_t >= self.now, "event from the past");
                     self.now = ev_t;
-                    self.dispatch(ev);
+                    self.queue.pop_batch_at(ev_t, &mut batch);
+                    for ev in batch.drain(..) {
+                        self.dispatch(ev);
+                    }
                 }
                 _ => break,
             }
         }
+        self.batch_buf = batch;
         self.now = t;
     }
 
@@ -347,13 +361,13 @@ impl World {
         self.obs.incr(Counter::WorldEvents);
         match ev {
             Ev::Timer { node, token } => {
-                // Keep the cancellation index from growing without bound.
+                // Pop this firing's handle but keep the (emptied) entry:
+                // the key space is bounded by distinct (node, token) pairs,
+                // and keeping the Vec lets the next set_timer on the same
+                // key reuse its capacity instead of reallocating.
                 if let Some(ids) = self.timer_index.get_mut(&(node, token)) {
                     if !ids.is_empty() {
                         ids.remove(0);
-                    }
-                    if ids.is_empty() {
-                        self.timer_index.remove(&(node, token));
                     }
                 }
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
@@ -610,7 +624,6 @@ mod tests {
     use super::*;
     use crate::addr::SockAddr;
     use crate::node::{Ctx, Node};
-    use bytes::Bytes;
     use std::any::Any;
 
     /// Sends one UDP packet to a peer at start, counts what it receives.
@@ -627,7 +640,7 @@ mod tests {
                 let id = ctx.alloc_packet_id();
                 ctx.send(
                     IfaceId(0),
-                    Packet::udp(id, self.me, self.peer, Bytes::from(vec![0u8; 100])),
+                    Packet::udp(id, self.me, self.peer, crate::pattern::pattern_bytes(0, 100)),
                 );
             }
         }

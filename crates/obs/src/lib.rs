@@ -34,6 +34,8 @@ pub mod report;
 
 pub use events::{EventKind, ObsEvent};
 pub use metrics::{Counter, Gauge, Hist, BUCKET_BOUNDS};
-pub use profile::{delta_lines, parse_stage_rates, BenchJob, BenchReport, BenchStage, Stopwatch};
+pub use profile::{
+    delta_lines, parse_stage_rates, regressions, BenchJob, BenchReport, BenchStage, Stopwatch,
+};
 pub use recorder::{Recorder, RecorderConfig};
 pub use report::{HistSnapshot, ObsReport};

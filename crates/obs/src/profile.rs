@@ -131,6 +131,56 @@ impl BenchReport {
         s.push_str("]}");
         s
     }
+
+    /// Fold another measurement of the same suite into this report,
+    /// keeping whichever run of each stage was faster (stage-wise minimum
+    /// wall time — the least-noise estimator on a shared runner). Stages
+    /// present only in `other` are appended. The simulator is
+    /// deterministic, so repeats of one stage must agree on `sim_events`;
+    /// a mismatch means the reports are from different suites and that
+    /// stage is left untouched.
+    pub fn keep_best(&mut self, other: BenchReport) {
+        for st in other.stages {
+            match self.stages.iter_mut().find(|s| s.name == st.name) {
+                Some(mine) if mine.sim_events == st.sim_events => {
+                    if st.wall_s < mine.wall_s {
+                        *mine = st;
+                    }
+                }
+                Some(_) => {}
+                None => self.stages.push(st),
+            }
+        }
+    }
+}
+
+/// Stages of `current` that regressed more than `threshold_pct` percent
+/// below `baseline` (both from [`parse_stage_rates`]), one formatted line
+/// per offender. Empty when everything is within the threshold — the
+/// gating form of [`delta_lines`].
+pub fn regressions(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    threshold_pct: f64,
+) -> Vec<String> {
+    current
+        .iter()
+        .filter_map(|(name, rate)| {
+            let base = baseline.iter().find(|(b, _)| b == name).map(|(_, r)| *r)?;
+            if base <= 0.0 {
+                return None;
+            }
+            let pct = (rate - base) / base * 100.0;
+            if pct < -threshold_pct {
+                Some(format!(
+                    "{name:<18} {rate:>12.0} events/s  vs baseline {base:>12.0}  \
+                     ({pct:+.1}% < -{threshold_pct:.1}%)"
+                ))
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
 /// Extract `(stage name, events_per_sec)` pairs from a rendered
@@ -248,6 +298,42 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("+50.0%"), "line: {}", lines[0]);
         assert!(lines[1].contains("no baseline stage"), "line: {}", lines[1]);
+    }
+
+    #[test]
+    fn regressions_gate_only_past_threshold() {
+        let base = vec![("video".to_string(), 1_000.0), ("web".to_string(), 1_000.0)];
+        // -4% survives a 5% threshold, -20% does not; unknown stages pass.
+        let cur = vec![
+            ("video".to_string(), 960.0),
+            ("web".to_string(), 800.0),
+            ("new".to_string(), 1.0),
+        ];
+        let offenders = regressions(&cur, &base, 5.0);
+        assert_eq!(offenders.len(), 1, "offenders: {offenders:?}");
+        assert!(offenders[0].contains("web"), "line: {}", offenders[0]);
+        assert!(regressions(&cur, &base, 25.0).is_empty());
+    }
+
+    fn stage(name: &str, wall_s: f64, sim_events: u64) -> BenchStage {
+        BenchStage { name: name.into(), wall_s, threads: 1, sim_events, jobs: Vec::new() }
+    }
+
+    #[test]
+    fn keep_best_takes_stagewise_minimum() {
+        let mut a = BenchReport::new("pr6");
+        a.stages.push(stage("video", 2.0, 1_000));
+        a.stages.push(stage("web", 1.0, 500));
+        let mut b = BenchReport::new("pr6");
+        b.stages.push(stage("video", 1.5, 1_000)); // faster: adopted
+        b.stages.push(stage("web", 3.0, 500)); // slower: ignored
+        b.stages.push(stage("mix", 1.0, 200)); // new: appended
+        b.stages.push(stage("video", 0.1, 999)); // event mismatch: ignored
+        a.keep_best(b);
+        assert_eq!(a.stages.len(), 3);
+        assert!((a.stages[0].wall_s - 1.5).abs() < 1e-9);
+        assert!((a.stages[1].wall_s - 1.0).abs() < 1e-9);
+        assert_eq!(a.stages[2].name, "mix");
     }
 
     #[test]

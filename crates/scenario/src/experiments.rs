@@ -1305,7 +1305,7 @@ pub fn run_all(opt: &ExpOptions) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Perf profiling — the BENCH_pr5.json report.
+// Perf profiling — the BENCH_pr6.json report.
 // ---------------------------------------------------------------------------
 
 /// The named single-run throughput scenarios of the bench suite. Each
@@ -1405,7 +1405,7 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
         jobs,
     };
 
-    let mut report = BenchReport::new("pr5");
+    let mut report = BenchReport::new("pr6");
     report.stages.push(sweep_stage);
 
     // Per-scenario throughput: one single-threaded run per named scenario.

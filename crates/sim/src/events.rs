@@ -22,9 +22,14 @@
 //! * the heap never holds dead entries, so its minimum is always live and
 //!   [`EventQueue::peek_time`] stays a pure `&self` read.
 //!
-//! The 4-ary layout halves the tree height versus binary and keeps the
-//! hot sift-down loop within one cache line of child indices — the same
-//! trade NS-3-style simulators make for their pending-event sets.
+//! Heap entries carry their `(time, seq)` sort key **inline** next to the
+//! slot index, so the sift loops — the hottest code in the whole simulator —
+//! compare against contiguous heap memory and never chase a pointer into
+//! the slab; the slab is touched once per moved entry, to update its
+//! position backlink. The 4-ary layout halves the tree height versus binary
+//! and keeps the hot sift-down loop within one cache line of child
+//! indices — the same trade NS-3-style simulators make for their
+//! pending-event sets.
 //!
 //! ## Handle safety
 //!
@@ -76,8 +81,6 @@ struct Slot<T> {
 
 enum SlotState<T> {
     Occupied {
-        time: SimTime,
-        seq: u64,
         /// Index of this slot's entry in `EventQueue::heap`; maintained by
         /// every sift swap.
         pos: u32,
@@ -88,12 +91,27 @@ enum SlotState<T> {
     },
 }
 
+/// One heap entry: the `(time, seq)` sort key inline plus the owning slot.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl HeapEntry {
+    #[inline]
+    fn key(self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
 /// A deterministic min-priority queue of timed events.
 pub struct EventQueue<T> {
     /// Slot storage; indices are stable for an event's lifetime.
     slots: Vec<Slot<T>>,
-    /// 4-ary min-heap of slot indices, ordered by the slots' `(time, seq)`.
-    heap: Vec<u32>,
+    /// 4-ary min-heap ordered by the entries' inline `(time, seq)` keys.
+    heap: Vec<HeapEntry>,
     /// Head of the free-slot list (`NIL` when every slot is live).
     free_head: u32,
     next_seq: u64,
@@ -128,19 +146,9 @@ impl<T> EventQueue<T> {
         self.heap.reserve(additional);
     }
 
-    /// The `(time, seq)` sort key of a live slot.
+    /// Record in the slab that `slot`'s heap entry now lives at `pos`.
     #[inline]
-    fn key(&self, slot: u32) -> (SimTime, u64) {
-        match self.slots[slot as usize].state {
-            SlotState::Occupied { time, seq, .. } => (time, seq),
-            SlotState::Free { .. } => unreachable!("heap entries are always occupied"),
-        }
-    }
-
-    /// Record that the entry at heap position `pos` now lives there.
-    #[inline]
-    fn set_pos(&mut self, pos: usize) {
-        let slot = self.heap[pos];
+    fn set_pos(&mut self, slot: u32, pos: usize) {
         match &mut self.slots[slot as usize].state {
             SlotState::Occupied { pos: p, .. } => *p = pos as u32,
             SlotState::Free { .. } => unreachable!("heap entries are always occupied"),
@@ -150,17 +158,20 @@ impl<T> EventQueue<T> {
     /// Move the entry at `pos` toward the root until its parent is
     /// smaller. Returns the final position.
     fn sift_up(&mut self, mut pos: usize) -> usize {
-        let key = self.key(self.heap[pos]);
+        let entry = self.heap[pos];
+        let key = entry.key();
         while pos > 0 {
             let parent = (pos - 1) / 4;
-            if self.key(self.heap[parent]) <= key {
+            let p = self.heap[parent];
+            if p.key() <= key {
                 break;
             }
-            self.heap.swap(pos, parent);
-            self.set_pos(pos);
+            self.heap[pos] = p;
+            self.set_pos(p.slot, pos);
             pos = parent;
         }
-        self.set_pos(pos);
+        self.heap[pos] = entry;
+        self.set_pos(entry.slot, pos);
         pos
     }
 
@@ -168,7 +179,8 @@ impl<T> EventQueue<T> {
     /// smaller.
     fn sift_down(&mut self, mut pos: usize) {
         let len = self.heap.len();
-        let key = self.key(self.heap[pos]);
+        let entry = self.heap[pos];
+        let key = entry.key();
         loop {
             let first_child = 4 * pos + 1;
             if first_child >= len {
@@ -176,10 +188,10 @@ impl<T> EventQueue<T> {
             }
             // Smallest of up to four children.
             let mut best = first_child;
-            let mut best_key = self.key(self.heap[first_child]);
+            let mut best_key = self.heap[first_child].key();
             let last_child = (first_child + 3).min(len - 1);
             for c in first_child + 1..=last_child {
-                let k = self.key(self.heap[c]);
+                let k = self.heap[c].key();
                 if k < best_key {
                     best = c;
                     best_key = k;
@@ -188,11 +200,13 @@ impl<T> EventQueue<T> {
             if key <= best_key {
                 break;
             }
-            self.heap.swap(pos, best);
-            self.set_pos(pos);
+            let b = self.heap[best];
+            self.heap[pos] = b;
+            self.set_pos(b.slot, pos);
             pos = best;
         }
-        self.set_pos(pos);
+        self.heap[pos] = entry;
+        self.set_pos(entry.slot, pos);
     }
 
     /// Detach heap position `pos`: swap with the last leaf, shrink, and
@@ -200,10 +214,16 @@ impl<T> EventQueue<T> {
     fn remove_at(&mut self, pos: usize) {
         self.heap.swap_remove(pos);
         if pos < self.heap.len() {
-            // The displaced leaf can need to move either direction.
-            let settled = self.sift_up(pos);
-            if settled == pos {
-                self.sift_down(pos);
+            if pos == 0 {
+                // Root removal (every pop): the displaced leaf can only
+                // move down.
+                self.sift_down(0);
+            } else {
+                // The displaced leaf can need to move either direction.
+                let settled = self.sift_up(pos);
+                if settled == pos {
+                    self.sift_down(pos);
+                }
             }
         }
     }
@@ -221,7 +241,7 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let pos = self.heap.len() as u32;
-        let state = SlotState::Occupied { time, seq, pos, item };
+        let state = SlotState::Occupied { pos, item };
         let slot = if self.free_head != NIL {
             let slot = self.free_head;
             let s = &mut self.slots[slot as usize];
@@ -237,7 +257,7 @@ impl<T> EventQueue<T> {
             self.slots.push(Slot { generation: 0, state });
             slot
         };
-        self.heap.push(slot);
+        self.heap.push(HeapEntry { time, seq, slot });
         self.sift_up(pos as usize);
         EventId::new(slot, self.slots[slot as usize].generation)
     }
@@ -263,15 +283,45 @@ impl<T> EventQueue<T> {
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        let &slot = self.heap.first()?;
+        let &HeapEntry { time, slot, .. } = self.heap.first()?;
         self.remove_at(0);
         let s = &mut self.slots[slot as usize];
         s.generation = s.generation.wrapping_add(1);
         let state = std::mem::replace(&mut s.state, SlotState::Free { next: self.free_head });
         self.free_head = slot;
         match state {
-            SlotState::Occupied { time, item, .. } => Some((time, item)),
+            SlotState::Occupied { item, .. } => Some((time, item)),
             SlotState::Free { .. } => unreachable!("heap entries are always occupied"),
+        }
+    }
+
+    /// Drain every event scheduled exactly at `time` into `out`, in pop
+    /// order, and return how many were drained. `out` is appended to, not
+    /// cleared, so callers can reuse one buffer across the whole run.
+    ///
+    /// Because the `(time, seq)` key order is total and new same-time
+    /// pushes always receive higher sequence numbers, draining a batch and
+    /// then dispatching it yields byte-for-byte the same order as popping
+    /// one event at a time.
+    pub fn pop_batch_at(&mut self, time: SimTime, out: &mut Vec<T>) -> usize {
+        let before = out.len();
+        while self.peek_time() == Some(time) {
+            let (_, item) = self.pop().expect("invariant: peek_time saw an event");
+            out.push(item);
+        }
+        out.len() - before
+    }
+
+    /// The scheduled time of a still-pending event. Stale or foreign
+    /// handles (popped, cancelled, cleared) return `None`.
+    pub fn time_of(&self, id: EventId) -> Option<SimTime> {
+        let s = self.slots.get(id.slot() as usize)?;
+        if s.generation != id.generation() {
+            return None;
+        }
+        match s.state {
+            SlotState::Occupied { pos, .. } => Some(self.heap[pos as usize].time),
+            SlotState::Free { .. } => None,
         }
     }
 
@@ -280,7 +330,7 @@ impl<T> EventQueue<T> {
     /// A pure read: the heap holds no cancelled entries, so its minimum is
     /// always live.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|&slot| self.key(slot).0)
+        self.heap.first().map(|e| e.time)
     }
 
     /// Number of live (non-cancelled) events.
@@ -296,8 +346,8 @@ impl<T> EventQueue<T> {
     /// Drop all pending events. Outstanding handles are invalidated:
     /// cancelling one afterwards returns `false`.
     pub fn clear(&mut self) {
-        while let Some(slot) = self.heap.pop() {
-            self.free_slot(slot);
+        while let Some(e) = self.heap.pop() {
+            self.free_slot(e.slot);
         }
     }
 }
@@ -437,6 +487,23 @@ mod tests {
         expect.sort_unstable();
         let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_one_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(1), "a");
+        q.push(SimTime::from_ms(1), "b");
+        q.push(SimTime::from_ms(2), "c");
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch_at(SimTime::from_ms(1), &mut buf), 2);
+        assert_eq!(buf, vec!["a", "b"]);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(2)));
+        // Appends without clearing, and an absent timestamp drains nothing.
+        assert_eq!(q.pop_batch_at(SimTime::from_ms(9), &mut buf), 0);
+        assert_eq!(q.pop_batch_at(SimTime::from_ms(2), &mut buf), 1);
+        assert_eq!(buf, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Fast, deterministic hashing for simulation-path maps.
+//!
+//! The simulator's hot maps (timer indices, client/splice lookups, per-token
+//! pending tables) are keyed by small integers and address tuples, and they
+//! are probed on nearly every event. `std`'s default SipHash spends more
+//! cycles per probe than the rest of the lookup combined, and its per-process
+//! random seed means identical runs place entries differently — harmless
+//! only because the sim-purity lint already forbids iterating these maps.
+//!
+//! [`FastHasher`] is an FxHash-style multiply-rotate mix: one multiply per
+//! word of key, fully deterministic across runs and platforms. It is **not**
+//! DoS-resistant, which is fine here — keys come from the simulation itself,
+//! never from untrusted input.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// Odd multiplier from splitmix64's finalizer; spreads low-entropy integer
+/// keys across the full word.
+const K: u64 = 0xff51_afd7_ed55_8ccd;
+
+/// An FxHash-style streaming hasher: `state = (state.rotl(5) ^ word) * K`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" differ.
+            self.mix(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FastHasher`]; zero-sized, no per-map seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHashBuilder;
+
+impl BuildHasher for FastHashBuilder {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+/// A `HashMap` using [`FastHasher`]. Construct with `FastHashMap::default()`.
+pub type FastHashMap<K, V> = HashMap<K, V, FastHashBuilder>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&(3u32, 7u64)), hash_of(&(3u32, 7u64)));
+        assert_ne!(hash_of(&(3u32, 7u64)), hash_of(&(7u32, 3u64)));
+    }
+
+    #[test]
+    fn small_integer_keys_spread() {
+        // Sequential keys must not collide in the low bits the table uses.
+        let mut low_bits: Vec<u64> = (0u64..64).map(|i| hash_of(&i) & 0x3f).collect();
+        low_bits.sort_unstable();
+        low_bits.dedup();
+        assert!(low_bits.len() > 32, "only {} distinct low-6-bit values", low_bits.len());
+    }
+
+    #[test]
+    fn byte_slices_fold_length() {
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FastHashMap<(u32, u64), usize> = FastHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, (i as u64) << 32), i as usize);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&(i, (i as u64) << 32)), Some(&(i as usize)));
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod clock;
 pub mod events;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
@@ -36,6 +37,7 @@ pub mod time;
 
 pub use clock::{ClockModel, LocalTime};
 pub use events::{EventId, EventQueue};
+pub use hash::{FastHashBuilder, FastHashMap};
 pub use rng::derive_rng;
 pub use stats::{LinearFit, Summary};
 pub use sweep::{default_threads, parallel_sweep, parallel_sweep_timed, SweepTiming};

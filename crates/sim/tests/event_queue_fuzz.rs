@@ -81,6 +81,8 @@ fn differential_run(seed: u64, ops: usize) {
     let mut handles: Vec<(EventId, usize)> = Vec::new();
     let mut value = 0u32;
 
+    let mut batch: Vec<u32> = Vec::new();
+
     for step in 0..ops {
         match rng.random_range(0..100u32) {
             // Weighted toward push/pop so the queues stay populated.
@@ -91,10 +93,22 @@ fn differential_run(seed: u64, ops: usize) {
                 let h = model.push(t, value);
                 handles.push((id, h));
             }
-            45..=74 => {
+            45..=64 => {
                 let got = dut.pop();
                 let want = model.pop();
                 assert_eq!(got, want, "seed {seed} step {step}: pop mismatch");
+            }
+            65..=74 => {
+                // Batched drain of the head timestamp: must equal popping
+                // one at a time from the model while its head time matches.
+                let head = dut.peek_time();
+                dut.pop_batch_at(head.unwrap_or(SimTime::ZERO), &mut batch);
+                let mut want: Vec<u32> = Vec::new();
+                while model.peek_time().is_some() && model.peek_time() == head {
+                    want.push(model.pop().expect("model head exists").1);
+                }
+                assert_eq!(batch, want, "seed {seed} step {step}: pop_batch_at mismatch");
+                batch.clear();
             }
             75..=97 => {
                 if !handles.is_empty() {

@@ -39,13 +39,14 @@ pub trait App: Any {
 /// Drain a TCP endpoint's wire output and (re)arm its retransmission timer
 /// under `token`. Call after every interaction with the endpoint.
 pub fn drive_endpoint(ctx: &mut Ctx<'_>, iface: IfaceId, ep: &mut TcpEndpoint, token: TimerToken) {
-    for pkt in ep.take_packets() {
+    for pkt in ep.packets_mut().drain(..) {
         ctx.send_assigning(iface, pkt);
     }
-    ctx.cancel_timer(token);
-    if let Some(deadline) = ep.next_deadline() {
-        let delay = deadline.since(ctx.now());
-        ctx.set_timer(delay, token);
+    match ep.next_deadline() {
+        Some(deadline) => ctx.rearm_timer_at(deadline, token),
+        None => {
+            ctx.cancel_timer(token);
+        }
     }
 }
 

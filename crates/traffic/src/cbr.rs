@@ -113,8 +113,9 @@ impl App for CountingSink {
 }
 
 /// Convenience: a payload of exactly `total` bytes (header included).
+/// A refcount-only view into a shared `0x5A` pattern template.
 pub fn filler(total: usize) -> Bytes {
-    Bytes::from(vec![0x5A; total])
+    powerburst_net::pattern_bytes(0x5A, total)
 }
 
 #[cfg(test)]

@@ -16,10 +16,9 @@
 //! object).
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use bytes::{BufMut, Bytes, BytesMut};
-use powerburst_sim::{SimDuration, SimTime};
+use powerburst_sim::{FastHashMap, SimDuration, SimTime};
 use rand::Rng;
 
 use powerburst_net::{Ctx, IfaceId, Node, Packet, Proto, SockAddr, TcpFlags, TimerToken};
@@ -48,7 +47,7 @@ pub struct ByteServer {
     addr: SockAddr,
     tcp: TcpConfig,
     conns: Vec<ServerConn>,
-    by_remote: HashMap<SockAddr, usize>,
+    by_remote: FastHashMap<SockAddr, usize>,
     /// Total payload bytes served.
     pub bytes_served: u64,
     /// Connections accepted.
@@ -62,7 +61,7 @@ impl ByteServer {
             addr,
             tcp,
             conns: Vec::new(),
-            by_remote: HashMap::new(),
+            by_remote: FastHashMap::default(),
             bytes_served: 0,
             accepted: 0,
         }
@@ -89,21 +88,24 @@ impl ByteServer {
     fn service(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
         let now = ctx.now();
         let conn = &mut self.conns[idx];
-        for chunk in conn.ep.take_delivered() {
+        for chunk in conn.ep.delivered_mut().drain(..) {
             conn.reqbuf.extend_from_slice(&chunk);
         }
-        // Serve every complete 8-byte request.
+        // Serve every complete 8-byte request. Response bodies are
+        // refcount-only views into the shared 0x42 pattern template.
         while conn.reqbuf.len() >= 8 {
             let size = u64::from_be_bytes(conn.reqbuf[..8].try_into().expect("8"));
             conn.reqbuf.drain(..8);
             self.bytes_served += size;
-            conn.ep.send(now, Bytes::from(vec![0x42u8; size as usize]));
+            conn.ep.send(now, powerburst_net::pattern_bytes(0x42, size as usize));
         }
-        for ev in conn.ep.take_events() {
-            if ev == TcpEvent::RemoteFin && !conn.closing {
-                conn.closing = true;
-                conn.ep.close(now);
-            }
+        let mut remote_fin = false;
+        for ev in conn.ep.events_mut().drain(..) {
+            remote_fin |= ev == TcpEvent::RemoteFin;
+        }
+        if remote_fin && !conn.closing {
+            conn.closing = true;
+            conn.ep.close(now);
         }
         drive_endpoint(ctx, SERVER_IFACE, &mut conn.ep, idx as TimerToken);
     }
@@ -327,13 +329,12 @@ impl WebClientApp {
         let mut finished_obj = false;
         {
             let conn = &mut self.conns[i];
-            for ev in conn.ep.take_events() {
+            for ev in conn.ep.events_mut().drain(..) {
                 if ev == TcpEvent::Connected {
                     conn.connected = true;
                 }
             }
-            let delivered = conn.ep.take_delivered();
-            for chunk in delivered {
+            for chunk in conn.ep.delivered_mut().drain(..) {
                 self.stats.bytes_received += chunk.len() as u64;
                 if let Some((size, got, t0)) = conn.current.as_mut() {
                     *got += chunk.len() as u64;

@@ -28,20 +28,31 @@ impl Reassembly {
         self.held.values().map(|b| b.len() as u64).sum()
     }
 
-    /// Offer a segment at `offset`; returns any newly in-order data.
-    /// Duplicate and overlapping data is trimmed.
-    pub fn insert(&mut self, offset: u64, data: Bytes) -> Vec<Bytes> {
+    /// Offer a segment at `offset`; any newly in-order data is appended to
+    /// `out` (the caller's reusable buffer) and the number of released
+    /// bytes is returned. Duplicate and overlapping data is trimmed.
+    pub fn insert(&mut self, offset: u64, data: Bytes, out: &mut Vec<Bytes>) -> u64 {
         if data.is_empty() {
-            return Vec::new();
+            return 0;
         }
         let end = offset + data.len() as u64;
         if end <= self.next {
-            return Vec::new(); // complete duplicate
+            return 0; // complete duplicate
         }
         // Trim any prefix we already have.
         let data =
             if offset < self.next { data.slice((self.next - offset) as usize..) } else { data };
         let offset = offset.max(self.next);
+
+        // In-order fast path (the overwhelmingly common case): nothing is
+        // parked and the segment starts at the ACK point, so it releases
+        // immediately without touching the map.
+        if offset == self.next && self.held.is_empty() {
+            let n = data.len() as u64;
+            self.next = end;
+            out.push(data);
+            return n;
+        }
 
         // Park it unless an existing segment fully covers it.
         match self.held.range(..=offset).next_back() {
@@ -52,7 +63,7 @@ impl Reassembly {
         }
 
         // Release everything now contiguous.
-        let mut out = Vec::new();
+        let mut released = 0;
         while let Some((&o, _)) = self.held.first_key_value() {
             if o > self.next {
                 break;
@@ -64,9 +75,10 @@ impl Reassembly {
             }
             let fresh = if o < self.next { d.slice((self.next - o) as usize..) } else { d };
             self.next += fresh.len() as u64;
+            released += fresh.len() as u64;
             out.push(fresh);
         }
-        out
+        released
     }
 }
 
@@ -78,24 +90,28 @@ mod tests {
         Bytes::copy_from_slice(s.as_bytes())
     }
 
-    fn drain(v: Vec<Bytes>) -> String {
-        v.iter().map(|x| std::str::from_utf8(x).unwrap().to_string()).collect::<Vec<_>>().join("")
+    /// Feed one segment and return what it released as a string.
+    fn feed(r: &mut Reassembly, offset: u64, data: Bytes) -> String {
+        let mut out = Vec::new();
+        let released = r.insert(offset, data, &mut out);
+        assert_eq!(released, out.iter().map(|x| x.len() as u64).sum::<u64>());
+        out.iter().map(|x| std::str::from_utf8(x).unwrap().to_string()).collect::<Vec<_>>().join("")
     }
 
     #[test]
     fn in_order_passthrough() {
         let mut r = Reassembly::new();
-        assert_eq!(drain(r.insert(0, b("ab"))), "ab");
-        assert_eq!(drain(r.insert(2, b("cd"))), "cd");
+        assert_eq!(feed(&mut r, 0, b("ab")), "ab");
+        assert_eq!(feed(&mut r, 2, b("cd")), "cd");
         assert_eq!(r.next_expected(), 4);
     }
 
     #[test]
     fn out_of_order_held_then_released() {
         let mut r = Reassembly::new();
-        assert_eq!(drain(r.insert(2, b("cd"))), "");
+        assert_eq!(feed(&mut r, 2, b("cd")), "");
         assert_eq!(r.held_bytes(), 2);
-        assert_eq!(drain(r.insert(0, b("ab"))), "abcd");
+        assert_eq!(feed(&mut r, 0, b("ab")), "abcd");
         assert_eq!(r.held_bytes(), 0);
         assert_eq!(r.next_expected(), 4);
     }
@@ -103,42 +119,54 @@ mod tests {
     #[test]
     fn duplicates_ignored() {
         let mut r = Reassembly::new();
-        r.insert(0, b("abcd"));
-        assert_eq!(drain(r.insert(0, b("abcd"))), "");
-        assert_eq!(drain(r.insert(2, b("cd"))), "");
+        feed(&mut r, 0, b("abcd"));
+        assert_eq!(feed(&mut r, 0, b("abcd")), "");
+        assert_eq!(feed(&mut r, 2, b("cd")), "");
         assert_eq!(r.next_expected(), 4);
     }
 
     #[test]
     fn overlap_trimmed() {
         let mut r = Reassembly::new();
-        r.insert(0, b("abc"));
+        feed(&mut r, 0, b("abc"));
         // "bcde" overlaps the first three bytes.
-        assert_eq!(drain(r.insert(1, b("bcde"))), "de");
+        assert_eq!(feed(&mut r, 1, b("bcde")), "de");
         assert_eq!(r.next_expected(), 5);
     }
 
     #[test]
     fn multiple_gaps_fill_in_any_order() {
         let mut r = Reassembly::new();
-        assert_eq!(drain(r.insert(4, b("e"))), "");
-        assert_eq!(drain(r.insert(2, b("c"))), "");
-        assert_eq!(drain(r.insert(3, b("d"))), "");
-        assert_eq!(drain(r.insert(0, b("ab"))), "abcde");
+        assert_eq!(feed(&mut r, 4, b("e")), "");
+        assert_eq!(feed(&mut r, 2, b("c")), "");
+        assert_eq!(feed(&mut r, 3, b("d")), "");
+        assert_eq!(feed(&mut r, 0, b("ab")), "abcde");
     }
 
     #[test]
     fn empty_segment_is_noop() {
         let mut r = Reassembly::new();
-        assert!(r.insert(0, Bytes::new()).is_empty());
+        let mut out = Vec::new();
+        assert_eq!(r.insert(0, Bytes::new(), &mut out), 0);
+        assert!(out.is_empty());
         assert_eq!(r.next_expected(), 0);
     }
 
     #[test]
     fn covered_segment_not_reparked() {
         let mut r = Reassembly::new();
-        r.insert(10, b("0123456789"));
-        r.insert(12, b("23")); // fully covered
+        feed(&mut r, 10, b("0123456789"));
+        feed(&mut r, 12, b("23")); // fully covered
         assert_eq!(r.held_bytes(), 10);
+    }
+
+    #[test]
+    fn output_buffer_is_appended_not_cleared() {
+        let mut r = Reassembly::new();
+        let mut out = Vec::new();
+        r.insert(0, b("ab"), &mut out);
+        r.insert(2, b("cd"), &mut out);
+        let s: String = out.iter().map(|x| std::str::from_utf8(x).unwrap().to_string()).collect();
+        assert_eq!(s, "abcd");
     }
 }

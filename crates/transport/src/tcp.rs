@@ -279,6 +279,25 @@ impl TcpEndpoint {
         std::mem::take(&mut self.events)
     }
 
+    // In-place counterparts of the `take_*` drains: hot callers iterate
+    // `.drain(..)` on these so the endpoint's buffers keep their capacity
+    // instead of being replaced by fresh Vecs every interaction.
+
+    /// Outbound packet buffer, for in-place draining.
+    pub fn packets_mut(&mut self) -> &mut Vec<Packet> {
+        &mut self.out
+    }
+
+    /// In-order delivered-data buffer, for in-place draining.
+    pub fn delivered_mut(&mut self) -> &mut Vec<Bytes> {
+        &mut self.delivered
+    }
+
+    /// Lifecycle-event buffer, for in-place draining.
+    pub fn events_mut(&mut self) -> &mut Vec<TcpEvent> {
+        &mut self.events
+    }
+
     /// When the node should call [`TcpEndpoint::on_tick`].
     pub fn next_deadline(&self) -> Option<SimTime> {
         match (self.rto_deadline, self.delack_deadline) {
@@ -398,17 +417,14 @@ impl TcpEndpoint {
         // ---- payload ----
         if !pkt.payload.is_empty() {
             let offset = h.seq.saturating_sub(1); // SYN occupies wire seq 0
-            let before = self.reasm.next_expected();
-            let ready = self.reasm.insert(offset, pkt.payload.clone());
-            let advanced = self.reasm.next_expected() - before;
+                                                  // Released data lands straight in `delivered` — no per-segment
+                                                  // scratch Vec.
+            let advanced = self.reasm.insert(offset, pkt.payload.clone(), &mut self.delivered);
             let out_of_order = advanced == 0;
-            if advanced < pkt.payload.len() as u64 && ready.is_empty() && advanced == 0 {
+            if advanced == 0 {
                 self.stats.dup_segments += 1;
             }
-            for d in ready {
-                self.stats.bytes_delivered += d.len() as u64;
-                self.delivered.push(d);
-            }
+            self.stats.bytes_delivered += advanced;
             self.check_remote_fin();
             if out_of_order {
                 // Immediate (duplicate) ACK so the sender's fast

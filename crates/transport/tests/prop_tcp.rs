@@ -54,10 +54,13 @@ proptest! {
         let mut r = Reassembly::new();
         // Reference stream: offset i holds byte (i % 256).
         let mut out: Vec<u8> = Vec::new();
+        let mut released = Vec::new();
         for (off, len) in segs {
             let data: Vec<u8> = (off..off + len as u64).map(|i| (i % 256) as u8).collect();
-            for chunk in r.insert(off, Bytes::from(data)) {
-                out.extend_from_slice(&chunk);
+            released.clear();
+            r.insert(off, Bytes::from(data), &mut released);
+            for chunk in &released {
+                out.extend_from_slice(chunk);
             }
             prop_assert_eq!(out.len() as u64, r.next_expected());
         }
@@ -100,11 +103,14 @@ proptest! {
         let mut out: Vec<u8> = Vec::new();
         let deliver = |r: &mut Reassembly, out: &mut Vec<u8>, (off, len): (u64, usize)| {
             let before = r.next_expected();
-            for chunk in r.insert(off, payload(off, len)) {
-                out.extend_from_slice(&chunk);
+            let mut released = Vec::new();
+            let n = r.insert(off, payload(off, len), &mut released);
+            for chunk in &released {
+                out.extend_from_slice(chunk);
             }
             // The ACK point never moves backwards and tracks releases.
             assert!(r.next_expected() >= before);
+            assert_eq!(r.next_expected() - before, n);
             assert_eq!(out.len() as u64, r.next_expected());
         };
         for &i in &order {

@@ -6,8 +6,9 @@
 //!                [--static] [--admission] [--trace-out FILE]
 //!                [--metrics-out FILE] [--trace-events FILE]
 //!                [--fail-on-invariants]
-//! powerburst bench [--secs S] [--seed K] [--threads N] [--out FILE]
-//!                  [--metrics-out FILE] [--baseline FILE]
+//! powerburst bench [--secs S] [--seed K] [--threads N] [--repeat R]
+//!                  [--out FILE] [--metrics-out FILE] [--baseline FILE]
+//!                  [--fail-on-regression PCT]
 //! powerburst calibrate [--seed K]
 //! powerburst experiment <name>|all [--secs S] [--seed K]
 //! powerburst list
@@ -67,9 +68,9 @@ USAGE:
                  [--fault-reorder-ms M] [--fault-sched-drop P]
                  [--fault-jitter-ms M] [--fault-jitter-prob P]
                  [--fault-skew-ppm X]
-  powerburst bench [--secs S] [--seed K] [--threads N] [--out FILE]
-                   [--metrics-out FILE] [--baseline FILE]
-                   [--fail-on-invariants]
+  powerburst bench [--secs S] [--seed K] [--threads N] [--repeat R]
+                   [--out FILE] [--metrics-out FILE] [--baseline FILE]
+                   [--fail-on-invariants] [--fail-on-regression PCT]
   powerburst calibrate [--seed K]
   powerburst experiment <name>|all [--secs S] [--seed K]
   powerburst list";
@@ -297,15 +298,25 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         seed: f.parse("--seed", 7),
         threads: f.parse("--threads", powerburst::sim::default_threads()),
     };
+    let repeat: usize = f.parse("--repeat", 1).max(1);
     eprintln!(
-        "profiling fig4 sweep + {} scenarios + instrumented run ({} s, seed {}, {} threads)...",
+        "profiling fig4 sweep + {} scenarios + instrumented run ({} s, seed {}, {} threads, {} repeat(s))...",
         exp::BENCH_SCENARIOS.len(),
         opt.duration.as_secs_f64(),
         opt.seed,
-        opt.threads
+        opt.threads,
+        repeat,
     );
-    let (report, r) = exp::bench_suite(&opt);
-    let out = f.get("--out").unwrap_or("BENCH_pr5.json");
+    // Repeats fold stage-wise: each stage keeps its fastest run, the
+    // minimum being the least-noise wall-clock estimator on a shared
+    // machine. Simulation outputs are deterministic, so only wall time
+    // differs between repeats.
+    let (mut report, r) = exp::bench_suite(&opt);
+    for _ in 1..repeat {
+        let (again, _) = exp::bench_suite(&opt);
+        report.keep_best(again);
+    }
+    let out = f.get("--out").unwrap_or("BENCH_pr6.json");
     if let Err(e) = std::fs::write(out, report.to_json()) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -323,15 +334,30 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     }
     println!("bench report -> {out}");
     if let Some(base_path) = f.get("--baseline") {
-        // Report-only comparison against a committed baseline report:
-        // runners are noisy, so deltas inform but never fail the run.
+        // Comparison against a committed baseline report. Report-only by
+        // default (runners are noisy); `--fail-on-regression <pct>` turns
+        // any stage slower than the threshold into a hard failure — pair
+        // it with `--repeat` and a forgiving percentage to keep the gate
+        // meaningful on shared machines.
         match std::fs::read_to_string(base_path) {
             Ok(base_json) => {
                 let current = powerburst::obs::parse_stage_rates(&report.to_json());
                 let baseline = powerburst::obs::parse_stage_rates(&base_json);
-                println!("events/sec vs baseline {base_path} (report-only):");
+                println!("events/sec vs baseline {base_path}:");
                 for line in powerburst::obs::delta_lines(&current, &baseline) {
                     println!("  {line}");
+                }
+                if f.has("--fail-on-regression") {
+                    let threshold: f64 = f.parse("--fail-on-regression", 20.0);
+                    let offenders = powerburst::obs::regressions(&current, &baseline, threshold);
+                    if !offenders.is_empty() {
+                        println!("regressions past -{threshold:.1}%:");
+                        for line in &offenders {
+                            println!("  {line}");
+                        }
+                        return ExitCode::FAILURE;
+                    }
+                    println!("no stage regressed past -{threshold:.1}%");
                 }
             }
             Err(e) => eprintln!("baseline {base_path} unreadable ({e}); skipping comparison"),

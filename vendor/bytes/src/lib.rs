@@ -5,27 +5,100 @@
 //! pieces it actually uses: cheaply cloneable immutable [`Bytes`] views
 //! backed by a shared allocation, a growable [`BytesMut`] builder, and the
 //! big-endian `put_*` writers of the [`BufMut`] trait.
+//!
+//! # Buffer pooling
+//!
+//! Unlike the upstream crate, this subset recycles payload allocations
+//! through a thread-local free list so the simulator's steady state is
+//! allocation-free. The backing store is an `Arc<Vec<u8>>`; when the last
+//! [`Bytes`] view over a buffer drops, the whole `Arc` (control block and
+//! byte storage together) is cleared and parked on the pool, and the next
+//! [`BytesMut::with_capacity`] pops it back instead of calling the global
+//! allocator. Buffers are only recycled when uniquely owned, so a pooled
+//! buffer can never alias a live view, and they are cleared before reuse,
+//! so no stale bytes leak between packets. Pools are per-thread (the
+//! simulator runs one world per thread) and bounded, so cross-thread drops
+//! and pathological buffer sizes degrade to plain allocation, never to an
+//! unbounded hoard.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem;
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Most buffers kept per thread; beyond this, drops free normally.
+const MAX_POOLED_BUFFERS: usize = 256;
+/// Largest buffer capacity worth parking (1 MiB); bigger ones free.
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    /// Recycled uniquely-owned buffers, ready to be cleared-and-reused.
+    static POOL: RefCell<Vec<Arc<Vec<u8>>>> = const { RefCell::new(Vec::new()) };
+    /// Shared zero-length backing store for empty `Bytes` (ACKs, defaults),
+    /// so creating an empty view is refcount-only.
+    static EMPTY: Arc<Vec<u8>> = Arc::new(Vec::new());
+}
+
+/// A handle on the shared empty backing store (refcount-only on the happy
+/// path; falls back to a fresh allocation during thread teardown).
+fn empty_arc() -> Arc<Vec<u8>> {
+    EMPTY.try_with(Arc::clone).unwrap_or_else(|_| Arc::new(Vec::new()))
+}
+
+/// Pop a recycled buffer with at least `cap` capacity, or allocate one.
+fn pool_pop(cap: usize) -> Arc<Vec<u8>> {
+    let recycled = POOL.try_with(|p| p.borrow_mut().pop()).ok().flatten();
+    match recycled {
+        Some(mut a) => {
+            let v = Arc::get_mut(&mut a).expect("pooled buffer is uniquely owned");
+            debug_assert!(v.is_empty(), "pooled buffer was not cleared");
+            if v.capacity() < cap {
+                v.reserve(cap);
+            }
+            a
+        }
+        None => Arc::new(Vec::with_capacity(cap)),
+    }
+}
+
+/// Park a buffer on the pool if it is uniquely owned and worth keeping.
+fn pool_put(mut a: Arc<Vec<u8>>) {
+    let Some(v) = Arc::get_mut(&mut a) else { return };
+    if v.capacity() == 0 || v.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    v.clear();
+    let _ = POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < MAX_POOLED_BUFFERS {
+            p.push(a);
+        }
+    });
+}
+
+/// Number of buffers currently parked on this thread's pool (test hook).
+pub fn pooled_buffers() -> usize {
+    POOL.try_with(|p| p.borrow().len()).unwrap_or(0)
+}
+
 /// A cheaply cloneable, contiguous, immutable slice of memory.
 ///
-/// Internally an `Arc<[u8]>` plus a sub-range, so `clone`, `slice`,
+/// Internally an `Arc<Vec<u8>>` plus a sub-range, so `clone`, `slice`,
 /// `split_off`, and `split_to` are O(1) and never copy payload bytes.
-#[derive(Clone, Default)]
+/// Dropping the last view over a buffer recycles it (see the module docs).
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty `Bytes`.
+    /// An empty `Bytes` (refcount-only; shares one static backing store).
     pub fn new() -> Bytes {
-        Bytes::default()
+        Bytes { data: empty_arc(), start: 0, end: 0 }
     }
 
     /// A `Bytes` referencing a static slice (copied once; the real crate's
@@ -34,9 +107,11 @@ impl Bytes {
         Bytes::copy_from_slice(b)
     }
 
-    /// Copy `b` into a fresh allocation.
+    /// Copy `b` into a (possibly recycled) allocation.
     pub fn copy_from_slice(b: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(b), start: 0, end: b.len() }
+        let mut a = pool_pop(b.len());
+        Arc::get_mut(&mut a).expect("freshly popped buffer is uniquely owned").extend_from_slice(b);
+        Bytes { data: a, start: 0, end: b.len() }
     }
 
     /// Length of the view, bytes.
@@ -47,6 +122,12 @@ impl Bytes {
     /// True when the view is empty.
     pub fn is_empty(&self) -> bool {
         self.start == self.end
+    }
+
+    /// How many `Bytes` views share this backing buffer (the `Arc` strong
+    /// count). Exposed so tests can assert pooling never aliases live data.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
     }
 
     /// A sub-view of `self` over `range` (O(1), shares the allocation).
@@ -88,6 +169,22 @@ impl Bytes {
     }
 }
 
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Last view over this buffer: swap in the shared empty store
+        // (refcount-only) and park the real allocation for reuse.
+        if Arc::strong_count(&self.data) == 1 {
+            pool_put(mem::replace(&mut self.data, empty_arc()));
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
@@ -104,7 +201,7 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
-        Bytes { data: Arc::from(v), start: 0, end }
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -155,58 +252,91 @@ impl fmt::Debug for Bytes {
 
 /// A growable byte buffer; `freeze` converts it into an immutable
 /// [`Bytes`] without copying.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Backed by a uniquely-owned `Arc<Vec<u8>>` drawn from the thread-local
+/// pool, so `with_capacity` → write → `freeze` → drop-last-view is a full
+/// round trip with zero allocator traffic in steady state.
+#[derive(Debug)]
 pub struct BytesMut {
-    buf: Vec<u8>,
+    /// Invariant: uniquely owned (strong count 1) for the whole lifetime
+    /// of the `BytesMut`, so `Arc::get_mut` always succeeds.
+    data: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
     /// An empty buffer.
     pub fn new() -> BytesMut {
-        BytesMut::default()
+        BytesMut::with_capacity(0)
     }
 
-    /// An empty buffer with pre-reserved capacity.
+    /// An empty buffer with pre-reserved capacity (recycled when the pool
+    /// has one).
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        BytesMut { data: pool_pop(cap) }
+    }
+
+    fn buf(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.data).expect("BytesMut backing buffer is uniquely owned")
     }
 
     /// Current length, bytes.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.data.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.data.is_empty()
     }
 
     /// Append a slice.
     pub fn extend_from_slice(&mut self, b: &[u8]) {
-        self.buf.extend_from_slice(b);
+        self.buf().extend_from_slice(b);
     }
 
     /// Resize to `new_len`, filling any growth with `value`.
     pub fn resize(&mut self, new_len: usize, value: u8) {
-        self.buf.resize(new_len, value);
+        self.buf().resize(new_len, value);
     }
 
-    /// Convert into an immutable [`Bytes`].
+    /// Convert into an immutable [`Bytes`] (no copy, no allocation).
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.buf)
+        let end = self.data.len();
+        Bytes { data: self.data, start: 0, end }
     }
 }
+
+impl Default for BytesMut {
+    fn default() -> BytesMut {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> BytesMut {
+        let mut c = BytesMut::with_capacity(self.len());
+        c.extend_from_slice(self);
+        c
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf
+        &self.data
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.buf
+        &self.data
     }
 }
 
@@ -239,7 +369,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.buf.extend_from_slice(src);
+        self.buf().extend_from_slice(src);
     }
 }
 
@@ -259,6 +389,7 @@ mod tests {
         let s = b.slice(1..4);
         assert_eq!(&s[..], &[2, 3, 4]);
         assert_eq!(b.len(), 5);
+        assert_eq!(b.ref_count(), 2);
     }
 
     #[test]
@@ -296,5 +427,65 @@ mod tests {
         let a = Bytes::from(vec![9, 9]);
         let b = Bytes::copy_from_slice(&[9, 9]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_bytes_share_one_backing_store() {
+        let a = Bytes::new();
+        let b = Bytes::default();
+        // Both views plus the thread-local owner: strictly more than one
+        // owner each, and no per-instance allocation.
+        assert!(a.ref_count() >= 3);
+        assert!(b.ref_count() >= 3);
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn dropped_buffer_is_recycled_cleared() {
+        // Park a distinctive buffer on the pool…
+        let fill = vec![0xEE; 64];
+        drop(Bytes::from(fill));
+        let before = pooled_buffers();
+        assert!(before > 0, "dropped buffer should land on the pool");
+        // …then take it back out and confirm it comes back empty.
+        let m = BytesMut::with_capacity(64);
+        assert_eq!(pooled_buffers(), before - 1);
+        assert!(m.is_empty(), "recycled scratch must be cleared before reuse");
+        let b = m.freeze();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn pooled_buffer_never_aliases_live_views() {
+        let live = Bytes::from(vec![7u8; 128]);
+        let live_ptr = live.as_ref().as_ptr();
+        assert_eq!(live.ref_count(), 1);
+        // Drain the pool into fresh buffers; none may share storage with
+        // the live view, which is still uniquely owned by `live`.
+        let drained: Vec<BytesMut> =
+            (0..pooled_buffers() + 4).map(|_| BytesMut::with_capacity(8)).collect();
+        for m in &drained {
+            let b: &[u8] = m;
+            assert_ne!(b.as_ptr(), live_ptr);
+        }
+        assert_eq!(live.ref_count(), 1);
+        assert_eq!(&live[..4], &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn recycle_waits_for_last_view() {
+        let a = Bytes::from(vec![5u8; 512]);
+        let ptr = a.as_ref().as_ptr();
+        let b = a.slice(..);
+        drop(a); // refcount 2 → 1: must NOT recycle, `b` is still live
+        let m = BytesMut::with_capacity(512);
+        let mb: &[u8] = &m;
+        assert_ne!(mb.as_ptr(), ptr, "buffer with a live view must not be reused");
+        assert_eq!(&b[..4], &[5, 5, 5, 5]);
+        drop(m);
+        drop(b); // now the last view: recycles
+        let m2 = BytesMut::with_capacity(512);
+        let m2b: &[u8] = &m2;
+        assert_eq!(m2b.as_ptr(), ptr, "last-view drop should recycle the buffer");
     }
 }

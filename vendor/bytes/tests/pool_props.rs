@@ -1,0 +1,81 @@
+//! Property tests for the buffer pool under random view lifecycles.
+//!
+//! The unit tests in `src/lib.rs` pin down single scenarios (recycle only
+//! when uniquely owned, recycled buffers come back cleared). These
+//! properties drive arbitrary interleavings of create/slice/drop/reuse and
+//! assert the two pool invariants globally:
+//!
+//! 1. **No aliasing**: every live view keeps seeing exactly the bytes it
+//!    was created over, no matter what is recycled around it.
+//! 2. **Cleared reuse**: a buffer handed back out of the pool is always
+//!    empty.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Create a buffer filled with `fill`, `len` bytes long.
+    Create { fill: u8, len: usize },
+    /// Slice the `n`-th live view in half (shares its backing store).
+    Slice(usize),
+    /// Drop the `n`-th live view (may recycle its backing store).
+    Drop(usize),
+    /// Take a buffer from the pool, check it is cleared, drop it back.
+    Reuse(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..=255, 1usize..512).prop_map(|(fill, len)| Op::Create { fill, len }),
+        (0usize..64).prop_map(Op::Slice),
+        (0usize..64).prop_map(Op::Drop),
+        (1usize..512).prop_map(Op::Reuse),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn random_view_lifecycles_never_alias_and_reuse_cleared(
+        ops in prop::collection::vec(op_strategy(), 1..100)
+    ) {
+        // Live views, each tagged with the fill byte it must keep seeing.
+        let mut live: Vec<(Bytes, u8)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create { fill, len } => {
+                    live.push((Bytes::from(vec![fill; len]), fill));
+                }
+                Op::Slice(n) => {
+                    if !live.is_empty() {
+                        let (b, fill) = &live[n % live.len()];
+                        let half = b.slice(..b.len() / 2);
+                        let fill = *fill;
+                        live.push((half, fill));
+                    }
+                }
+                Op::Drop(n) => {
+                    if !live.is_empty() {
+                        let i = n % live.len();
+                        live.swap_remove(i);
+                    }
+                }
+                Op::Reuse(len) => {
+                    let m = BytesMut::with_capacity(len);
+                    prop_assert!(
+                        m.is_empty(),
+                        "pool handed out a non-cleared buffer ({} bytes)",
+                        m.len()
+                    );
+                }
+            }
+            // Invariant 1: no live view ever observes another view's bytes.
+            for (b, fill) in &live {
+                prop_assert!(
+                    b.as_ref().iter().all(|x| x == fill),
+                    "live view corrupted: expected fill {fill:#x}"
+                );
+            }
+        }
+    }
+}
