@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use powerburst_core::{
-    build_schedule, BuilderConfig, ClientDemand, MarkCoordinator, SchedulePolicy,
-};
+use powerburst_core::{build_schedule, BuilderConfig, ClientDemand, MarkCoordinator, PolicyKind};
 use powerburst_energy::{CardSpec, Wnic};
 use powerburst_net::HostAddr;
 use powerburst_sim::{EventQueue, SimDuration, SimTime};
@@ -47,11 +45,8 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_schedule_build(c: &mut Criterion) {
     let demands: Vec<ClientDemand> = (0..10)
-        .map(|i| ClientDemand {
-            client: HostAddr(100 + i),
-            udp_bytes: 3_000 * (i as u64 + 1),
-            tcp_bytes: 1_000 * i as u64,
-            avg_pkt: 728,
+        .map(|i| {
+            ClientDemand::new(HostAddr(100 + i), 3_000 * (i as u64 + 1), 1_000 * i as u64, 728)
         })
         .collect();
     let cfg = BuilderConfig::default();
@@ -59,7 +54,7 @@ fn bench_schedule_build(c: &mut Criterion) {
     c.bench_function("schedule/dynamic_fixed_10_clients", |b| {
         b.iter(|| {
             black_box(build_schedule(
-                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+                PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
                 &cfg,
                 black_box(&demands),
                 0,
@@ -70,7 +65,7 @@ fn bench_schedule_build(c: &mut Criterion) {
     c.bench_function("schedule/variable_10_clients", |b| {
         b.iter(|| {
             black_box(build_schedule(
-                SchedulePolicy::DynamicVariable {
+                PolicyKind::DynamicVariable {
                     min: SimDuration::from_ms(100),
                     max: SimDuration::from_ms(500),
                 },
@@ -83,7 +78,7 @@ fn bench_schedule_build(c: &mut Criterion) {
 
     c.bench_function("schedule/encode_decode_10_entries", |b| {
         let s = build_schedule(
-            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) },
             &cfg,
             &demands,
             0,

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use bytes::Bytes;
-use powerburst_core::SchedulePolicy;
+use powerburst_core::PolicyKind;
 use powerburst_net::{HostAddr, SockAddr};
 use powerburst_scenario::{run_scenario, ClientKind, ClientSpec, ScenarioConfig};
 use powerburst_sim::{SimDuration, SimTime};
@@ -71,7 +71,7 @@ fn bench_scenario_rate(c: &mut Criterion) {
                 .collect();
             let cfg = ScenarioConfig::new(
                 3,
-                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+                PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
                 clients,
             )
             .with_duration(SimDuration::from_secs(10));

@@ -369,7 +369,7 @@ mod tests {
     }
 
     fn demand(host: u32, bytes: u64) -> ClientDemand {
-        ClientDemand { client: HostAddr(host), udp_bytes: bytes, tcp_bytes: 0, avg_pkt: 1_000 }
+        ClientDemand::new(HostAddr(host), bytes, 0, 1_000)
     }
 
     #[test]

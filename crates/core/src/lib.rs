@@ -7,8 +7,10 @@
 //! * [`proxy`] — the proxy node: interception with address spoofing, split
 //!   connections, per-client buffering, burst execution, schedule
 //!   broadcast; includes the pass-through ablation mode;
-//! * [`schedule`] — the four schedule construction policies (dynamic
-//!   fixed, dynamic variable, static equal, slotted TCP/UDP static);
+//! * [`schedule`] — schedule data types and the policy selector;
+//! * [`policy`] — the [`SchedulePolicy`] trait and its seven
+//!   implementations (dynamic fixed/variable, channel-aware,
+//!   buffer-aware, static equal, slotted TCP/UDP static, PSM beacon);
 //! * [`wire`] — the schedule broadcast wire codec (integer-only by
 //!   contract, policed by the sim-purity lint's D005 rule);
 //! * [`bandwidth`] — the fitted linear send-cost model (§3.2.2);
@@ -27,6 +29,7 @@ pub mod admission;
 pub mod bandwidth;
 pub mod invariants;
 pub mod marking;
+pub mod policy;
 pub mod proxy;
 pub mod queues;
 pub mod schedule;
@@ -38,8 +41,11 @@ pub use invariants::{
     check_energy_conservation, InvariantKind, InvariantLog, ScheduleAuditor, Violation,
 };
 pub use marking::MarkCoordinator;
+pub use policy::{
+    build_schedule, build_schedule_into, registry, BufferAwarePolicy, ChannelAwarePolicy,
+    FixedPolicy, PolicyScratch, PsmBeaconPolicy, SchedulePolicy, SlottedStaticPolicy,
+    StaticEqualPolicy, VariablePolicy, DEFAULT_TARGET_BUFFER,
+};
 pub use proxy::{Proxy, ProxyConfig, ProxyMode, ProxyStats, PROXY_AP, PROXY_LAN};
 pub use queues::PacketQueue;
-pub use schedule::{
-    build_schedule, BuilderConfig, ClientDemand, Schedule, ScheduleEntry, SchedulePolicy,
-};
+pub use schedule::{BuilderConfig, ClientDemand, PolicyKind, Schedule, ScheduleEntry};

@@ -18,7 +18,7 @@
 //!
 //! * **Scheduling** (§3.2.1): at every scheduler rendezvous point the proxy
 //!   snapshots all queues, builds the next schedule under the configured
-//!   [`SchedulePolicy`], broadcasts it, and arms one timer per slot.
+//!   [`PolicyKind`], broadcasts it, and arms one timer per slot.
 //!
 //! * **Bandwidth constraints** (§3.2.2): slot budgets are converted to
 //!   bytes through the fitted linear [`BandwidthModel`] so a burst does not
@@ -38,7 +38,8 @@ use powerburst_obs::{Counter, EventKind, Gauge, Hist, Recorder};
 use powerburst_sim::{SimDuration, SimTime};
 
 use powerburst_net::{
-    ports, Ctx, HostAddr, IfaceId, Node, Packet, Proto, SockAddr, TcpFlags, TimerToken,
+    ports, ChannelModel, Ctx, HostAddr, IfaceId, Node, Packet, Proto, ReceiverReport, SockAddr,
+    TcpFlags, TimerToken,
 };
 use powerburst_transport::{TcpConfig, TcpEndpoint, TcpEvent};
 
@@ -46,8 +47,9 @@ use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionStats};
 use crate::bandwidth::BandwidthModel;
 use crate::invariants::{InvariantKind, InvariantLog, ScheduleAuditor, Violation};
 use crate::marking::MarkCoordinator;
+use crate::policy::{build_schedule_into, PolicyScratch};
 use crate::queues::PacketQueue;
-use crate::schedule::{build_schedule, BuilderConfig, ClientDemand, Schedule, SchedulePolicy};
+use crate::schedule::{BuilderConfig, ClientDemand, PolicyKind, Schedule};
 
 /// Proxy interface toward the servers (the Fast Ethernet side).
 pub const PROXY_LAN: IfaceId = IfaceId(0);
@@ -74,7 +76,7 @@ pub struct ProxyConfig {
     /// The proxy's own address (source of schedule broadcasts).
     pub addr: SockAddr,
     /// Scheduling policy.
-    pub policy: SchedulePolicy,
+    pub policy: PolicyKind,
     /// Send-cost model (from calibration or the default).
     pub bw: BandwidthModel,
     /// TCP parameters for splice endpoints.
@@ -97,7 +99,7 @@ pub struct ProxyConfig {
 
 impl ProxyConfig {
     /// Reasonable defaults for `clients` behind one 11 Mbps cell.
-    pub fn new(addr: SockAddr, clients: Vec<HostAddr>, policy: SchedulePolicy) -> ProxyConfig {
+    pub fn new(addr: SockAddr, clients: Vec<HostAddr>, policy: PolicyKind) -> ProxyConfig {
         ProxyConfig {
             addr,
             policy,
@@ -182,6 +184,17 @@ pub struct Proxy {
     /// §3.2.1 admission controller, when configured.
     admission: Option<AdmissionControl>,
     prev_schedule: Option<Schedule>,
+    /// Retired schedule whose buffers the next build reuses (the schedule
+    /// double-buffer: `prev` ↔ `spare` swap every SRP, so steady state
+    /// never allocates entries).
+    spare_schedule: Schedule,
+    /// Seeded per-client Markov channel model feeding the demand
+    /// snapshot's `channel` field; `None` keeps the paper's fixed-rate
+    /// assumption (every link Good).
+    channel: Option<ChannelModel>,
+    /// Latest snooped buffer occupancy per client (from buffer-extended
+    /// receiver reports passing upstream).
+    reported_buffers: Vec<Option<u64>>,
     seq: u64,
     /// Statistics.
     pub stats: ProxyStats,
@@ -201,6 +214,8 @@ pub struct Proxy {
     burst_splices: Vec<usize>,
     /// Per-splice byte feeds planned for the current burst.
     burst_feeds: Vec<(usize, u64)>,
+    /// Schedule-construction working memory (weights/slots/shares).
+    policy_scratch: PolicyScratch,
 }
 
 impl Proxy {
@@ -219,6 +234,7 @@ impl Proxy {
         let client_index: FastHashMap<_, _> =
             cfg.clients.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let admission = cfg.admission.map(|a| AdmissionControl::new(a, &cfg.bw, 728));
+        let n_clients = clients.len();
         Proxy {
             cfg,
             clients,
@@ -228,6 +244,9 @@ impl Proxy {
             bursting: None,
             admission,
             prev_schedule: None,
+            spare_schedule: Schedule::default(),
+            channel: None,
+            reported_buffers: vec![None; n_clients],
             seq: 0,
             stats: ProxyStats::default(),
             audit: ScheduleAuditor::new(),
@@ -237,7 +256,17 @@ impl Proxy {
             psm_last_of: Vec::new(),
             burst_splices: Vec::new(),
             burst_feeds: Vec::new(),
+            policy_scratch: PolicyScratch::default(),
         }
+    }
+
+    /// Attach a seeded Markov channel model (one state per configured
+    /// client, in `cfg.clients` order). The model feeds the demand
+    /// snapshot's `channel` field at every SRP; only the channel-aware
+    /// policy reads it, so attaching the model under any other policy
+    /// leaves schedules unchanged.
+    pub fn set_channel_model(&mut self, model: ChannelModel) {
+        self.channel = Some(model);
     }
 
     /// Route metrics and events to `rec` (shared with the burst auditor).
@@ -271,7 +300,7 @@ impl Proxy {
     }
 
     /// The schedule policy in force.
-    pub fn policy(&self) -> SchedulePolicy {
+    pub fn policy(&self) -> PolicyKind {
         self.cfg.policy
     }
 
@@ -289,10 +318,19 @@ impl Proxy {
     /// Snapshot per-client demand into the reused scratch Vec (runs every
     /// SRP; must not allocate in steady state). The caller puts the Vec
     /// back into `self.demand_scratch` when done.
-    fn demand_snapshot(&mut self) -> Vec<ClientDemand> {
+    ///
+    /// Besides queue state, the snapshot carries the two policy inputs
+    /// added in PR 7: the Markov channel state (when a model is attached)
+    /// and the latest snooped buffer report. Both default to the paper's
+    /// information set (Good / no report), so policies that ignore them
+    /// see exactly the pre-PR7 snapshot.
+    fn demand_snapshot(&mut self, now: SimTime) -> Vec<ClientDemand> {
+        if let Some(model) = self.channel.as_mut() {
+            model.advance_to(now);
+        }
         let mut demands = std::mem::take(&mut self.demand_scratch);
         demands.clear();
-        for c in &self.clients {
+        for (ci, c) in self.clients.iter().enumerate() {
             let tcp_bytes: u64 = c
                 .splices
                 .iter()
@@ -304,12 +342,12 @@ impl Proxy {
                 })
                 .sum();
             let avg_pkt = if !c.queue.is_empty() { c.queue.bytes() / c.queue.len() } else { 1_000 };
-            demands.push(ClientDemand {
-                client: c.host,
-                udp_bytes: c.queue.bytes() as u64,
-                tcp_bytes,
-                avg_pkt,
-            });
+            let mut d = ClientDemand::new(c.host, c.queue.bytes() as u64, tcp_bytes, avg_pkt);
+            if let Some(model) = self.channel.as_ref() {
+                d.channel = model.quality(ci);
+            }
+            d.buffer_bytes = self.reported_buffers[ci];
+            demands.push(d);
         }
         demands
     }
@@ -320,7 +358,7 @@ impl Proxy {
     }
 
     fn on_srp(&mut self, ctx: &mut Ctx<'_>) {
-        let demands = self.demand_snapshot();
+        let demands = self.demand_snapshot(ctx.now());
         if self.obs.enabled() {
             let mut backlog = 0i64;
             for (d, c) in demands.iter().zip(&self.clients) {
@@ -344,7 +382,18 @@ impl Proxy {
             min_slot: self.cfg.min_slot,
             bw: self.cfg.bw,
         };
-        let mut sched = build_schedule(self.cfg.policy, &bcfg, &demands, self.seq);
+        // Build into the spare schedule's buffers: together with the
+        // `prev` ↔ `spare` swap below, the per-SRP build is allocation-free
+        // once entry capacity reaches steady state.
+        let mut sched = std::mem::take(&mut self.spare_schedule);
+        build_schedule_into(
+            self.cfg.policy,
+            &bcfg,
+            &demands,
+            self.seq,
+            &mut self.policy_scratch,
+            &mut sched,
+        );
         self.seq += 1;
         if self.cfg.flag_unchanged {
             if let Some(prev) = &self.prev_schedule {
@@ -410,8 +459,12 @@ impl Proxy {
         }
         ctx.set_timer_untracked(sched.next_srp, TOKEN_SRP);
         // `prev_schedule` doubles as the schedule in force: burst timers
-        // index into its entries, so no per-interval clone is needed.
-        self.prev_schedule = Some(sched);
+        // index into its entries, so no per-interval clone is needed. The
+        // retired schedule becomes the spare whose buffers the next build
+        // reuses.
+        if let Some(retired) = self.prev_schedule.replace(sched) {
+            self.spare_schedule = retired;
+        }
     }
 
     // ---- burst execution ----------------------------------------------------
@@ -420,7 +473,7 @@ impl Proxy {
         let current = self.prev_schedule.as_ref().map(|s| s.entries.as_slice()).unwrap_or(&[]);
         let Some(entry) = current.get(entry_idx).copied() else { return };
         if entry.client.is_broadcast() {
-            if matches!(self.cfg.policy, SchedulePolicy::PsmBeacon { .. }) {
+            if matches!(self.cfg.policy, PolicyKind::PsmBeacon { .. }) {
                 self.psm_burst(ctx, entry.duration);
                 return;
             }
@@ -447,7 +500,7 @@ impl Proxy {
         let grace = self.burst_grace(1);
         self.audit.begin_burst(ctx.now(), entry.client, entry.duration, grace, true);
         self.bursting = Some(ci);
-        let slotted = matches!(self.cfg.policy, SchedulePolicy::SlottedStatic { .. });
+        let slotted = matches!(self.cfg.policy, PolicyKind::SlottedStatic { .. });
         let mut remaining = entry.duration;
         let sent_udp = self.burst_udp(ctx, ci, &mut remaining, slotted);
         let sent_tcp = if slotted {
@@ -850,7 +903,20 @@ impl Proxy {
                 self.obs.incr(Counter::ProxyQueueDrops);
             }
         } else if iface == PROXY_AP {
-            // Uplink (stream feedback etc.): forward toward the servers.
+            // Uplink (stream feedback etc.): snoop, then forward toward
+            // the servers untouched. Buffer-extended receiver reports tell
+            // the buffer-aware policy each client's playout occupancy;
+            // legacy 24-byte reports decode with `buffer_bytes: None` and
+            // leave the snapshot untouched, so snooping is free for them.
+            if pkt.dst.port == ports::FEEDBACK {
+                if let Some(&ci) = self.client_index.get(&pkt.src.host) {
+                    if let Some(report) = ReceiverReport::decode(&pkt.payload) {
+                        if report.buffer_bytes.is_some() {
+                            self.reported_buffers[ci] = report.buffer_bytes;
+                        }
+                    }
+                }
+            }
             ctx.send(PROXY_LAN, pkt);
         } else {
             // Server-to-server or unknown: bridge across.

@@ -1,4 +1,5 @@
-//! Schedules: construction policies (the wire codec is in [`crate::wire`]).
+//! Schedule data types and the policy selector (construction lives in
+//! [`crate::policy`], the wire codec in [`crate::wire`]).
 //!
 //! §3.2.1: "The proxy broadcasts a schedule message as a UDP packet to all
 //! active clients at well-defined intervals. ... The schedule describes the
@@ -6,22 +7,30 @@
 //! client *i* is assigned rendezvous point RP_i. ... The schedule will also
 //! contain the time at which the following schedule will be broadcast."
 //!
-//! Four policies are implemented:
+//! Seven policies are implemented (see the [`crate::policy`] trait
+//! module):
 //!
 //! * **dynamic / fixed interval** (100 ms, 500 ms): each active client gets
 //!   a fraction of the interval proportional to its queue size;
 //! * **dynamic / variable interval**: each client gets enough time to empty
 //!   its queue, and the interval stretches (within bounds) to fit;
+//! * **channel-aware**: fixed interval, but shares are proportional to the
+//!   *airtime* a client needs given its Markov channel state;
+//! * **buffer-aware**: fixed interval, shares shaped by reported client
+//!   playout-buffer occupancy;
 //! * **static equal** (§4.3): every client gets the same permanent slot —
 //!   the baseline that beats dynamic when all fidelities are equal;
 //! * **slotted static TCP/UDP** (Figure 7): a fixed TCP slot during which
-//!   *all* clients listen, then equal per-client UDP slots.
+//!   *all* clients listen, then equal per-client UDP slots;
+//! * **PSM beacon**: the 802.11 power-save-mode baseline.
 
 use powerburst_sim::SimDuration;
 
-use powerburst_net::HostAddr;
+use powerburst_net::{ChannelQuality, HostAddr};
 
 use crate::bandwidth::BandwidthModel;
+
+pub use crate::policy::build_schedule;
 
 /// One slot in a schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +83,7 @@ impl Schedule {
 
 /// Scheduling policy selector.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum SchedulePolicy {
+pub enum PolicyKind {
     /// Dynamic schedule with a fixed burst interval; slots proportional to
     /// queue sizes (§3.2.1 "fixed size" schedules).
     DynamicFixed {
@@ -112,6 +121,22 @@ pub enum SchedulePolicy {
         /// The beacon interval (100 ms in 802.11's default).
         interval: SimDuration,
     },
+    /// Channel-aware dynamic schedule: fixed interval, shares proportional
+    /// to needed *airtime* under the per-client Markov channel state
+    /// (rate-adaptive slots, Wang et al. arXiv:1606.00952).
+    ChannelAware {
+        /// The burst interval.
+        interval: SimDuration,
+    },
+    /// Buffer-aware dynamic schedule: fixed interval, burst length shaped
+    /// by reported client playout-buffer occupancy (EStreamer-style burst
+    /// shaping, Hoque et al. arXiv:1403.3710).
+    BufferAware {
+        /// The burst interval.
+        interval: SimDuration,
+        /// Desired playout-buffer occupancy, bytes.
+        target_buffer: u64,
+    },
 }
 
 /// Per-client demand snapshot taken at schedule-construction time
@@ -126,9 +151,30 @@ pub struct ClientDemand {
     pub tcp_bytes: u64,
     /// Mean queued packet size (for per-message overhead estimation).
     pub avg_pkt: usize,
+    /// Current Markov channel state of the client's radio link; `Good`
+    /// (the paper's fixed-rate assumption) unless a channel model feeds
+    /// the snapshot. Only the channel-aware policy reads this.
+    pub channel: ChannelQuality,
+    /// Client-reported playout-buffer occupancy, bytes; `None` until the
+    /// client sends a buffer-extended receiver report. Only the
+    /// buffer-aware policy reads this.
+    pub buffer_bytes: Option<u64>,
 }
 
 impl ClientDemand {
+    /// A demand snapshot with the default channel state (Good) and no
+    /// buffer report — exactly the paper's information set.
+    pub fn new(client: HostAddr, udp_bytes: u64, tcp_bytes: u64, avg_pkt: usize) -> ClientDemand {
+        ClientDemand {
+            client,
+            udp_bytes,
+            tcp_bytes,
+            avg_pkt,
+            channel: ChannelQuality::Good,
+            buffer_bytes: None,
+        }
+    }
+
     /// Total queued bytes.
     pub fn total(&self) -> u64 {
         self.udp_bytes + self.tcp_bytes
@@ -159,350 +205,12 @@ impl Default for BuilderConfig {
     }
 }
 
-/// Build the schedule for the next burst interval.
-///
-/// `demands` must list **all** known clients in a stable order (schedules
-/// are deterministic); clients with zero demand get no slot under the
-/// dynamic policies but always get one under the static ones.
-pub fn build_schedule(
-    policy: SchedulePolicy,
-    cfg: &BuilderConfig,
-    demands: &[ClientDemand],
-    seq: u64,
-) -> Schedule {
-    match policy {
-        SchedulePolicy::DynamicFixed { interval } => build_fixed(interval, cfg, demands, seq),
-        SchedulePolicy::DynamicVariable { min, max } => build_variable(min, max, cfg, demands, seq),
-        SchedulePolicy::StaticEqual { interval } => build_static(interval, cfg, demands, seq),
-        SchedulePolicy::SlottedStatic { interval, tcp_weight } => {
-            build_slotted(interval, tcp_weight, cfg, demands, seq)
-        }
-        SchedulePolicy::PsmBeacon { interval } => build_psm(interval, cfg, demands, seq),
-    }
-}
-
-fn build_psm(
-    interval: SimDuration,
-    cfg: &BuilderConfig,
-    demands: &[ClientDemand],
-    seq: u64,
-) -> Schedule {
-    let total: u64 = demands.iter().map(|d| d.total()).sum();
-    if total == 0 {
-        return Schedule {
-            seq,
-            entries: Vec::new(),
-            next_srp: interval,
-            unchanged: false,
-            fixed_slots: true,
-            saturated: false,
-        };
-    }
-    let avg = weighted_avg_pkt(demands);
-    let overhead = cfg.schedule_airtime + cfg.guard * 2;
-    let window =
-        drain_time(cfg, total, avg).max(cfg.min_slot).min(interval.saturating_sub(overhead));
-    let mut s = lay_out(vec![(HostAddr::BROADCAST, window)], cfg, interval, seq);
-    s.fixed_slots = true;
-    s
-}
-
-/// Demand-weighted mean packet size across all queues, for estimating the
-/// shared PSM window. Each demand's `avg_pkt` is weighted by its queued
-/// bytes, so the per-message overhead term in [`drain_time`] reflects the
-/// actual message mix. (Taking the *max* here, as the code once did,
-/// under-counts messages for small-packet streams and mis-reserves the
-/// window whenever fidelities are mixed.)
-fn weighted_avg_pkt(demands: &[ClientDemand]) -> usize {
-    let mut bytes: u128 = 0;
-    let mut weighted: u128 = 0;
-    for d in demands {
-        let b = d.total() as u128;
-        bytes += b;
-        weighted += b * d.avg_pkt as u128;
-    }
-    match weighted.checked_div(bytes) {
-        Some(avg) => avg as usize,
-        None => 1_000,
-    }
-}
-
-/// Time to drain `bytes` of messages averaging `avg_pkt`, per the model.
-fn drain_time(cfg: &BuilderConfig, bytes: u64, avg_pkt: usize) -> SimDuration {
-    if bytes == 0 {
-        return SimDuration::ZERO;
-    }
-    let avg = avg_pkt.max(64);
-    let msgs = bytes.div_ceil(avg as u64);
-    SimDuration::from_us(msgs * cfg.bw.send_time(avg).as_us())
-}
-
-fn lay_out(
-    entries: Vec<(HostAddr, SimDuration)>,
-    cfg: &BuilderConfig,
-    next_srp: SimDuration,
-    seq: u64,
-) -> Schedule {
-    let mut out = Vec::with_capacity(entries.len());
-    let mut cursor = cfg.schedule_airtime + cfg.guard;
-    for (client, dur) in entries {
-        out.push(ScheduleEntry { client, rp_offset: cursor, duration: dur });
-        cursor += dur + cfg.guard;
-    }
-    Schedule { seq, entries: out, next_srp, unchanged: false, fixed_slots: false, saturated: false }
-}
-
-/// Degraded layout for saturated static schedules: per-slot overhead has
-/// eaten the whole interval, so equal division would hand every client a
-/// zero-length slot (while still emitting entries). Instead, serve as many
-/// clients as fit at [`BuilderConfig::min_slot`] each, rotating the
-/// starting client with `seq` so every client is eventually served, and
-/// flag the schedule as saturated so clients and audits can see the
-/// degradation. `tcp_slot` prepends a broadcast slot (the slotted policy's
-/// TCP window) so spliced traffic keeps trickling even when saturated.
-fn saturated_round_robin(
-    interval: SimDuration,
-    cfg: &BuilderConfig,
-    demands: &[ClientDemand],
-    seq: u64,
-    tcp_slot: bool,
-) -> Schedule {
-    let n = demands.len();
-    debug_assert!(n > 0, "saturated fallback needs at least one client");
-    let per_slot = (cfg.min_slot + cfg.guard).as_us().max(1);
-    let lead = cfg.schedule_airtime + cfg.guard;
-    let mut avail = interval.saturating_sub(lead + cfg.guard).as_us();
-    let mut entries = Vec::new();
-    if tcp_slot && avail >= per_slot {
-        entries.push((HostAddr::BROADCAST, cfg.min_slot));
-        avail -= per_slot;
-    }
-    // Always serve at least one party per interval, even if the layout
-    // must then be clamped at the interval boundary.
-    let fit = ((avail / per_slot) as usize).min(n).max(usize::from(entries.is_empty()));
-    let start = (seq as usize) % n;
-    for j in 0..fit {
-        entries.push((demands[(start + j) % n].client, cfg.min_slot));
-    }
-    let mut s = lay_out(entries, cfg, interval, seq);
-    clamp_to_interval(&mut s, interval, cfg.guard);
-    s.fixed_slots = true;
-    s.saturated = true;
-    s
-}
-
-/// Per-client shares over `usable`, proportional to `weights`, floored at
-/// `min_slot`, and guaranteed to sum to at most `usable`.
-///
-/// Plain proportional-with-floor can overflow `usable` when one weight
-/// dominates and many tiny weights each get padded up to the floor; the
-/// layout clamp would then silently drop the trailing clients' slots — the
-/// bug behind the mixed-fidelity `missing-client` violations. When the
-/// padded shares do not fit, the floor is granted to everyone first and
-/// only the *remaining* space is divided proportionally, so every client
-/// keeps a slot. Returns `None` when even the floors alone exceed `usable`
-/// (the caller degrades to the saturated round-robin layout).
-fn fit_shares(
-    usable: SimDuration,
-    min_slot: SimDuration,
-    weights: &[u64],
-) -> Option<Vec<SimDuration>> {
-    let n = weights.len() as u64;
-    let total: u128 = weights.iter().map(|&w| w as u128).sum();
-    let total = total.max(1);
-    let prop: Vec<SimDuration> = weights
-        .iter()
-        .map(|&w| {
-            SimDuration::from_us((usable.as_us() as u128 * w as u128 / total) as u64).max(min_slot)
-        })
-        .collect();
-    let padded: u64 = prop.iter().map(|d| d.as_us()).sum();
-    if padded <= usable.as_us() {
-        return Some(prop);
-    }
-    let floors = min_slot.as_us().checked_mul(n)?;
-    if floors > usable.as_us() {
-        return None;
-    }
-    let extra = (usable.as_us() - floors) as u128;
-    Some(
-        weights
-            .iter()
-            .map(|&w| SimDuration::from_us(min_slot.as_us() + (extra * w as u128 / total) as u64))
-            .collect(),
-    )
-}
-
-fn build_fixed(
-    interval: SimDuration,
-    cfg: &BuilderConfig,
-    demands: &[ClientDemand],
-    seq: u64,
-) -> Schedule {
-    let active: Vec<&ClientDemand> = demands.iter().filter(|d| d.total() > 0).collect();
-    let total_bytes: u64 = active.iter().map(|d| d.total()).sum();
-    if active.is_empty() || total_bytes == 0 {
-        return Schedule {
-            seq,
-            entries: Vec::new(),
-            next_srp: interval,
-            unchanged: false,
-            fixed_slots: false,
-            saturated: false,
-        };
-    }
-    let overhead = cfg.schedule_airtime + cfg.guard * (active.len() as u64 + 1);
-    let usable = interval.saturating_sub(overhead);
-    let weights: Vec<u64> = active.iter().map(|d| d.total()).collect();
-    let Some(shares) = fit_shares(usable, cfg.min_slot, &weights) else {
-        // Even min_slot floors do not fit: serve a rotating subset rather
-        // than letting the clamp starve whoever happens to be laid out last.
-        return saturated_round_robin(interval, cfg, demands, seq, false);
-    };
-    let entries = active.iter().zip(shares).map(|(d, share)| (d.client, share)).collect();
-    let mut s = lay_out(entries, cfg, interval, seq);
-    // Shares fit by construction; the clamp only trims sub-guard rounding
-    // at the tail and can no longer drop an active client's slot.
-    clamp_to_interval(&mut s, interval, cfg.guard);
-    s
-}
-
-fn build_variable(
-    min: SimDuration,
-    max: SimDuration,
-    cfg: &BuilderConfig,
-    demands: &[ClientDemand],
-    seq: u64,
-) -> Schedule {
-    let active: Vec<&ClientDemand> = demands.iter().filter(|d| d.total() > 0).collect();
-    if active.is_empty() {
-        return Schedule {
-            seq,
-            entries: Vec::new(),
-            next_srp: min,
-            unchanged: false,
-            fixed_slots: false,
-            saturated: false,
-        };
-    }
-    let mut slots: Vec<(HostAddr, SimDuration)> = active
-        .iter()
-        .map(|d| {
-            let t = drain_time(cfg, d.total(), d.avg_pkt).max(cfg.min_slot);
-            (d.client, t)
-        })
-        .collect();
-    let overhead = cfg.schedule_airtime + cfg.guard * (slots.len() as u64 + 1);
-    let needed: SimDuration = slots.iter().fold(overhead, |acc, (_, d)| acc + *d);
-    let interval = needed.max(min).min(max);
-    if needed > interval {
-        // Demand exceeds the cap: shrink slots proportionally ("each client
-        // can empty its packet queue" no longer holds — overload). The
-        // same fit guarantee as the fixed policy applies: min_slot padding
-        // must never push a trailing client past the clamp.
-        let budget = interval.saturating_sub(overhead);
-        let weights: Vec<u64> = slots.iter().map(|(_, d)| d.as_us()).collect();
-        match fit_shares(budget, cfg.min_slot, &weights) {
-            Some(shares) => {
-                for ((_, d), share) in slots.iter_mut().zip(shares) {
-                    *d = share;
-                }
-            }
-            None => return saturated_round_robin(interval, cfg, demands, seq, false),
-        }
-    }
-    let mut s = lay_out(slots, cfg, interval, seq);
-    clamp_to_interval(&mut s, interval, cfg.guard);
-    s
-}
-
-fn build_static(
-    interval: SimDuration,
-    cfg: &BuilderConfig,
-    demands: &[ClientDemand],
-    seq: u64,
-) -> Schedule {
-    if demands.is_empty() {
-        return Schedule {
-            seq,
-            entries: Vec::new(),
-            next_srp: interval,
-            unchanged: false,
-            fixed_slots: false,
-            saturated: false,
-        };
-    }
-    let n = demands.len() as u64;
-    let overhead = cfg.schedule_airtime + cfg.guard * (n + 1);
-    let share = interval.saturating_sub(overhead) / n;
-    if share < cfg.min_slot {
-        // Overhead has eaten the interval: equal division would emit
-        // zero-length (or sub-minimum) slots for everyone.
-        return saturated_round_robin(interval, cfg, demands, seq, false);
-    }
-    let entries = demands.iter().map(|d| (d.client, share)).collect();
-    let mut s = lay_out(entries, cfg, interval, seq);
-    s.fixed_slots = true;
-    s
-}
-
-fn build_slotted(
-    interval: SimDuration,
-    tcp_weight: f64,
-    cfg: &BuilderConfig,
-    demands: &[ClientDemand],
-    seq: u64,
-) -> Schedule {
-    assert!((0.0..1.0).contains(&tcp_weight), "tcp_weight must be in [0,1)");
-    if demands.is_empty() {
-        return Schedule {
-            seq,
-            entries: Vec::new(),
-            next_srp: interval,
-            unchanged: false,
-            fixed_slots: false,
-            saturated: false,
-        };
-    }
-    let n = demands.len() as u64;
-    let overhead = cfg.schedule_airtime + cfg.guard * (n + 2);
-    let usable = interval.saturating_sub(overhead);
-    let tcp_slot = SimDuration::from_us((usable.as_us() as f64 * tcp_weight) as u64);
-    let udp_share = usable.saturating_sub(tcp_slot) / n;
-    if udp_share < cfg.min_slot {
-        // Same degradation as the static policy, but keep a broadcast TCP
-        // slot so spliced streams aren't starved entirely.
-        return saturated_round_robin(interval, cfg, demands, seq, true);
-    }
-    let mut entries = Vec::with_capacity(demands.len() + 1);
-    entries.push((HostAddr::BROADCAST, tcp_slot));
-    for d in demands {
-        entries.push((d.client, udp_share));
-    }
-    let mut s = lay_out(entries, cfg, interval, seq);
-    s.fixed_slots = true;
-    s
-}
-
-/// Trim slots that would run past the interval boundary.
-fn clamp_to_interval(s: &mut Schedule, interval: SimDuration, guard: SimDuration) {
-    let limit = interval.saturating_sub(guard);
-    s.entries.retain(|e| e.rp_offset < limit);
-    for e in &mut s.entries {
-        let end = e.rp_offset + e.duration;
-        if end > limit {
-            e.duration = limit.saturating_sub(e.rp_offset);
-        }
-    }
-    s.entries.retain(|e| !e.duration.is_zero());
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn demand(host: u32, udp: u64, tcp: u64) -> ClientDemand {
-        ClientDemand { client: HostAddr(host), udp_bytes: udp, tcp_bytes: tcp, avg_pkt: 1_000 }
+        ClientDemand::new(HostAddr(host), udp, tcp, 1_000)
     }
 
     fn cfg() -> BuilderConfig {
@@ -521,19 +229,20 @@ mod tests {
     fn psm_window_uses_demand_weighted_mean_pkt_size() {
         let c = cfg();
         // 56 kbps stream: small packets; 512 kbps stream: near-MTU packets.
-        let d56 =
-            ClientDemand { client: HostAddr(1), udp_bytes: 7_000, tcp_bytes: 0, avg_pkt: 350 };
-        let d512 =
-            ClientDemand { client: HostAddr(2), udp_bytes: 64_000, tcp_bytes: 0, avg_pkt: 1_400 };
+        let d56 = ClientDemand::new(HostAddr(1), 7_000, 0, 350);
+        let d512 = ClientDemand::new(HostAddr(2), 64_000, 0, 1_400);
         let demands = [d56, d512];
         let total: u64 = demands.iter().map(|d| d.total()).sum();
 
         // Ground truth: drain each queue at its own packet size.
-        let exact_us: u64 =
-            demands.iter().map(|d| super::drain_time(&c, d.total(), d.avg_pkt).as_us()).sum();
+        let exact_us: u64 = demands
+            .iter()
+            .map(|d| crate::policy::drain_time(&c, d.total(), d.avg_pkt).as_us())
+            .sum();
         let old_max = demands.iter().map(|d| d.avg_pkt).max().unwrap();
-        let old_us = super::drain_time(&c, total, old_max).as_us();
-        let new_us = super::drain_time(&c, total, super::weighted_avg_pkt(&demands)).as_us();
+        let old_us = crate::policy::drain_time(&c, total, old_max).as_us();
+        let new_us =
+            crate::policy::drain_time(&c, total, crate::policy::weighted_avg_pkt(&demands)).as_us();
 
         assert!(old_us < exact_us, "max-based estimate mis-reserves: {old_us} vs exact {exact_us}");
         assert!(
@@ -544,7 +253,7 @@ mod tests {
         // And the built schedule actually reserves the larger window
         // (interval chosen big enough that no clamping hides the fix).
         let s = build_schedule(
-            SchedulePolicy::PsmBeacon { interval: SimDuration::from_secs(1) },
+            PolicyKind::PsmBeacon { interval: SimDuration::from_secs(1) },
             &c,
             &demands,
             0,
@@ -560,7 +269,7 @@ mod tests {
         // Overhead alone (2 ms airtime + 11 guards) dwarfs the 5 ms
         // interval; the old integer division handed all 10 clients
         // zero-length slots and emitted every entry anyway.
-        let s = build_schedule(SchedulePolicy::StaticEqual { interval }, &cfg(), &demands, 0);
+        let s = build_schedule(PolicyKind::StaticEqual { interval }, &cfg(), &demands, 0);
         assert!(s.saturated, "schedule must be flagged saturated");
         assert!(!s.entries.is_empty(), "at least one client is served per interval");
         assert!(s.entries.iter().all(|e| !e.duration.is_zero()), "no zero-length slots");
@@ -568,7 +277,7 @@ mod tests {
 
         // The round-robin rotates with the sequence number so every
         // client is eventually served.
-        let s1 = build_schedule(SchedulePolicy::StaticEqual { interval }, &cfg(), &demands, 1);
+        let s1 = build_schedule(PolicyKind::StaticEqual { interval }, &cfg(), &demands, 1);
         assert_ne!(s.entries[0].client, s1.entries[0].client, "rotation by seq");
 
         // The flag survives the wire.
@@ -580,7 +289,7 @@ mod tests {
         let interval = SimDuration::from_ms(30);
         let demands: Vec<ClientDemand> = (0..40).map(|i| demand(i, 1_000, 0)).collect();
         let s = build_schedule(
-            SchedulePolicy::SlottedStatic { interval, tcp_weight: 0.33 },
+            PolicyKind::SlottedStatic { interval, tcp_weight: 0.33 },
             &cfg(),
             &demands,
             0,
@@ -596,7 +305,7 @@ mod tests {
     #[test]
     fn fixed_slots_proportional_to_queues() {
         let s = build_schedule(
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             &cfg(),
             &[demand(1, 30_000, 0), demand(2, 10_000, 0)],
             0,
@@ -621,7 +330,7 @@ mod tests {
         for i in 1..10 {
             demands.push(demand(i, 300, 0));
         }
-        let s = build_schedule(SchedulePolicy::DynamicFixed { interval }, &c, &demands, 0);
+        let s = build_schedule(PolicyKind::DynamicFixed { interval }, &c, &demands, 0);
         assert!(!s.saturated, "floors fit: 10 × 4 ms within 100 ms");
         for d in &demands {
             assert!(
@@ -642,7 +351,7 @@ mod tests {
         c.min_slot = SimDuration::from_ms(4);
         let interval = SimDuration::from_ms(20);
         let demands: Vec<ClientDemand> = (0..10).map(|i| demand(i, 1_000, 0)).collect();
-        let s = build_schedule(SchedulePolicy::DynamicFixed { interval }, &c, &demands, 0);
+        let s = build_schedule(PolicyKind::DynamicFixed { interval }, &c, &demands, 0);
         assert!(s.saturated, "10 × 4 ms floors cannot fit 20 ms");
         assert!(!s.entries.is_empty());
         assert!(s.entries.iter().all(|e| !e.duration.is_zero()));
@@ -657,7 +366,7 @@ mod tests {
             demands.push(demand(i, 300, 0));
         }
         let s = build_schedule(
-            SchedulePolicy::DynamicVariable {
+            PolicyKind::DynamicVariable {
                 min: SimDuration::from_ms(100),
                 max: SimDuration::from_ms(500),
             },
@@ -679,7 +388,7 @@ mod tests {
     #[test]
     fn fixed_skips_idle_clients() {
         let s = build_schedule(
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             &cfg(),
             &[demand(1, 0, 0), demand(2, 5_000, 0)],
             0,
@@ -694,7 +403,7 @@ mod tests {
             let demands: Vec<ClientDemand> =
                 (0..10).map(|i| demand(i, 1_000 * (i as u64 + 1), 0)).collect();
             let s = build_schedule(
-                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(interval_ms) },
+                PolicyKind::DynamicFixed { interval: SimDuration::from_ms(interval_ms) },
                 &cfg(),
                 &demands,
                 0,
@@ -711,7 +420,7 @@ mod tests {
     #[test]
     fn variable_interval_tracks_demand() {
         let small = build_schedule(
-            SchedulePolicy::DynamicVariable {
+            PolicyKind::DynamicVariable {
                 min: SimDuration::from_ms(100),
                 max: SimDuration::from_ms(500),
             },
@@ -721,7 +430,7 @@ mod tests {
         );
         assert_eq!(small.next_srp, SimDuration::from_ms(100), "clamped up to min");
         let big = build_schedule(
-            SchedulePolicy::DynamicVariable {
+            PolicyKind::DynamicVariable {
                 min: SimDuration::from_ms(100),
                 max: SimDuration::from_ms(500),
             },
@@ -736,7 +445,7 @@ mod tests {
     #[test]
     fn variable_overload_scales_slots_down() {
         let s = build_schedule(
-            SchedulePolicy::DynamicVariable {
+            PolicyKind::DynamicVariable {
                 min: SimDuration::from_ms(100),
                 max: SimDuration::from_ms(500),
             },
@@ -752,7 +461,7 @@ mod tests {
     #[test]
     fn static_equal_gives_every_client_a_slot() {
         let s = build_schedule(
-            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) },
             &cfg(),
             &[demand(1, 0, 0), demand(2, 9_999, 0), demand(3, 5, 0)],
             0,
@@ -766,13 +475,13 @@ mod tests {
     fn static_schedules_are_identical_across_intervals() {
         let demands = [demand(1, 100, 0), demand(2, 50_000, 0)];
         let a = build_schedule(
-            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) },
             &cfg(),
             &demands,
             0,
         );
         let b = build_schedule(
-            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) },
             &cfg(),
             &[demand(1, 999_999, 0), demand(2, 0, 0)],
             1,
@@ -783,7 +492,7 @@ mod tests {
     #[test]
     fn slotted_static_has_tcp_slot_first() {
         let s = build_schedule(
-            SchedulePolicy::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: 0.33 },
+            PolicyKind::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: 0.33 },
             &cfg(),
             &(0..4).map(|i| demand(i, 1_000, 0)).collect::<Vec<_>>(),
             0,
@@ -799,7 +508,7 @@ mod tests {
     #[test]
     fn slots_for_includes_broadcast() {
         let s = build_schedule(
-            SchedulePolicy::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: 0.10 },
+            PolicyKind::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: 0.10 },
             &cfg(),
             &[demand(1, 0, 0), demand(2, 0, 0)],
             0,
@@ -811,7 +520,7 @@ mod tests {
     #[test]
     fn empty_demands_yield_empty_schedule() {
         let s = build_schedule(
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             &cfg(),
             &[],
             3,

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use powerburst_core::{
-    build_schedule, BuilderConfig, ClientDemand, MarkCoordinator, Schedule, ScheduleEntry,
-    SchedulePolicy,
+    build_schedule, BuilderConfig, ClientDemand, MarkCoordinator, PolicyKind, Schedule,
+    ScheduleEntry,
 };
 use powerburst_net::HostAddr;
 use powerburst_sim::SimDuration;
@@ -84,21 +84,16 @@ proptest! {
         let demands: Vec<ClientDemand> = demands
             .into_iter()
             .enumerate()
-            .map(|(i, (udp, tcp))| ClientDemand {
-                client: HostAddr(i as u32 + 1),
-                udp_bytes: udp,
-                tcp_bytes: tcp,
-                avg_pkt: 1_000,
-            })
+            .map(|(i, (udp, tcp))| ClientDemand::new(HostAddr(i as u32 + 1), udp, tcp, 1_000))
             .collect();
         let policy = match policy_idx {
-            0 => SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(interval_ms) },
-            1 => SchedulePolicy::DynamicVariable {
+            0 => PolicyKind::DynamicFixed { interval: SimDuration::from_ms(interval_ms) },
+            1 => PolicyKind::DynamicVariable {
                 min: SimDuration::from_ms(100),
                 max: SimDuration::from_ms(500),
             },
-            2 => SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(interval_ms) },
-            _ => SchedulePolicy::SlottedStatic {
+            2 => PolicyKind::StaticEqual { interval: SimDuration::from_ms(interval_ms) },
+            _ => PolicyKind::SlottedStatic {
                 interval: SimDuration::from_ms(interval_ms.max(100)),
                 tcp_weight,
             },

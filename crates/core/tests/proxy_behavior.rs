@@ -4,9 +4,7 @@
 
 use std::any::Any;
 
-use powerburst_core::{
-    Proxy, ProxyConfig, ProxyMode, Schedule, SchedulePolicy, PROXY_AP, PROXY_LAN,
-};
+use powerburst_core::{PolicyKind, Proxy, ProxyConfig, ProxyMode, Schedule, PROXY_AP, PROXY_LAN};
 use powerburst_net::{
     ports, AccessPoint, AirtimeModel, ApDelayParams, Ctx, Delivery, Endpoint, HostAddr, IfaceId,
     LinkSpec, Node, NodeConfig, NodeId, Packet, SockAddr, TimerToken, World, AP_RADIO, AP_WIRED,
@@ -81,7 +79,7 @@ struct TestWorld {
     client: NodeId,
 }
 
-fn build(policy: SchedulePolicy, mode: ProxyMode, source: UdpSource) -> TestWorld {
+fn build(policy: PolicyKind, mode: ProxyMode, source: UdpSource) -> TestWorld {
     let mut world = World::new(17);
     let src = world.add_node(Box::new(source), NodeConfig::wired(SERVER));
     let mut pcfg =
@@ -119,8 +117,8 @@ fn build(policy: SchedulePolicy, mode: ProxyMode, source: UdpSource) -> TestWorl
     TestWorld { world, proxy, client }
 }
 
-fn fixed(ms: u64) -> SchedulePolicy {
-    SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(ms) }
+fn fixed(ms: u64) -> PolicyKind {
+    PolicyKind::DynamicFixed { interval: SimDuration::from_ms(ms) }
 }
 
 #[test]

@@ -40,6 +40,16 @@ fn d003_unseeded_rng_fires_outside_sim_rng() {
 }
 
 #[test]
+fn d003_covers_the_channel_model() {
+    // The Markov channel model draws exclusively from an RNG injected at
+    // construction (derived from the master seed); a model that reaches
+    // for ambient randomness instead is a D003 violation — net/channel
+    // gets no scope exemption.
+    let r = fixture("bad");
+    assert_eq!(fired(&r, "crates/net/src/channel.rs"), vec![(9, Rule::D003), (16, Rule::D003)]);
+}
+
+#[test]
 fn d004_env_and_sleep_fire_in_sim_crates() {
     let r = fixture("bad");
     assert_eq!(fired(&r, "crates/sim/src/clock.rs"), vec![(3, Rule::D004), (7, Rule::D004)]);
@@ -70,7 +80,7 @@ fn d007_console_output_fires_outside_the_cli() {
 #[test]
 fn bad_tree_has_no_surprise_violations() {
     let r = fixture("bad");
-    let expected = 3 + 2 + 2 + 2 + 3 + 2 + 2;
+    let expected = 3 + 2 + 2 + 2 + 2 + 3 + 2 + 2;
     assert_eq!(r.violations.len(), expected, "unexpected: {:#?}", r.violations);
     assert!(!r.is_clean());
 }

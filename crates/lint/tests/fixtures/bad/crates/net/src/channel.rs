@@ -1,0 +1,18 @@
+//! Fixture: D003 — a channel model must draw only from its injected
+//! seeded RNG; reaching for ambient randomness fires.
+pub struct ChannelModel {
+    states: Vec<u8>,
+}
+
+impl ChannelModel {
+    pub fn advance_epoch(&mut self) {
+        let mut rng = rand::thread_rng();
+        for s in &mut self.states {
+            *s = (rng.next() % 3) as u8;
+        }
+    }
+
+    pub fn reseed(&mut self) -> u64 {
+        rand::random::<u64>()
+    }
+}

@@ -24,7 +24,9 @@
 
 pub mod addr;
 pub mod ap;
+pub mod channel;
 pub mod faults;
+pub mod feedback;
 pub mod forward;
 pub mod link;
 pub mod medium;
@@ -37,7 +39,9 @@ pub mod world;
 
 pub use addr::{ports, HostAddr, IfaceId, NodeId, SockAddr};
 pub use ap::{AccessPoint, ApDelayParams, ApDelayProcess, AP_RADIO, AP_WIRED};
+pub use channel::{ChannelModel, ChannelQuality, MarkovChannelConfig};
 pub use faults::{ApJitterFault, FaultInjector, FaultPlan, FaultStats};
+pub use feedback::ReceiverReport;
 pub use forward::{StaticRouter, Switch};
 pub use link::{Endpoint, Link, LinkSpec, WireOutcome};
 pub use medium::{AirtimeModel, Medium, TxOutcome};

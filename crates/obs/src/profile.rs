@@ -41,6 +41,17 @@ pub struct BenchJob {
     pub wall_s: f64,
     /// Simulation events dispatched during the run (0 if unknown).
     pub sim_events: u64,
+    /// Mean client energy saved, percent — only recorded by stages whose
+    /// point is an energy comparison (the per-policy rows); omitted from
+    /// the JSON otherwise. Unlike wall time this *is* deterministic.
+    pub saved_pct: Option<f64>,
+}
+
+impl BenchJob {
+    /// A plain timing job (no energy figure).
+    pub fn new(label: String, wall_s: f64, sim_events: u64) -> BenchJob {
+        BenchJob { label, wall_s, sim_events, saved_pct: None }
+    }
 }
 
 /// One profiled stage (an experiment, a sweep, or a pipeline step).
@@ -122,9 +133,13 @@ impl BenchReport {
                     s.push(',');
                 }
                 s.push_str(&format!(
-                    "{{\"label\":\"{}\",\"wall_s\":{:.6},\"sim_events\":{}}}",
+                    "{{\"label\":\"{}\",\"wall_s\":{:.6},\"sim_events\":{}",
                     job.label, job.wall_s, job.sim_events
                 ));
+                if let Some(p) = job.saved_pct {
+                    s.push_str(&format!(",\"saved_pct\":{p:.2}"));
+                }
+                s.push('}');
             }
             s.push_str("]}");
         }
@@ -245,7 +260,7 @@ mod tests {
             wall_s: 2.0,
             threads: 4,
             sim_events: 1_000,
-            jobs: vec![BenchJob { label: "i100".into(), wall_s: 0.5, sim_events: 250 }],
+            jobs: vec![BenchJob::new("i100".into(), 0.5, 250)],
         });
         r.stages.push(BenchStage {
             name: "instrumented".into(),
@@ -272,7 +287,7 @@ mod tests {
                 wall_s: 2.0,
                 threads: 1,
                 sim_events: events,
-                jobs: vec![BenchJob { label: "job".into(), wall_s: 2.0, sim_events: events }],
+                jobs: vec![BenchJob::new("job".into(), 2.0, events)],
             });
         }
         let rates = parse_stage_rates(&r.to_json());
@@ -281,6 +296,36 @@ mod tests {
         assert!((rates[0].1 - 2_000.0).abs() < 1e-6);
         assert_eq!(rates[1].0, "web");
         assert!((rates[1].1 - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saved_pct_is_emitted_only_when_present() {
+        let mut r = BenchReport::new("pr7");
+        r.stages.push(BenchStage {
+            name: "policy".into(),
+            wall_s: 1.0,
+            threads: 1,
+            sim_events: 100,
+            jobs: vec![
+                BenchJob::new("plain".into(), 0.5, 50),
+                BenchJob { saved_pct: Some(61.25), ..BenchJob::new("energy".into(), 0.5, 50) },
+            ],
+        });
+        let j = r.to_json();
+        assert!(
+            j.contains(
+                "\"label\":\"energy\",\"wall_s\":0.500000,\"sim_events\":50,\"saved_pct\":61.25}"
+            ),
+            "json: {j}"
+        );
+        assert!(
+            j.contains("\"label\":\"plain\",\"wall_s\":0.500000,\"sim_events\":50}"),
+            "json: {j}"
+        );
+        // The stage-rate scanner ignores the new key.
+        let rates = parse_stage_rates(&j);
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, "policy");
     }
 
     #[test]

@@ -12,8 +12,8 @@ use powerburst_core::{Proxy, ProxyConfig, PROXY_AP, PROXY_LAN};
 use powerburst_energy::{naive_energy_mj, CardSpec};
 use powerburst_net::faults::{clock_skew_ramp, fault_stream, fault_streams, ApJitterFault};
 use powerburst_net::{
-    ports, AccessPoint, Endpoint, HostAddr, IfaceId, NodeConfig, NodeId, Pipe, SockAddr,
-    StaticRouter, Switch, World, AP_WIRED,
+    ports, AccessPoint, ChannelModel, Endpoint, HostAddr, IfaceId, NodeConfig, NodeId, Pipe,
+    SockAddr, StaticRouter, Switch, World, AP_WIRED,
 };
 use powerburst_obs::{Counter, Recorder, RecorderConfig};
 use powerburst_sim::rng::streams;
@@ -137,6 +137,15 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     pcfg.flag_unchanged = cfg.flag_unchanged;
     pcfg.admission = cfg.admission;
     let mut proxy_node = Proxy::new(pcfg);
+    if let Some(chan_cfg) = cfg.channel {
+        // The model draws from its own derived stream, so attaching it
+        // never perturbs any other stochastic component of the run.
+        proxy_node.set_channel_model(ChannelModel::new(
+            chan_cfg,
+            n,
+            derive_rng(cfg.seed, streams::CHANNEL),
+        ));
+    }
     proxy_node.set_recorder(obs.clone());
     let proxy = world.add_node(
         Box::new(proxy_node),
@@ -204,11 +213,19 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     for (i, spec) in cfg.clients.iter().enumerate() {
         let host = hosts::client(i);
         let app: Box<dyn App> = match &spec.kind {
-            ClientKind::Video { .. } => Box::new(VideoClientApp::new(
-                SockAddr::new(host, ports::MEDIA),
-                SockAddr::new(hosts::VIDEO_SERVER, ports::MEDIA),
-                i as u64,
-            )),
+            ClientKind::Video { fidelity } => {
+                let mut app = VideoClientApp::new(
+                    SockAddr::new(host, ports::MEDIA),
+                    SockAddr::new(hosts::VIDEO_SERVER, ports::MEDIA),
+                    i as u64,
+                );
+                if cfg.buffer_reports {
+                    // Playout drains at the nominal stream rate; the report
+                    // format widens to 32 bytes only on this opt-in path.
+                    app = app.with_buffer_reports(fidelity.effective_bps() as u64);
+                }
+                Box::new(app)
+            }
             ClientKind::Web { script } => {
                 let mut rng = derive_rng(cfg.seed, streams::TRAFFIC_BASE + 100 + i as u64);
                 let pages = generate_script(script, &mut rng);
@@ -416,7 +433,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
 mod tests {
     use super::*;
     use crate::config::{ClientKind, ClientSpec, ScenarioConfig};
-    use powerburst_core::SchedulePolicy;
+    use powerburst_core::PolicyKind;
     use powerburst_sim::SimDuration;
     use powerburst_traffic::Fidelity;
 
@@ -426,7 +443,7 @@ mod tests {
             .collect();
         ScenarioConfig::new(
             42,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             clients,
         )
         .with_duration(SimDuration::from_secs(secs))

@@ -1,8 +1,10 @@
 //! Experiment configuration: network parameters, client specifications,
 //! and scenario assembly inputs.
 
-use powerburst_core::{AdmissionConfig, BandwidthModel, ProxyMode, SchedulePolicy};
-use powerburst_net::{AirtimeModel, ApDelayParams, FaultPlan, LinkSpec, PipeSpec};
+use powerburst_core::{AdmissionConfig, BandwidthModel, PolicyKind, ProxyMode};
+use powerburst_net::{
+    AirtimeModel, ApDelayParams, FaultPlan, LinkSpec, MarkovChannelConfig, PipeSpec,
+};
 use powerburst_sim::SimDuration;
 use powerburst_traffic::{AdaptConfig, Fidelity, WebScriptConfig};
 
@@ -155,7 +157,7 @@ pub struct ScenarioConfig {
     /// Network parameters.
     pub net: NetworkConfig,
     /// Proxy scheduling policy.
-    pub policy: SchedulePolicy,
+    pub policy: PolicyKind,
     /// Proxy connection mode (split vs pass-through ablation).
     pub proxy_mode: ProxyMode,
     /// Proxy send-cost model.
@@ -182,11 +184,31 @@ pub struct ScenarioConfig {
     pub faults: FaultPlan,
     /// Observability (metrics/events) collection. Defaults to off.
     pub obs: ObsConfig,
+    /// Seeded Markov channel-state model attached to the proxy. `None`
+    /// (the default) keeps the paper's fixed-rate assumption; only the
+    /// channel-aware policy reads the resulting states, so the model is
+    /// passive under every other policy.
+    pub channel: Option<MarkovChannelConfig>,
+    /// Video clients send buffer-extended (32-byte) receiver reports so
+    /// the proxy can snoop playout occupancy. Off by default — legacy
+    /// 24-byte reports keep golden traces byte-identical. Enabled
+    /// automatically by [`ScenarioConfig::new`] when the policy is
+    /// buffer-aware.
+    pub buffer_reports: bool,
 }
 
 impl ScenarioConfig {
     /// A scenario with paper-standard network settings.
-    pub fn new(seed: u64, policy: SchedulePolicy, clients: Vec<ClientSpec>) -> ScenarioConfig {
+    pub fn new(seed: u64, policy: PolicyKind, clients: Vec<ClientSpec>) -> ScenarioConfig {
+        // The two policy-aware inputs default on when their policy is
+        // selected, so `--policy channel|buffer` works without extra
+        // flags; both stay off otherwise to keep the default information
+        // set (and the golden traces) identical to the paper's.
+        let channel = match policy {
+            PolicyKind::ChannelAware { .. } => Some(MarkovChannelConfig::default()),
+            _ => None,
+        };
+        let buffer_reports = matches!(policy, PolicyKind::BufferAware { .. });
         ScenarioConfig {
             seed,
             net: NetworkConfig::default(),
@@ -203,6 +225,8 @@ impl ScenarioConfig {
             admission: None,
             faults: FaultPlan::NONE,
             obs: ObsConfig::OFF,
+            channel,
+            buffer_reports,
         }
     }
 
@@ -221,6 +245,12 @@ impl ScenarioConfig {
     /// Enable observability collection (builder style).
     pub fn with_obs(mut self, obs: ObsConfig) -> ScenarioConfig {
         self.obs = obs;
+        self
+    }
+
+    /// Attach (or detach) the Markov channel model (builder style).
+    pub fn with_channel(mut self, cfg: Option<MarkovChannelConfig>) -> ScenarioConfig {
+        self.channel = cfg;
         self
     }
 }

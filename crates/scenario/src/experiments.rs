@@ -8,7 +8,7 @@
 
 use std::sync::Mutex;
 
-use powerburst_core::{ProxyMode, SchedulePolicy};
+use powerburst_core::{PolicyKind, ProxyMode, DEFAULT_TARGET_BUFFER};
 use powerburst_energy::{optimal_savings_for_rate, CardSpec};
 use powerburst_net::PipeSpec;
 use powerburst_obs::{BenchJob, BenchReport, BenchStage, Stopwatch};
@@ -67,15 +67,15 @@ pub enum IntervalKind {
 
 impl IntervalKind {
     /// The proxy policy for this interval kind.
-    pub fn policy(self) -> SchedulePolicy {
+    pub fn policy(self) -> PolicyKind {
         match self {
             IntervalKind::Fixed100 => {
-                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) }
+                PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) }
             }
             IntervalKind::Fixed500 => {
-                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(500) }
+                PolicyKind::DynamicFixed { interval: SimDuration::from_ms(500) }
             }
-            IntervalKind::Variable => SchedulePolicy::DynamicVariable {
+            IntervalKind::Variable => PolicyKind::DynamicVariable {
                 min: SimDuration::from_ms(100),
                 max: SimDuration::from_ms(500),
             },
@@ -415,7 +415,7 @@ pub fn fig6_early_transition(opt: &ExpOptions) -> Vec<Fig6Row> {
         spec.early_transition = SimDuration::from_ms(early_ms);
         let cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             vec![spec],
         )
         .with_duration(opt.duration);
@@ -547,9 +547,9 @@ pub fn tab_static_vs_dynamic(opt: &ExpOptions) -> Vec<StaticRow> {
     for (p, label) in fids {
         for static_mode in [false, true] {
             let policy = if static_mode {
-                SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) }
+                PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) }
             } else {
-                SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) }
+                PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) }
             };
             let mut clients = video_clients(p, 10);
             if static_mode {
@@ -650,7 +650,7 @@ pub fn fig7_slotted_static(opt: &ExpOptions) -> Vec<Fig7Row> {
         clients.push(ClientSpec::new(ClientKind::Web { script }));
         let cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: w },
+            PolicyKind::SlottedStatic { interval: SimDuration::from_ms(500), tcp_weight: w },
             clients,
         )
         .with_duration(opt.duration);
@@ -739,7 +739,7 @@ pub fn tab_drop_impact(opt: &ExpOptions) -> Vec<DropRow> {
     let mk = |radio: RadioMode, pipe: Option<PipeSpec>, radio_loss: f64| {
         let mut cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             vec![ClientSpec::new(ClientKind::Ftp { size })],
         )
         .with_duration(opt.duration);
@@ -890,7 +890,7 @@ pub fn abl_split_connection(opt: &ExpOptions) -> Vec<SplitRow> {
     parallel_sweep(configs, opt.threads, |(label, mode)| {
         let mut cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(500) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(500) },
             vec![ClientSpec::new(ClientKind::Ftp { size })],
         )
         .with_duration(opt.duration);
@@ -952,7 +952,7 @@ pub fn abl_schedule_unchanged(opt: &ExpOptions) -> Vec<UnchangedRow> {
         }
         let mut cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+            PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) },
             clients,
         )
         .with_duration(opt.duration);
@@ -1008,7 +1008,7 @@ pub fn abl_burst_interval(opt: &ExpOptions) -> Vec<IntervalRow> {
     parallel_sweep(configs, opt.threads, |&ms| {
         let cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(ms) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(ms) },
             video_clients(VideoPattern::All256, 10),
         )
         .with_duration(opt.duration);
@@ -1064,7 +1064,7 @@ pub fn abl_delay_compensation(opt: &ExpOptions) -> Vec<CompRow> {
         }
         let mut cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             clients,
         )
         .with_duration(opt.duration);
@@ -1129,7 +1129,7 @@ pub fn abl_psm_baseline(opt: &ExpOptions) -> Vec<PsmRow> {
         configs.push((
             "PSM beacons",
             n,
-            SchedulePolicy::PsmBeacon { interval: SimDuration::from_ms(100) },
+            PolicyKind::PsmBeacon { interval: SimDuration::from_ms(100) },
         ));
     }
     parallel_sweep(configs, opt.threads, |(label, n, policy)| {
@@ -1195,7 +1195,7 @@ pub fn abl_admission_control(opt: &ExpOptions) -> Vec<AdmissionRow> {
     parallel_sweep(configs, opt.threads, |(label, admission)| {
         let mut cfg = ScenarioConfig::new(
             opt.seed,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
             video_clients(VideoPattern::All512, 10),
         )
         .with_duration(opt.duration);
@@ -1239,6 +1239,112 @@ pub fn render_admission(rows: &[AdmissionRow]) -> String {
         ]);
     }
     out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A7 — scheduling-policy A/B: fixed / variable / channel / buffer.
+// ---------------------------------------------------------------------------
+
+/// The four pluggable slot allocators compared by the A/B experiment and
+/// the per-policy bench stages, at the paper's 100 ms cadence.
+pub const POLICY_AB: [(&str, PolicyKind); 4] = [
+    ("fixed", PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) }),
+    (
+        "variable",
+        PolicyKind::DynamicVariable {
+            min: SimDuration::from_ms(100),
+            max: SimDuration::from_ms(500),
+        },
+    ),
+    ("channel", PolicyKind::ChannelAware { interval: SimDuration::from_ms(100) }),
+    (
+        "buffer",
+        PolicyKind::BufferAware {
+            interval: SimDuration::from_ms(100),
+            target_buffer: DEFAULT_TARGET_BUFFER,
+        },
+    ),
+];
+
+/// One row of the policy A/B table.
+#[derive(Debug, Clone)]
+pub struct PolicyAbRow {
+    /// Policy name (the `--policy` flag value).
+    pub policy: &'static str,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Savings over clients.
+    pub saved: Summary,
+    /// Loss percent over clients.
+    pub loss: Summary,
+    /// RealServer downshifts (quality-degradation indicator).
+    pub downshifts: u32,
+    /// Schedules broadcast by the proxy.
+    pub schedules: u64,
+}
+
+/// Run the policy A/B (A7): every registered slot allocator over the two
+/// reference workloads — Figure 4's mixed-fidelity video row and Figure
+/// 5's video+web blend. `ScenarioConfig::new` attaches the Markov channel
+/// model for `channel` and buffer-extended reports for `buffer`, so each
+/// policy runs with exactly the information set it would have in a real
+/// deployment; `fixed` is byte-identical to the paper's builder.
+pub fn ab_policy_comparison(opt: &ExpOptions) -> Vec<PolicyAbRow> {
+    let mut configs = Vec::new();
+    for (pname, policy) in POLICY_AB {
+        configs.push((
+            pname,
+            "10xvideo-mixed",
+            ScenarioConfig::new(opt.seed, policy, video_clients(VideoPattern::Mixed, 10))
+                .with_duration(opt.duration),
+        ));
+        let mut blend = video_clients(VideoPattern::Mixed, 7);
+        for _ in 0..3 {
+            blend.push(web_spec());
+        }
+        configs.push((
+            pname,
+            "7xvideo+3xweb",
+            ScenarioConfig::new(opt.seed, policy, blend).with_duration(opt.duration),
+        ));
+    }
+    parallel_sweep(configs, opt.threads, |(pname, wlabel, cfg)| {
+        let r = run_scenario(cfg);
+        PolicyAbRow {
+            policy: pname,
+            workload: wlabel,
+            saved: r.saved_all(),
+            loss: r.loss_summary(|_| true),
+            downshifts: r.downshifts,
+            schedules: r.proxy.schedules_sent,
+        }
+    })
+}
+
+/// Render the policy A/B table.
+pub fn render_policy_ab(rows: &[PolicyAbRow]) -> String {
+    let mut out = banner("A7 — scheduling-policy A/B (fixed / variable / channel / buffer)");
+    for wlabel in ["10xvideo-mixed", "7xvideo+3xweb"] {
+        out.push_str(&format!("\n{wlabel}\n"));
+        let mut t = Table::new(vec![
+            "policy",
+            "energy saved % (min–max)",
+            "loss %",
+            "downshifts",
+            "schedules",
+        ]);
+        for r in rows.iter().filter(|r| r.workload == wlabel) {
+            t.row(vec![
+                r.policy.to_string(),
+                fmt_summary(&r.saved),
+                format!("{:.2}", r.loss.mean),
+                r.downshifts.to_string(),
+                r.schedules.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
     out
 }
 
@@ -1300,12 +1406,13 @@ pub fn run_all(opt: &ExpOptions) -> String {
     push(render_delay_compensation(&abl_delay_compensation(opt)));
     push(render_psm(&abl_psm_baseline(opt)));
     push(render_admission(&abl_admission_control(opt)));
+    push(render_policy_ab(&ab_policy_comparison(opt)));
     push(render_bandwidth_model(&tab_bandwidth_model(opt)));
     out.into_inner().expect("experiment output poisoned")
 }
 
 // ---------------------------------------------------------------------------
-// Perf profiling — the BENCH_pr6.json report.
+// Perf profiling — the BENCH_pr7.json report.
 // ---------------------------------------------------------------------------
 
 /// The named single-run throughput scenarios of the bench suite. Each
@@ -1315,7 +1422,7 @@ pub const BENCH_SCENARIOS: [&str; 4] = ["video", "web", "mix", "faulted"];
 
 /// Build one named throughput scenario (see [`BENCH_SCENARIOS`]).
 fn bench_scenario(name: &str, opt: &ExpOptions) -> ScenarioConfig {
-    let policy = SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) };
+    let policy = PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) };
     let cfg = match name {
         // Figure 4's densest row: ten streaming clients.
         "video" => ScenarioConfig::new(opt.seed, policy, video_clients(VideoPattern::All56, 10)),
@@ -1395,7 +1502,7 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
     let jobs: Vec<BenchJob> = labels
         .into_iter()
         .zip(events.iter().zip(timing.job_wall_s.iter()))
-        .map(|(label, (&sim_events, &wall_s))| BenchJob { label, wall_s, sim_events })
+        .map(|(label, (&sim_events, &wall_s))| BenchJob::new(label, wall_s, sim_events))
         .collect();
     let sweep_stage = BenchStage {
         name: "fig4-sweep".to_string(),
@@ -1405,7 +1512,7 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
         jobs,
     };
 
-    let mut report = BenchReport::new("pr6");
+    let mut report = BenchReport::new("pr7");
     report.stages.push(sweep_stage);
 
     // Per-scenario throughput: one single-threaded run per named scenario.
@@ -1419,10 +1526,31 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
             wall_s,
             threads: 1,
             sim_events: r.sim_events,
+            jobs: vec![BenchJob::new(format!("{name}/100ms"), wall_s, r.sim_events)],
+        });
+    }
+
+    // Per-policy throughput + energy: each pluggable allocator over the
+    // Figure-5 blend, single-threaded. The `saved_pct` figure is the
+    // deterministic half of each row; events/sec tracks what the extra
+    // policy inputs (channel model, buffer snooping) cost the hot path.
+    for (pname, policy) in POLICY_AB {
+        let mut clients = video_clients(VideoPattern::All56, 7);
+        for _ in 0..3 {
+            clients.push(ClientSpec::new(ClientKind::Web { script: WebScriptConfig::default() }));
+        }
+        let cfg = ScenarioConfig::new(opt.seed, policy, clients).with_duration(opt.duration);
+        let sw = Stopwatch::start();
+        let r = run_scenario(&cfg);
+        let wall_s = sw.elapsed_s();
+        report.stages.push(BenchStage {
+            name: format!("policy-{pname}"),
+            wall_s,
+            threads: 1,
+            sim_events: r.sim_events,
             jobs: vec![BenchJob {
-                label: format!("{name}/100ms"),
-                wall_s,
-                sim_events: r.sim_events,
+                saved_pct: Some(r.saved_all().mean),
+                ..BenchJob::new(format!("{pname}/mix"), wall_s, r.sim_events)
             }],
         });
     }
@@ -1432,7 +1560,7 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
     // pattern.
     let icfg = ScenarioConfig::new(
         opt.seed,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         video_clients(VideoPattern::All56, 10),
     )
     .with_duration(opt.duration)
@@ -1445,11 +1573,7 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
         wall_s,
         threads: 1,
         sim_events: r.sim_events,
-        jobs: vec![BenchJob {
-            label: "100ms/56k+obs".to_string(),
-            wall_s,
-            sim_events: r.sim_events,
-        }],
+        jobs: vec![BenchJob::new("100ms/56k+obs".to_string(), wall_s, r.sim_events)],
     });
     (report, r)
 }

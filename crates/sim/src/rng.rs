@@ -39,6 +39,8 @@ pub mod streams {
     pub const AP_DELAY: u64 = 0x5000_0000;
     /// Fault-injection streams start here; add the fault sub-stream id.
     pub const FAULT_BASE: u64 = 0x6000_0000;
+    /// Markov channel-state model (per-client radio quality trajectory).
+    pub const CHANNEL: u64 = 0x7000_0000;
 }
 
 #[cfg(test)]

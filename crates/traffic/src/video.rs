@@ -15,7 +15,6 @@
 
 use std::any::Any;
 
-use bytes::{BufMut, Bytes, BytesMut};
 use powerburst_sim::{SimDuration, SimTime};
 use rand::Rng;
 
@@ -160,30 +159,10 @@ struct StreamState {
     done: bool,
 }
 
-/// Receiver-report payload layout (client → server, UDP to `ports::FEEDBACK`):
-/// flow id, highest sequence seen, packets received. 24 bytes.
-pub const REPORT_LEN: usize = 24;
-
-/// Encode a receiver report.
-pub fn encode_report(flow: u64, highest_seq: u64, received: u64) -> Bytes {
-    let mut b = BytesMut::with_capacity(REPORT_LEN);
-    b.put_u64(flow);
-    b.put_u64(highest_seq);
-    b.put_u64(received);
-    b.freeze()
-}
-
-/// Decode a receiver report.
-pub fn decode_report(p: &[u8]) -> Option<(u64, u64, u64)> {
-    if p.len() < REPORT_LEN {
-        return None;
-    }
-    Some((
-        u64::from_be_bytes(p[0..8].try_into().expect("8")),
-        u64::from_be_bytes(p[8..16].try_into().expect("8")),
-        u64::from_be_bytes(p[16..24].try_into().expect("8")),
-    ))
-}
+/// Receiver-report wire codec. Lives in `powerburst_net::feedback` since
+/// PR 7 so the proxy can snoop reports without depending on this crate;
+/// re-exported here for existing call sites.
+pub use powerburst_net::feedback::{decode_report, encode_report, ReceiverReport, REPORT_LEN};
 
 /// Maximum UDP payload per stream packet (media packets are mid-sized).
 pub const MAX_STREAM_PAYLOAD: usize = 700;
@@ -402,6 +381,15 @@ pub struct VideoClientApp {
     /// Receiver-report interval.
     report_every: SimDuration,
     stats: PlayerStats,
+    /// Playout drain rate in bits/sec; `Some` switches the app to the
+    /// 32-byte buffer-extended report format (see
+    /// `powerburst_net::feedback`). `None` keeps the legacy 24-byte
+    /// reports — and therefore byte-identical golden traces.
+    drain_bps: Option<u64>,
+    /// Modelled playout-buffer occupancy, bytes.
+    buffer_bytes: u64,
+    /// When the buffer was last drained (µs of sim time).
+    last_drain_us: u64,
 }
 
 const REPORT_TIMER: TimerToken = APP_TOKEN | 1;
@@ -415,12 +403,39 @@ impl VideoClientApp {
             flow,
             report_every: SimDuration::from_secs(1),
             stats: PlayerStats::default(),
+            drain_bps: None,
+            buffer_bytes: 0,
+            last_drain_us: 0,
         }
+    }
+
+    /// Enable buffer-occupancy reporting: model a playout buffer draining
+    /// at `drain_bps` (the stream's nominal encoding rate) and switch
+    /// receiver reports to the 32-byte buffer-extended layout.
+    pub fn with_buffer_reports(mut self, drain_bps: u64) -> VideoClientApp {
+        self.drain_bps = Some(drain_bps.max(1));
+        self
     }
 
     /// Receive accounting so far.
     pub fn stats(&self) -> PlayerStats {
         self.stats
+    }
+
+    /// Modelled playout-buffer occupancy, bytes (0 unless buffer
+    /// reporting is enabled).
+    pub fn buffer_bytes(&self) -> u64 {
+        self.buffer_bytes
+    }
+
+    /// Drain the modelled playout buffer up to sim time `now_us`.
+    fn drain_to(&mut self, now_us: u64) {
+        let Some(bps) = self.drain_bps else { return };
+        let dt = now_us.saturating_sub(self.last_drain_us);
+        self.last_drain_us = now_us;
+        // bits consumed = bps * dt_us / 1e6; bytes = /8. Integer math only.
+        let consumed = bps.saturating_mul(dt) / 8_000_000;
+        self.buffer_bytes = self.buffer_bytes.saturating_sub(consumed);
     }
 }
 
@@ -433,7 +448,7 @@ impl App for VideoClientApp {
         ctx.set_timer_untracked(powerburst_sim::SimDuration::from_us(phase_us), REPORT_TIMER);
     }
 
-    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         if pkt.proto != Proto::Udp {
             return;
         }
@@ -444,13 +459,24 @@ impl App for VideoClientApp {
         self.stats.received += 1;
         self.stats.bytes += pkt.payload.len() as u64;
         self.stats.highest_plus_one = self.stats.highest_plus_one.max(sp.seq + 1);
+        if self.drain_bps.is_some() {
+            self.drain_to(ctx.now().as_us());
+            self.buffer_bytes = self.buffer_bytes.saturating_add(pkt.payload.len() as u64);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
         if token != REPORT_TIMER {
             return;
         }
-        let report = encode_report(self.flow, self.stats.highest_plus_one, self.stats.received);
+        self.drain_to(ctx.now().as_us());
+        let report = ReceiverReport {
+            flow: self.flow,
+            highest_seq: self.stats.highest_plus_one,
+            received: self.stats.received,
+            buffer_bytes: self.drain_bps.map(|_| self.buffer_bytes),
+        }
+        .encode();
         let dst = SockAddr::new(self.server.host, ports::FEEDBACK);
         let pkt = Packet::udp(0, self.me, dst, report);
         ctx.send_assigning(CLIENT_RADIO, pkt);

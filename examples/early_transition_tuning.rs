@@ -20,7 +20,7 @@ fn main() {
     // One streaming client, 100 ms bursts — capture the trace once.
     let cfg = ScenarioConfig::new(
         9,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         vec![ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })],
     )
     .with_duration(SimDuration::from_secs(secs));

@@ -34,7 +34,7 @@ fn main() {
         }
         let cfg = ScenarioConfig::new(
             5,
-            SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(500) },
+            PolicyKind::DynamicFixed { interval: SimDuration::from_ms(500) },
             clients,
         )
         .with_duration(SimDuration::from_secs(secs));

@@ -14,7 +14,7 @@ fn main() {
     let clients = vec![ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })];
     let cfg = ScenarioConfig::new(
         42,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         clients,
     )
     .with_duration(SimDuration::from_secs(119));

@@ -16,12 +16,12 @@ use powerburst::scenario::report::{fmt_summary, Table};
 fn main() {
     let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(90);
 
-    let policies: [(&str, SchedulePolicy); 3] = [
-        ("100ms", SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) }),
-        ("500ms", SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(500) }),
+    let policies: [(&str, PolicyKind); 3] = [
+        ("100ms", PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) }),
+        ("500ms", PolicyKind::DynamicFixed { interval: SimDuration::from_ms(500) }),
         (
             "variable",
-            SchedulePolicy::DynamicVariable {
+            PolicyKind::DynamicVariable {
                 min: SimDuration::from_ms(100),
                 max: SimDuration::from_ms(500),
             },

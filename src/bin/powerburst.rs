@@ -60,6 +60,7 @@ const USAGE: &str = "powerburst — ICPP 2004 transparent power-aware proxy repr
 USAGE:
   powerburst run [--clients N] [--pattern 56k|256k|512k|split|mix]
                  [--interval 100|500|var] [--secs S] [--seed K]
+                 [--policy fixed|variable|channel|buffer]
                  [--web N] [--ftp BYTES] [--live] [--psm] [--static]
                  [--admission] [--trace-out FILE]
                  [--metrics-out FILE] [--trace-events FILE]
@@ -124,24 +125,41 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     let policy = if f.has("--psm") {
-        SchedulePolicy::PsmBeacon { interval: SimDuration::from_ms(100) }
+        PolicyKind::PsmBeacon { interval: SimDuration::from_ms(100) }
     } else if f.has("--static") {
-        SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) }
+        PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) }
     } else {
-        match f.get("--interval").unwrap_or("100") {
-            "100" => SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
-            "500" => SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(500) },
-            "var" | "variable" => SchedulePolicy::DynamicVariable {
-                min: SimDuration::from_ms(100),
-                max: SimDuration::from_ms(500),
-            },
+        // `--interval` sets the SRP cadence; `--policy` picks the slot
+        // allocator running at that cadence (default: the paper's fixed
+        // demand-proportional builder).
+        let interval = match f.get("--interval").unwrap_or("100") {
+            "100" => Some(SimDuration::from_ms(100)),
+            "500" => Some(SimDuration::from_ms(500)),
+            "var" | "variable" => None,
             ms => match ms.parse::<u64>() {
-                Ok(ms) => SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(ms) },
+                Ok(ms) => Some(SimDuration::from_ms(ms)),
                 Err(_) => {
                     eprintln!("unknown --interval (use 100|500|var or milliseconds)");
                     return ExitCode::FAILURE;
                 }
             },
+        };
+        let fixed = interval.unwrap_or(SimDuration::from_ms(100));
+        match f.get("--policy").unwrap_or(if interval.is_none() { "variable" } else { "fixed" }) {
+            "fixed" => PolicyKind::DynamicFixed { interval: fixed },
+            "var" | "variable" => PolicyKind::DynamicVariable {
+                min: SimDuration::from_ms(100),
+                max: SimDuration::from_ms(500),
+            },
+            "channel" => PolicyKind::ChannelAware { interval: fixed },
+            "buffer" => PolicyKind::BufferAware {
+                interval: fixed,
+                target_buffer: powerburst::core::DEFAULT_TARGET_BUFFER,
+            },
+            _ => {
+                eprintln!("unknown --policy (use fixed|variable|channel|buffer)");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -316,7 +334,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let (again, _) = exp::bench_suite(&opt);
         report.keep_best(again);
     }
-    let out = f.get("--out").unwrap_or("BENCH_pr6.json");
+    let out = f.get("--out").unwrap_or("BENCH_pr7.json");
     if let Err(e) = std::fs::write(out, report.to_json()) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -406,6 +424,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("comp", "A4: adaptive vs fixed-anchor delay compensation"),
     ("psm", "A5: proxy schedule vs 802.11-PSM baseline"),
     ("admission", "A6: §3.2.1 admission control under overload"),
+    ("policies", "A7: scheduling-policy A/B (fixed/variable/channel/buffer)"),
     ("bandwidth", "M1: bandwidth microbenchmark + linear fit"),
 ];
 
@@ -438,6 +457,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "comp" => exp::render_delay_compensation(&exp::abl_delay_compensation(&opt)),
         "psm" => exp::render_psm(&exp::abl_psm_baseline(&opt)),
         "admission" => exp::render_admission(&exp::abl_admission_control(&opt)),
+        "policies" => exp::render_policy_ab(&exp::ab_policy_comparison(&opt)),
         "bandwidth" => exp::render_bandwidth_model(&exp::tab_bandwidth_model(&opt)),
         "all" => exp::run_all(&opt),
         other => {

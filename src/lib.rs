@@ -21,7 +21,7 @@
 //!     .collect();
 //! let cfg = ScenarioConfig::new(
 //!     42,
-//!     SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+//!     PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
 //!     clients,
 //! )
 //! .with_duration(SimDuration::from_secs(10));
@@ -47,8 +47,8 @@ pub use powerburst_transport as transport;
 pub mod prelude {
     pub use powerburst_client::{ClientConfig, ClientPowerStats, CompMode, PowerClient};
     pub use powerburst_core::{
-        BandwidthModel, InvariantKind, InvariantLog, Proxy, ProxyConfig, ProxyMode, Schedule,
-        SchedulePolicy, Violation,
+        BandwidthModel, InvariantKind, InvariantLog, PolicyKind, Proxy, ProxyConfig, ProxyMode,
+        Schedule, Violation,
     };
     pub use powerburst_energy::{
         naive_energy_mj, optimal_savings_for_rate, CardSpec, EnergyReport, Wnic,

@@ -1,0 +1,140 @@
+//! Acceptance tests for the PR 7 Markov channel model.
+//!
+//! Three contracts:
+//!
+//! 1. **Determinism** — the channel-state trajectory is a pure function of
+//!    `(seed, epochs, client count)`: identical across repeats, across
+//!    sampling cadences, and across `parallel_sweep` thread counts.
+//! 2. **Passivity** — the model is observational: attaching it to a run
+//!    whose policy ignores channel states (the paper's fixed policy)
+//!    changes *nothing* — same sim event count, same rendered results.
+//! 3. **End-to-end determinism** — full channel-aware scenarios render
+//!    bit-identically whether jobs run inline or across worker threads.
+
+use std::fmt::Write as _;
+
+use powerburst::net::{ChannelModel, ChannelQuality, MarkovChannelConfig};
+use powerburst::prelude::*;
+use powerburst::sim::rng::streams;
+use powerburst::sim::{derive_rng, parallel_sweep};
+use powerburst::trace::render_postmortem;
+
+fn channel_cfg(seed: u64, policy: PolicyKind) -> ScenarioConfig {
+    let clients =
+        (0..6).map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })).collect();
+    ScenarioConfig::new(seed, policy, clients).with_duration(SimDuration::from_secs(20))
+}
+
+fn render(r: &ScenarioResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "sim_events = {}", r.sim_events);
+    let _ = writeln!(s, "schedules = {}", r.proxy.schedules_sent);
+    let _ = writeln!(s, "invariant_violations = {}", r.invariants.total());
+    for c in &r.clients {
+        s.push_str(&render_postmortem(&format!("client-{} {}", c.host.0, c.label), &c.post));
+    }
+    s
+}
+
+/// Walk a model for `epochs` 100 ms epochs, recording one state vector per
+/// epoch.
+fn trajectory(seed: u64, clients: usize, epochs: u64) -> Vec<Vec<ChannelQuality>> {
+    let mut m = ChannelModel::new(
+        MarkovChannelConfig::default(),
+        clients,
+        derive_rng(seed, streams::CHANNEL),
+    );
+    (1..=epochs)
+        .map(|e| {
+            m.advance_to(powerburst::sim::SimTime::ZERO + SimDuration::from_ms(100) * e);
+            m.states().to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_gives_identical_trajectories() {
+    let a = trajectory(42, 8, 600);
+    let b = trajectory(42, 8, 600);
+    assert_eq!(a, b, "same seed must replay the same trajectory");
+    let c = trajectory(43, 8, 600);
+    assert_ne!(a, c, "different seeds should diverge over 600 epochs");
+}
+
+#[test]
+fn trajectory_is_independent_of_sampling_cadence() {
+    // Advancing epoch-by-epoch or in one leap must land on the same
+    // states: lazy advancement cannot depend on how often the proxy asks.
+    let fine = trajectory(7, 5, 300);
+    let mut m =
+        ChannelModel::new(MarkovChannelConfig::default(), 5, derive_rng(7, streams::CHANNEL));
+    m.advance_to(powerburst::sim::SimTime::ZERO + SimDuration::from_ms(100) * 300);
+    assert_eq!(
+        fine.last().expect("300 epochs").as_slice(),
+        m.states(),
+        "coarse sampling diverged from epoch-by-epoch advancement"
+    );
+}
+
+#[test]
+fn trajectories_are_identical_across_thread_counts() {
+    // The trajectory is pure data + a derived RNG; fanning the *same*
+    // computation across sweep workers must change nothing.
+    let seeds: Vec<u64> = vec![11, 12, 13, 14];
+    let inline = parallel_sweep(seeds.clone(), 1, |&s| trajectory(s, 10, 200));
+    let threaded = parallel_sweep(seeds, 4, |&s| trajectory(s, 10, 200));
+    assert_eq!(inline, threaded, "thread count changed a channel trajectory");
+}
+
+#[test]
+fn model_is_passive_under_channel_blind_policies() {
+    // Same scenario, fixed (channel-blind) policy, with and without the
+    // model attached: the model only *observes* epochs-elapsed and draws
+    // from its own stream, so the simulation must be untouched — event
+    // for event, byte for byte.
+    let policy = PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) };
+    let without = channel_cfg(42, policy);
+    let with = channel_cfg(42, policy).with_channel(Some(MarkovChannelConfig::default()));
+    let r_without = run_scenario(&without);
+    let r_with = run_scenario(&with);
+    assert_eq!(
+        r_without.sim_events, r_with.sim_events,
+        "attaching the channel model changed the sim event count under a fixed policy"
+    );
+    assert_eq!(
+        render(&r_without),
+        render(&r_with),
+        "attaching the channel model perturbed a channel-blind run"
+    );
+}
+
+#[test]
+fn channel_aware_runs_are_deterministic_across_thread_counts() {
+    let policy = PolicyKind::ChannelAware { interval: SimDuration::from_ms(100) };
+    let configs: Vec<ScenarioConfig> =
+        [201u64, 202, 203, 204].iter().map(|&s| channel_cfg(s, policy)).collect();
+    let inline = parallel_sweep(configs.clone(), 1, |c| render(&run_scenario(c)));
+    let threaded = parallel_sweep(configs, 4, |c| render(&run_scenario(c)));
+    assert_eq!(inline, threaded, "thread count changed a channel-aware run");
+}
+
+#[test]
+fn channel_aware_run_is_clean_and_saves_energy() {
+    let policy = PolicyKind::ChannelAware { interval: SimDuration::from_ms(100) };
+    let r = run_scenario(&channel_cfg(42, policy));
+    assert!(r.invariants.is_clean(), "violations: {:?}", r.invariants.violations());
+    let saved = r.saved_all();
+    assert!(saved.mean > 40.0, "channel-aware policy should still save energy: {saved:?}");
+}
+
+#[test]
+fn buffer_aware_run_is_clean_and_saves_energy() {
+    let policy = PolicyKind::BufferAware {
+        interval: SimDuration::from_ms(100),
+        target_buffer: powerburst::core::DEFAULT_TARGET_BUFFER,
+    };
+    let r = run_scenario(&channel_cfg(42, policy));
+    assert!(r.invariants.is_clean(), "violations: {:?}", r.invariants.violations());
+    let saved = r.saved_all();
+    assert!(saved.mean > 40.0, "buffer-aware policy should still save energy: {saved:?}");
+}

@@ -4,13 +4,13 @@
 
 use powerburst::prelude::*;
 
-fn video_cfg(n: usize, fid: Fidelity, policy: SchedulePolicy, secs: u64) -> ScenarioConfig {
+fn video_cfg(n: usize, fid: Fidelity, policy: PolicyKind, secs: u64) -> ScenarioConfig {
     let clients = (0..n).map(|_| ClientSpec::new(ClientKind::Video { fidelity: fid })).collect();
     ScenarioConfig::new(11, policy, clients).with_duration(SimDuration::from_secs(secs))
 }
 
-fn fixed(ms: u64) -> SchedulePolicy {
-    SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(ms) }
+fn fixed(ms: u64) -> PolicyKind {
+    PolicyKind::DynamicFixed { interval: SimDuration::from_ms(ms) }
 }
 
 #[test]
@@ -169,7 +169,7 @@ fn static_schedule_competitive_for_equal_fidelities() {
     let mut static_cfg = video_cfg(
         10,
         Fidelity::K56,
-        SchedulePolicy::StaticEqual { interval: SimDuration::from_ms(100) },
+        PolicyKind::StaticEqual { interval: SimDuration::from_ms(100) },
         60,
     );
     static_cfg.flag_unchanged = true;
@@ -195,7 +195,7 @@ fn static_schedule_competitive_for_equal_fidelities() {
 fn variable_interval_stretches_under_load() {
     // Variable intervals track demand: heavy streams stretch the interval
     // toward the 500 ms cap, light ones sit at the 100 ms floor.
-    let var = SchedulePolicy::DynamicVariable {
+    let var = PolicyKind::DynamicVariable {
         min: SimDuration::from_ms(100),
         max: SimDuration::from_ms(500),
     };

@@ -18,7 +18,7 @@ fn faulted_cfg(seed: u64) -> ScenarioConfig {
         (0..6).map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })).collect();
     let mut cfg = ScenarioConfig::new(
         seed,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         clients,
     )
     .with_duration(SimDuration::from_secs(20));

@@ -19,7 +19,7 @@ fn video_cfg(seed: u64) -> ScenarioConfig {
         (0..5).map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })).collect();
     ScenarioConfig::new(
         seed,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         clients,
     )
     .with_duration(SimDuration::from_secs(20))

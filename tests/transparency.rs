@@ -16,7 +16,7 @@ fn no_wireless_frame_reveals_the_proxy() {
     ];
     let cfg = ScenarioConfig::new(
         21,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         clients,
     )
     .with_duration(SimDuration::from_secs(30));
@@ -43,7 +43,7 @@ fn no_wireless_frame_reveals_the_proxy() {
 fn tcp_data_to_clients_is_spoofed_as_the_server() {
     let cfg = ScenarioConfig::new(
         22,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         vec![ClientSpec::new(ClientKind::Ftp { size: 500_000 })],
     )
     .with_duration(SimDuration::from_secs(20));
@@ -73,7 +73,7 @@ fn every_nonempty_burst_ends_with_a_mark() {
     // doesn't exist or ends with a marked frame.
     let cfg = ScenarioConfig::new(
         23,
-        SchedulePolicy::DynamicFixed { interval: SimDuration::from_ms(100) },
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
         vec![ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K256 })],
     )
     .with_duration(SimDuration::from_secs(30));
