@@ -49,3 +49,4 @@ pub use policy::{
 pub use proxy::{Proxy, ProxyConfig, ProxyMode, ProxyStats, PROXY_AP, PROXY_LAN};
 pub use queues::PacketQueue;
 pub use schedule::{BuilderConfig, ClientDemand, PolicyKind, Schedule, ScheduleEntry};
+pub use wire::{BudgetGrant, DemandReport};

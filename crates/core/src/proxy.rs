@@ -50,6 +50,7 @@ use crate::marking::MarkCoordinator;
 use crate::policy::{build_schedule_into, PolicyScratch};
 use crate::queues::PacketQueue;
 use crate::schedule::{BuilderConfig, ClientDemand, PolicyKind, Schedule};
+use crate::wire::{BudgetGrant, DemandReport};
 
 /// Proxy interface toward the servers (the Fast Ethernet side).
 pub const PROXY_LAN: IfaceId = IfaceId(0);
@@ -95,6 +96,14 @@ pub struct ProxyConfig {
     pub flag_unchanged: bool,
     /// Optional §3.2.1 admission control.
     pub admission: Option<AdmissionConfig>,
+    /// The radio cell this shard serves (0 in the single-AP world).
+    pub cell: u32,
+    /// Coordinator address, when this shard is part of a multi-cell
+    /// deployment: each SRP it sends one aggregate [`DemandReport`] there
+    /// and applies the latest [`BudgetGrant`] that came back. `None` (the
+    /// default) keeps the shard fully autonomous — the 1-cell world has
+    /// no coordinator and behaves byte-identically to the pre-shard code.
+    pub coord: Option<SockAddr>,
 }
 
 impl ProxyConfig {
@@ -112,6 +121,8 @@ impl ProxyConfig {
             mode: ProxyMode::Split,
             flag_unchanged: false,
             admission: None,
+            cell: 0,
+            coord: None,
         }
     }
 }
@@ -135,6 +146,27 @@ pub struct ProxyStats {
     pub splices_created: u64,
     /// Schedules flagged unchanged.
     pub unchanged_schedules: u64,
+    /// Aggregate demand reports sent to the coordinator.
+    pub demand_reports_sent: u64,
+    /// Airtime-budget grants received and applied.
+    pub budget_grants_applied: u64,
+}
+
+impl ProxyStats {
+    /// Fold another shard's counters into this one (multi-cell runs
+    /// report the sum over shards).
+    pub fn merge(&mut self, o: &ProxyStats) {
+        self.schedules_sent += o.schedules_sent;
+        self.bursts += o.bursts;
+        self.udp_packets_sent += o.udp_packets_sent;
+        self.udp_bytes_sent += o.udp_bytes_sent;
+        self.tcp_bytes_fed += o.tcp_bytes_fed;
+        self.queue_drops += o.queue_drops;
+        self.splices_created += o.splices_created;
+        self.unchanged_schedules += o.unchanged_schedules;
+        self.demand_reports_sent += o.demand_reports_sent;
+        self.budget_grants_applied += o.budget_grants_applied;
+    }
 }
 
 struct ClientState {
@@ -192,6 +224,12 @@ pub struct Proxy {
     /// snapshot's `channel` field; `None` keeps the paper's fixed-rate
     /// assumption (every link Good).
     channel: Option<ChannelModel>,
+    /// Latest coordinator airtime grant, permille of the burst interval.
+    /// Stays 1000 (unconstrained) until a [`BudgetGrant`] arrives, so a
+    /// shard without a coordinator schedules exactly like the legacy
+    /// proxy. Grants apply from the *next* SRP — the protocol is fully
+    /// asynchronous and adds no wait to the per-interval path.
+    budget_permille: u32,
     /// Latest snooped buffer occupancy per client (from buffer-extended
     /// receiver reports passing upstream).
     reported_buffers: Vec<Option<u64>>,
@@ -246,6 +284,7 @@ impl Proxy {
             prev_schedule: None,
             spare_schedule: Schedule::default(),
             channel: None,
+            budget_permille: 1000,
             reported_buffers: vec![None; n_clients],
             seq: 0,
             stats: ProxyStats::default(),
@@ -395,6 +434,11 @@ impl Proxy {
             &mut sched,
         );
         self.seq += 1;
+        // Shrink to the coordinator's airtime grant before anything reads
+        // the schedule: the audit, the unchanged comparison, and the
+        // broadcast all see the budgeted layout. A full grant (the only
+        // state a coordinator-less shard ever has) is a strict no-op.
+        sched.apply_airtime_budget(self.budget_permille, bcfg.schedule_airtime, bcfg.guard);
         if self.cfg.flag_unchanged {
             if let Some(prev) = &self.prev_schedule {
                 if prev.same_slots(&sched) {
@@ -404,6 +448,10 @@ impl Proxy {
             }
         }
         self.audit.on_schedule(ctx.now(), &sched, &demands);
+        // Aggregate demand for the coordinator report (O(cell) work that
+        // replaces any O(total clients) coordination).
+        let total_demand: u64 = demands.iter().map(|d| d.total()).sum();
+        let active_clients = demands.iter().filter(|d| d.total() > 0).count() as u32;
         self.demand_scratch = demands;
 
         // Broadcast the schedule. Encoding is checked: a µs field past the
@@ -452,6 +500,26 @@ impl Proxy {
         );
         ctx.send_assigning(PROXY_AP, pkt);
         self.stats.schedules_sent += 1;
+
+        // Report aggregate demand to the coordinator (one fixed-size
+        // datagram per shard per SRP; the grant comes back asynchronously
+        // and shapes the *next* schedule).
+        if let Some(coord) = self.cfg.coord {
+            let report = DemandReport {
+                cell: self.cfg.cell,
+                seq: sched.seq,
+                clients: active_clients,
+                demand_bytes: total_demand,
+            };
+            let rpt = Packet::udp(
+                0,
+                SockAddr::new(self.cfg.addr.host, ports::COORD),
+                coord,
+                report.encode(),
+            );
+            ctx.send_assigning(PROXY_LAN, rpt);
+            self.stats.demand_reports_sent += 1;
+        }
 
         // Arm burst timers and the next SRP.
         for (i, e) in sched.entries.iter().enumerate() {
@@ -888,6 +956,19 @@ impl Proxy {
     fn on_udp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
         if pkt.dst.port == ports::SCHEDULE {
             return; // our own broadcasts never come back, but be safe
+        }
+        if pkt.dst.port == ports::COORD && pkt.dst.host == self.cfg.addr.host {
+            // A coordinator grant for this shard: remember the budget for
+            // the next SRP. Anything malformed or mis-addressed is dropped
+            // (never bridged onward — the else-arm below would echo it to
+            // the radio).
+            if let Some(g) = BudgetGrant::decode(&pkt.payload) {
+                if g.cell == self.cfg.cell {
+                    self.budget_permille = g.permille.min(1000);
+                    self.stats.budget_grants_applied += 1;
+                }
+            }
+            return;
         }
         if self.is_client(pkt.dst.host) {
             // §3.2.1 admission: refuse packets of rejected flows outright.

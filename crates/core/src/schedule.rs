@@ -79,6 +79,31 @@ impl Schedule {
     pub fn same_slots(&self, other: &Schedule) -> bool {
         self.entries == other.entries && self.next_srp == other.next_srp
     }
+
+    /// Scale the schedule to a coordinator-granted airtime budget,
+    /// expressed in permille of the burst interval. Each slot's duration
+    /// is scaled by `permille/1000` (integer math, floored, never below
+    /// 1 µs) and the layout is re-packed front-to-front so the guard gaps
+    /// stay intact. A grant of ≥ 1000‰ (or an empty schedule) is a no-op,
+    /// so single-cell worlds — which never see a coordinator — are
+    /// byte-identical to the pre-coordinator code.
+    pub fn apply_airtime_budget(
+        &mut self,
+        permille: u32,
+        schedule_airtime: SimDuration,
+        guard: SimDuration,
+    ) {
+        if permille >= 1000 || self.entries.is_empty() {
+            return;
+        }
+        let mut cursor = schedule_airtime + guard;
+        for e in &mut self.entries {
+            let scaled = (e.duration.as_us() * permille as u64 / 1000).max(1);
+            e.duration = SimDuration::from_us(scaled);
+            e.rp_offset = cursor;
+            cursor = cursor + e.duration + guard;
+        }
+    }
 }
 
 /// Scheduling policy selector.
@@ -515,6 +540,37 @@ mod tests {
         );
         let mine: Vec<_> = s.slots_for(HostAddr(1)).collect();
         assert_eq!(mine.len(), 2, "own slot + broadcast TCP slot");
+    }
+
+    #[test]
+    fn airtime_budget_scales_and_repacks_slots() {
+        let c = cfg();
+        let interval = SimDuration::from_ms(100);
+        let demands: Vec<ClientDemand> = (0..4).map(|i| demand(i, 20_000, 0)).collect();
+        let full = build_schedule(PolicyKind::DynamicFixed { interval }, &c, &demands, 0);
+        let mut half = full.clone();
+        half.apply_airtime_budget(500, c.schedule_airtime, c.guard);
+
+        assert_eq!(half.entries.len(), full.entries.len(), "no client loses its slot");
+        let mut cursor = c.schedule_airtime + c.guard;
+        for (h, f) in half.entries.iter().zip(&full.entries) {
+            assert_eq!(h.client, f.client);
+            assert_eq!(h.duration.as_us(), f.duration.as_us() / 2, "durations halve");
+            assert_eq!(h.rp_offset, cursor, "layout re-packed front-to-front");
+            cursor = cursor + h.duration + c.guard;
+        }
+        let end = half.entries.last().map(|e| e.rp_offset + e.duration).unwrap();
+        assert!(end <= interval, "budgeted layout still fits the interval");
+
+        // A full grant is exactly a no-op.
+        let mut unscaled = full.clone();
+        unscaled.apply_airtime_budget(1000, c.schedule_airtime, c.guard);
+        assert_eq!(unscaled, full);
+
+        // A zero grant floors at 1 µs rather than emitting zero slots.
+        let mut zero = full.clone();
+        zero.apply_airtime_budget(0, c.schedule_airtime, c.guard);
+        assert!(zero.entries.iter().all(|e| e.duration == SimDuration::from_us(1)));
     }
 
     #[test]

@@ -29,27 +29,35 @@ impl Schedule {
         self.encode_checked().0
     }
 
-    /// Serialize, also reporting how many µs fields overflowed the u32
-    /// wire range and had to be clamped. A non-zero count is a scheduler
-    /// bug (an offset or duration past ~71.6 minutes); the proxy surfaces
-    /// it as an [`crate::invariants::InvariantKind::WireOverflow`]
-    /// violation rather than letting the cast wrap to a tiny slot.
+    /// Serialize, also reporting how many wire fields overflowed their
+    /// range and had to be clamped. A non-zero count is a scheduler bug
+    /// (a µs offset or duration past ~71.6 minutes, or more than
+    /// `u16::MAX` entries); the proxy surfaces it as an
+    /// [`crate::invariants::InvariantKind::WireOverflow`] violation
+    /// rather than letting a cast wrap to a tiny slot — or, for the
+    /// entry count, wrap `65 537` entries down to a 1-entry header that
+    /// silently strands every other client without a slot.
     pub fn encode_checked(&self) -> (Bytes, usize) {
-        let mut overflows = 0usize;
+        // The u16 count field caps a single broadcast at 65 535 entries:
+        // encode the first 65 535 and count each dropped entry as an
+        // overflow (never wrap — a wrapped count desynchronizes every
+        // decoder on the cell).
+        let n = self.entries.len().min(u16::MAX as usize);
+        let mut overflows = self.entries.len() - n;
         let mut wire_us = |d: SimDuration| -> u32 {
             u32::try_from(d.as_us()).unwrap_or_else(|_| {
                 overflows += 1;
                 u32::MAX
             })
         };
-        let mut b = BytesMut::with_capacity(19 + 12 * self.entries.len());
+        let mut b = BytesMut::with_capacity(19 + 12 * n);
         b.put_u64(self.seq);
         b.put_u8(
             self.unchanged as u8 | (self.fixed_slots as u8) << 1 | (self.saturated as u8) << 2,
         );
-        b.put_u16(self.entries.len() as u16);
+        b.put_u16(n as u16);
         b.put_u64(self.next_srp.as_us());
-        for e in &self.entries {
+        for e in &self.entries[..n] {
             b.put_u32(e.client.0);
             b.put_u32(wire_us(e.rp_offset));
             b.put_u32(wire_us(e.duration));
@@ -97,6 +105,109 @@ impl Schedule {
         }
         into.entries.clear();
         parse(p, into).is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-tier messages (proxy shard ↔ coordinator, `ports::COORD`).
+//
+// The coordinator exchanges *aggregates only* — one fixed-size report and
+// one fixed-size grant per shard per SRP interval — so coordination traffic
+// is O(cells), independent of how many clients each cell holds. Same
+// integer-only contract as the schedule payload above.
+// ---------------------------------------------------------------------------
+
+/// Wire tag of a [`DemandReport`].
+const TAG_DEMAND: u8 = 1;
+/// Wire tag of a [`BudgetGrant`].
+const TAG_GRANT: u8 = 2;
+
+/// Per-cell aggregate demand, sent by a proxy shard to the coordinator at
+/// each SRP interval.
+///
+/// Layout (big-endian): `u8 tag=1 | u32 cell | u64 seq | u32 clients |
+/// u64 demand_bytes` — 25 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandReport {
+    /// The reporting shard's cell index.
+    pub cell: u32,
+    /// The shard's schedule sequence number the report was taken at.
+    pub seq: u64,
+    /// Clients with non-zero demand this interval.
+    pub clients: u32,
+    /// Total queued bytes across the cell's clients.
+    pub demand_bytes: u64,
+}
+
+impl DemandReport {
+    /// Encoded size, bytes.
+    pub const WIRE_SIZE: usize = 25;
+
+    /// Serialize to the coordination payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_SIZE);
+        b.put_u8(TAG_DEMAND);
+        b.put_u32(self.cell);
+        b.put_u64(self.seq);
+        b.put_u32(self.clients);
+        b.put_u64(self.demand_bytes);
+        b.freeze()
+    }
+
+    /// Parse a coordination payload; `None` on a wrong tag or length.
+    pub fn decode(p: &[u8]) -> Option<DemandReport> {
+        if p.len() != Self::WIRE_SIZE || p[0] != TAG_DEMAND {
+            return None;
+        }
+        Some(DemandReport {
+            cell: u32::from_be_bytes(p[1..5].try_into().ok()?),
+            seq: u64::from_be_bytes(p[5..13].try_into().ok()?),
+            clients: u32::from_be_bytes(p[13..17].try_into().ok()?),
+            demand_bytes: u64::from_be_bytes(p[17..25].try_into().ok()?),
+        })
+    }
+}
+
+/// Per-cell airtime budget, granted by the coordinator in response to a
+/// [`DemandReport`].
+///
+/// Layout (big-endian): `u8 tag=2 | u32 cell | u64 seq | u32 permille` —
+/// 17 bytes. `permille` is the fraction (‰) of the shard's burst interval
+/// it may schedule; 1000 means unconstrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetGrant {
+    /// The cell this grant is for.
+    pub cell: u32,
+    /// Echo of the report's sequence number.
+    pub seq: u64,
+    /// Granted airtime budget, in permille of the burst interval (0..=1000).
+    pub permille: u32,
+}
+
+impl BudgetGrant {
+    /// Encoded size, bytes.
+    pub const WIRE_SIZE: usize = 17;
+
+    /// Serialize to the coordination payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_SIZE);
+        b.put_u8(TAG_GRANT);
+        b.put_u32(self.cell);
+        b.put_u64(self.seq);
+        b.put_u32(self.permille);
+        b.freeze()
+    }
+
+    /// Parse a coordination payload; `None` on a wrong tag or length.
+    pub fn decode(p: &[u8]) -> Option<BudgetGrant> {
+        if p.len() != Self::WIRE_SIZE || p[0] != TAG_GRANT {
+            return None;
+        }
+        Some(BudgetGrant {
+            cell: u32::from_be_bytes(p[1..5].try_into().ok()?),
+            seq: u64::from_be_bytes(p[5..13].try_into().ok()?),
+            permille: u32::from_be_bytes(p[13..17].try_into().ok()?),
+        })
     }
 }
 
@@ -176,5 +287,72 @@ mod tests {
         assert_eq!(overflows, 1);
         let decoded = Schedule::decode(&bytes).unwrap();
         assert_eq!(decoded.entries[0].duration, SimDuration::from_us(u32::MAX as u64));
+    }
+
+    /// Regression for the entry-count wrap: 65 537 entries used to encode
+    /// as `n = 1` (`entries.len() as u16`), silently stranding 65 536
+    /// clients. The count must clamp to `u16::MAX`, report every dropped
+    /// entry through the overflow count, and still produce a payload that
+    /// decodes self-consistently.
+    #[test]
+    fn wire_encoding_clamps_and_reports_entry_count_overflow() {
+        let schedule_with = |n: usize| Schedule {
+            seq: 9,
+            entries: (0..n)
+                .map(|i| ScheduleEntry {
+                    client: HostAddr(i as u32 + 1),
+                    rp_offset: SimDuration::from_us(i as u64),
+                    duration: SimDuration::from_us(10),
+                })
+                .collect(),
+            next_srp: SimDuration::from_ms(100),
+            unchanged: false,
+            fixed_slots: false,
+            saturated: false,
+        };
+
+        // Exactly at the boundary: clean encode, full round trip.
+        let at_max = schedule_with(u16::MAX as usize);
+        let (bytes, overflows) = at_max.encode_checked();
+        assert_eq!(overflows, 0);
+        assert_eq!(bytes.len(), 19 + 12 * u16::MAX as usize);
+        assert_eq!(Schedule::decode(&bytes).unwrap().entries.len(), u16::MAX as usize);
+
+        // 65 537 entries: the old cast wrapped the count to 1. Now the
+        // first 65 535 entries survive and the 2 dropped ones are reported.
+        let past = schedule_with(u16::MAX as usize + 2);
+        let (bytes, overflows) = past.encode_checked();
+        assert_eq!(overflows, 2, "each dropped entry counts as a wire overflow");
+        assert_eq!(bytes.len(), 19 + 12 * u16::MAX as usize, "payload matches its count field");
+        let decoded = Schedule::decode(&bytes).unwrap();
+        assert_eq!(decoded.entries.len(), u16::MAX as usize);
+        assert_eq!(decoded.entries[0].client, HostAddr(1), "prefix preserved in order");
+        assert_eq!(decoded.entries[u16::MAX as usize - 1].client, HostAddr(u16::MAX as u32));
+    }
+
+    #[test]
+    fn coordination_messages_round_trip() {
+        let r = DemandReport { cell: 7, seq: 42, clients: 64, demand_bytes: 1 << 40 };
+        let b = r.encode();
+        assert_eq!(b.len(), DemandReport::WIRE_SIZE);
+        assert_eq!(DemandReport::decode(&b), Some(r));
+
+        let g = BudgetGrant { cell: 7, seq: 42, permille: 375 };
+        let b = g.encode();
+        assert_eq!(b.len(), BudgetGrant::WIRE_SIZE);
+        assert_eq!(BudgetGrant::decode(&b), Some(g));
+    }
+
+    #[test]
+    fn coordination_messages_reject_mismatched_payloads() {
+        let r = DemandReport { cell: 1, seq: 2, clients: 3, demand_bytes: 4 }.encode();
+        let g = BudgetGrant { cell: 1, seq: 2, permille: 1000 }.encode();
+        // Wrong tag for the type.
+        assert_eq!(DemandReport::decode(&g), None);
+        assert_eq!(BudgetGrant::decode(&r), None);
+        // Truncation.
+        assert_eq!(DemandReport::decode(&r[..r.len() - 1]), None);
+        assert_eq!(BudgetGrant::decode(&g[..g.len() - 1]), None);
+        assert_eq!(DemandReport::decode(&[]), None);
     }
 }

@@ -123,6 +123,54 @@ proptest! {
         }
     }
 
+    /// Integer-division dust audit at city-scale cell populations: with
+    /// 100–1 000 active clients, the proportional split in `fit_shares_
+    /// into` loses strictly less than 1 µs per client to truncation, so a
+    /// non-saturated schedule's slots cover the whole usable window up to
+    /// that dust plus the documented sub-guard tail trim. A re-divide or
+    /// rounding change that strands airtime (or drops a client) fails
+    /// here long before it would show up as idle air in an experiment.
+    #[test]
+    fn fit_shares_dust_is_bounded_at_city_scale(
+        weights in prop::collection::vec(1u64..50_000_000, 100..1_000),
+        seq in 0u64..1_000,
+    ) {
+        let n = weights.len();
+        // City-scale slot geometry: the defaults' 2 ms floor would
+        // saturate any sane interval at 1 000 clients.
+        let cfg = BuilderConfig {
+            min_slot: powerburst_sim::SimDuration::from_us(10),
+            guard: powerburst_sim::SimDuration::from_us(5),
+            ..BuilderConfig::default()
+        };
+        let interval = powerburst_sim::SimDuration::from_ms(100);
+        let demands: Vec<ClientDemand> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| ClientDemand::new(HostAddr(i as u32 + 1), w, 0, 1_000))
+            .collect();
+        let sched = powerburst_core::build_schedule(
+            powerburst_core::PolicyKind::DynamicFixed { interval },
+            &cfg,
+            &demands,
+            seq,
+        );
+        prop_assert!(!sched.saturated, "{n} clients fit this geometry");
+        prop_assert_eq!(sched.entries.len(), n, "one slot per active client");
+        check_layout("dust-audit", &sched, &demands, &cfg);
+        let usable =
+            interval - cfg.schedule_airtime - cfg.guard * (n as u64 + 1);
+        let granted: u64 = sched.entries.iter().map(|e| e.duration.as_us()).sum();
+        prop_assert!(granted <= usable.as_us(), "shares over-fill: {granted} > {usable}");
+        let dust = usable.as_us() - granted;
+        prop_assert!(
+            dust < n as u64 + cfg.guard.as_us(),
+            "stranded airtime {dust} µs exceeds the <1 µs/client + tail-trim bound \
+             ({n} clients, guard {})",
+            cfg.guard
+        );
+    }
+
     /// The schedule wire codec round-trips every policy's output, so any
     /// layout the policies can produce survives broadcast intact.
     #[test]

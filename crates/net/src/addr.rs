@@ -85,6 +85,9 @@ pub mod ports {
     pub const FTP_DATA: u16 = 20;
     /// UDP port clients send stream feedback (receiver reports) to.
     pub const FEEDBACK: u16 = 7002;
+    /// UDP port the coordinator tier exchanges per-cell aggregate demand
+    /// reports and airtime-budget grants on (proxy shard ↔ coordinator).
+    pub const COORD: u16 = 7003;
 }
 
 #[cfg(test)]

@@ -80,6 +80,9 @@ struct NodeSlot {
     host: Option<HostAddr>,
     wnic: Option<Wnic>,
     wireless_iface: Option<IfaceId>,
+    /// The radio cell this node's wireless interface belongs to, set at
+    /// `attach_wireless*` time. `None` for wired-only nodes.
+    cell: Option<u32>,
     /// Dense per-interface attachment table, indexed by `IfaceId`. Built
     /// at wiring time; interface ids are tiny (0..=2 in practice), so the
     /// per-hop routing lookup is one bounds-checked array load instead of
@@ -105,6 +108,27 @@ enum Attachment {
     Wireless,
 }
 
+/// One radio cell: a shared wireless medium, the access point bridging it
+/// to the wired side, and the nodes attached to it. The single-AP world of
+/// the paper is the 1-cell special case; city-scale scenarios instantiate
+/// one cell per AP + proxy shard. Cells are fully isolated at the radio
+/// layer — frames transmitted in one cell are never heard in another, and
+/// cross-cell traffic always goes radio → AP → wired.
+struct Cell {
+    medium: Medium,
+    /// Cell-local medium RNG (backoff jitter + channel corruption). Cell
+    /// `k` draws from stream `AP_DELAY + k`, so cell 0 reproduces the
+    /// legacy single-medium sequence byte-for-byte and each extra cell
+    /// gets an independent, insertion-order-stable stream.
+    rng: StdRng,
+    /// The access point bridging this cell toward wired hosts.
+    ap: NodeId,
+    /// Radio nodes in this cell (including the AP), in attach order —
+    /// which assemblers keep equal to node-id order so broadcast delivery
+    /// order matches the legacy whole-world scan.
+    members: Vec<NodeId>,
+}
+
 /// The simulation world.
 pub struct World {
     seed: u64,
@@ -119,12 +143,10 @@ pub struct World {
     /// indexes because broadcast frames take the broadcast path first.
     host_index: Vec<Option<NodeId>>,
     links: Vec<Link>,
-    medium: Option<Medium>,
-    medium_rng: StdRng,
+    /// Radio cells, in creation order. Empty until `set_medium`/`add_cell`.
+    cells: Vec<Cell>,
     /// Injected medium faults (loss/dup/reorder/SRP drops), when enabled.
     faults: Option<FaultInjector>,
-    /// Node that bridges the radio to the wired side (the access point).
-    infrastructure: Option<NodeId>,
     sniffer: Sniffer,
     timer_index: FastHashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
     packet_seq: u64,
@@ -149,10 +171,8 @@ impl World {
             nodes: Vec::new(),
             host_index: Vec::new(),
             links: Vec::new(),
-            medium: None,
-            medium_rng: derive_rng(seed, streams::AP_DELAY),
+            cells: Vec::new(),
             faults: None,
-            infrastructure: None,
             sniffer: Sniffer::new(),
             timer_index: FastHashMap::default(),
             packet_seq: 0,
@@ -209,6 +229,7 @@ impl World {
             host: cfg.host,
             wnic: cfg.wnic.map(Wnic::new),
             wireless_iface: None,
+            cell: None,
             attachments: Vec::new(),
             stats: NodeStats::default(),
         });
@@ -229,12 +250,49 @@ impl World {
         self.nodes[b.node.index()].attach(b.iface, Attachment::Wired { link: idx });
     }
 
-    /// Install the (single) shared wireless medium, naming the access-point
-    /// node that bridges radio traffic toward wired hosts.
+    /// Install the shared wireless medium of a single-AP world, naming the
+    /// access-point node that bridges radio traffic toward wired hosts.
+    /// Equivalent to creating cell 0 with [`World::add_cell`]; kept as the
+    /// ergonomic (and historical) entry point for 1-cell topologies.
     pub fn set_medium(&mut self, airtime: AirtimeModel, max_backlog: SimDuration, ap: NodeId) {
-        assert!(self.medium.is_none(), "medium already installed");
-        self.medium = Some(Medium::new(airtime, max_backlog));
-        self.infrastructure = Some(ap);
+        assert!(self.cells.is_empty(), "medium already installed");
+        self.add_cell(airtime, max_backlog, ap);
+    }
+
+    /// Create a radio cell: its own shared medium and the access point that
+    /// bridges it to the wired side. Returns the cell index. Cell 0's
+    /// medium RNG reproduces the legacy single-medium stream exactly; each
+    /// further cell draws from its own derived stream, so per-cell
+    /// outcomes are independent of how many other cells exist.
+    pub fn add_cell(
+        &mut self,
+        airtime: AirtimeModel,
+        max_backlog: SimDuration,
+        ap: NodeId,
+    ) -> usize {
+        let idx = self.cells.len();
+        self.cells.push(Cell {
+            medium: Medium::new(airtime, max_backlog),
+            rng: derive_rng(self.seed, streams::AP_DELAY + idx as u64),
+            ap,
+            members: Vec::new(),
+        });
+        idx
+    }
+
+    /// Number of radio cells installed.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell a node's radio is attached to, if any.
+    pub fn cell_of(&self, id: NodeId) -> Option<u32> {
+        self.nodes[id.index()].cell
+    }
+
+    /// The radio members of a cell (including its AP), in attach order.
+    pub fn cell_members(&self, cell: usize) -> &[NodeId] {
+        &self.cells[cell].members
     }
 
     /// Install a medium-level fault plan. Draws come from the dedicated
@@ -254,11 +312,22 @@ impl World {
         self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
-    /// Mark `iface` on `node` as the node's radio interface.
+    /// Mark `iface` on `node` as the node's radio interface, in cell 0
+    /// (the single-AP world's only cell).
     pub fn attach_wireless(&mut self, node: NodeId, iface: IfaceId) {
+        self.attach_wireless_cell(node, iface, 0);
+    }
+
+    /// Mark `iface` on `node` as the node's radio interface, joined to the
+    /// given cell. Attach the cell's AP first, then its clients in id
+    /// order: broadcast delivery walks the member list in attach order.
+    pub fn attach_wireless_cell(&mut self, node: NodeId, iface: IfaceId, cell: usize) {
+        assert!(cell < self.cells.len(), "cell {cell} not installed (call add_cell first)");
         let slot = &mut self.nodes[node.index()];
         slot.attach(iface, Attachment::Wireless);
         slot.wireless_iface = Some(iface);
+        slot.cell = Some(cell as u32);
+        self.cells[cell].members.push(node);
     }
 
     /// Pre-size the event queue and the send buffer from the assembled
@@ -301,14 +370,15 @@ impl World {
         self.sniffer.take()
     }
 
-    /// Frames dropped at the medium's transmit queue.
+    /// Frames dropped at the medium transmit queues, summed over cells.
     pub fn medium_drops(&self) -> u64 {
-        self.medium.as_ref().map(|m| m.drops).unwrap_or(0)
+        self.cells.iter().map(|c| c.medium.drops).sum()
     }
 
-    /// Airtime carried by the medium (utilization numerator).
+    /// Airtime carried by the media (utilization numerator), summed over
+    /// cells.
     pub fn medium_carried_airtime(&self) -> SimDuration {
-        self.medium.as_ref().map(|m| m.carried_airtime).unwrap_or(SimDuration::ZERO)
+        self.cells.iter().fold(SimDuration::ZERO, |acc, c| acc + c.medium.carried_airtime)
     }
 
     /// Downcast a node to its concrete type.
@@ -439,14 +509,18 @@ impl World {
                     Some(f) => (f.reorder_delay(), f.duplicate()),
                     None => (None, false),
                 };
-                let med =
-                    self.medium.as_mut().expect("invariant: wireless attachment implies a medium");
-                match med.transmit(self.now, pkt.wire_size(), &mut self.medium_rng) {
+                let ci = self.nodes[from.index()]
+                    .cell
+                    .expect("invariant: wireless attachment implies a cell")
+                    as usize;
+                let now = self.now;
+                let cell = &mut self.cells[ci];
+                match cell.medium.transmit(now, pkt.wire_size(), &mut cell.rng) {
                     TxOutcome::Sent { finish, airtime } => {
                         if dup {
                             // A retransmitted copy burns its own airtime slot.
                             if let TxOutcome::Sent { finish: f2, airtime: a2 } =
-                                med.transmit(self.now, pkt.wire_size(), &mut self.medium_rng)
+                                cell.medium.transmit(now, pkt.wire_size(), &mut cell.rng)
                             {
                                 self.queue.push(
                                     f2,
@@ -477,9 +551,13 @@ impl World {
     }
 
     /// A frame's airtime completed: bill the transmitter, record it, and
-    /// deliver to listening receivers.
+    /// deliver to listening receivers in the transmitter's cell.
     fn radio_deliver(&mut self, pkt: Packet, from: NodeId, airtime: SimDuration) {
         let now = self.now;
+        let ci = self.nodes[from.index()]
+            .cell
+            .expect("invariant: radio frames originate from cell members")
+            as usize;
         // Injected faults: generic frame loss plus targeted SRP drops. The
         // airtime was burned either way, so the transmitter still pays.
         if let Some(f) = self.faults.as_mut() {
@@ -497,10 +575,10 @@ impl World {
         }
         // Channel corruption: the frame burned its airtime but nobody
         // decodes it (the §4.3 lossy-channel validation knob).
-        let loss_prob = self.medium.as_ref().map(|m| m.airtime_model().loss_prob).unwrap_or(0.0);
+        let loss_prob = self.cells[ci].medium.airtime_model().loss_prob;
         if loss_prob > 0.0 {
             use rand::Rng;
-            if self.medium_rng.random::<f64>() < loss_prob {
+            if self.cells[ci].rng.random::<f64>() < loss_prob {
                 self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
                 // Transmit energy is still paid.
                 let s = &mut self.nodes[from.index()];
@@ -524,17 +602,19 @@ impl World {
 
         if pkt.is_broadcast() {
             self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Broadcast));
-            let n = self.nodes.len();
-            for i in 0..n {
-                let id = NodeId(i as u32);
-                if id == from {
-                    continue;
-                }
-                let slot = &mut self.nodes[i];
-                let Some(wiface) = slot.wireless_iface else { continue };
-                if Some(id) == self.infrastructure {
+            // Broadcast fan-out is bounded by the cell's member list — a
+            // schedule broadcast in one cell costs O(cell size), never
+            // O(total clients across the city.)
+            let ap = self.cells[ci].ap;
+            let n = self.cells[ci].members.len();
+            for mi in 0..n {
+                let id = self.cells[ci].members[mi];
+                if id == from || id == ap {
                     continue; // the AP originated or bridged it; don't echo back
                 }
+                let slot = &mut self.nodes[id.index()];
+                let wiface =
+                    slot.wireless_iface.expect("invariant: cell members always have a radio iface");
                 let listening = match slot.wnic.as_mut() {
                     Some(w) => w.is_listening(now),
                     None => true,
@@ -555,13 +635,13 @@ impl World {
             return;
         }
 
-        // Unicast: find the owner of the destination host.
+        // Unicast: find the owner of the destination host. Direct radio
+        // delivery only within the transmitter's cell; anything else
+        // (wired hosts, radios in other cells) bridges via the cell's AP.
+        let ap = self.cells[ci].ap;
         let target = self.host_lookup(pkt.dst.host);
         match target {
-            Some(id)
-                if self.nodes[id.index()].wireless_iface.is_some()
-                    && Some(id) != self.infrastructure =>
-            {
+            Some(id) if self.nodes[id.index()].cell == Some(ci as u32) && id != ap => {
                 let slot = &mut self.nodes[id.index()];
                 let wiface =
                     slot.wireless_iface.expect("invariant: match arm checked wireless_iface");
@@ -591,28 +671,21 @@ impl World {
                 }
             }
             _ => {
-                // Uplink toward a wired host (or unknown): bridge via the AP.
-                match self.infrastructure {
-                    Some(ap) if ap != from => {
-                        let wiface = self.nodes[ap.index()]
-                            .wireless_iface
-                            .expect("invariant: the registered AP always has a radio iface");
-                        self.sniffer.record(SnifferRecord::of(
-                            now,
-                            &pkt,
-                            airtime,
-                            Delivery::Delivered,
-                        ));
-                        self.with_node(ap, |n, ctx| n.on_packet(ctx, wiface, pkt));
-                    }
-                    _ => {
-                        self.sniffer.record(SnifferRecord::of(
-                            now,
-                            &pkt,
-                            airtime,
-                            Delivery::NoSuchHost,
-                        ));
-                    }
+                // Uplink toward a wired host, another cell, or unknown:
+                // bridge via this cell's AP.
+                if ap != from {
+                    let wiface = self.nodes[ap.index()]
+                        .wireless_iface
+                        .expect("invariant: the registered AP always has a radio iface");
+                    self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
+                    self.with_node(ap, |n, ctx| n.on_packet(ctx, wiface, pkt));
+                } else {
+                    self.sniffer.record(SnifferRecord::of(
+                        now,
+                        &pkt,
+                        airtime,
+                        Delivery::NoSuchHost,
+                    ));
                 }
             }
         }
@@ -828,6 +901,91 @@ mod tests {
             w.take_trace().iter().map(|r| (r.t, r.pkt_id, r.wire_size)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// AP that fires one broadcast onto its radio at start (and still
+    /// bridges like MiniAp afterwards).
+    struct BcastAp;
+    impl Node for BcastAp {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let id = ctx.alloc_packet_id();
+            ctx.send(
+                IfaceId(1),
+                Packet::udp(
+                    id,
+                    SockAddr::new(HostAddr(90), 7001),
+                    SockAddr::new(HostAddr::BROADCAST, 7001),
+                    crate::pattern::pattern_bytes(0, 50),
+                ),
+            );
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+            let out = if iface == IfaceId(0) { IfaceId(1) } else { IfaceId(0) };
+            ctx.send(out, pkt);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Two cells: client0+broadcasting AP in cell 0, client1+silent AP in
+    /// cell 1, APs wired together.
+    fn two_cell_world() -> (World, NodeId, NodeId) {
+        let mut w = World::new(21);
+        let h0 = HostAddr(10);
+        let h1 = HostAddr(11);
+        let ap0 = w.add_node(Box::new(BcastAp), NodeConfig::infrastructure());
+        let client0 = w.add_node(
+            chatter(SockAddr::new(h0, 2), SockAddr::new(h1, 2), false),
+            NodeConfig { host: Some(h0), clock: ClockModel::perfect(), wnic: None },
+        );
+        let ap1 = w.add_node(Box::new(MiniAp), NodeConfig::infrastructure());
+        let client1 = w.add_node(
+            chatter(SockAddr::new(h1, 2), SockAddr::new(h0, 2), false),
+            NodeConfig { host: Some(h1), clock: ClockModel::perfect(), wnic: None },
+        );
+        w.add_link(
+            Endpoint { node: ap0, iface: IfaceId(0) },
+            Endpoint { node: ap1, iface: IfaceId(0) },
+            LinkSpec::FAST_ETHERNET,
+        );
+        let c0 = w.add_cell(AirtimeModel::DSSS_11MBPS, SimDuration::from_ms(500), ap0);
+        let c1 = w.add_cell(AirtimeModel::DSSS_11MBPS, SimDuration::from_ms(500), ap1);
+        w.attach_wireless_cell(ap0, IfaceId(1), c0);
+        w.attach_wireless_cell(client0, IfaceId(0), c0);
+        w.attach_wireless_cell(ap1, IfaceId(1), c1);
+        w.attach_wireless_cell(client1, IfaceId(0), c1);
+        assert_eq!(w.cell_count(), 2);
+        assert_eq!(w.cell_of(client0), Some(0));
+        assert_eq!(w.cell_of(client1), Some(1));
+        assert_eq!(w.cell_members(0), &[ap0, client0]);
+        assert_eq!(w.cell_members(1), &[ap1, client1]);
+        (w, client0, client1)
+    }
+
+    #[test]
+    fn broadcast_stays_inside_its_cell() {
+        let (mut w, client0, client1) = two_cell_world();
+        w.run_until(SimTime::from_ms(50));
+        // Cell 0's broadcast reaches its own client, never cell 1's.
+        assert_eq!(w.node_mut::<Chatter>(client0).received.len(), 1);
+        assert_eq!(w.node_mut::<Chatter>(client1).received.len(), 0);
+        assert_eq!(w.stats(client1).rx_frames, 0);
+    }
+
+    #[test]
+    fn cross_cell_unicast_bridges_through_both_aps() {
+        let (mut w, client0, client1) = two_cell_world();
+        w.run_until(SimTime::from_ms(5));
+        // Now make client0 talk to client1's host: radio → AP0 → wire →
+        // AP1 → radio.
+        let dst = SockAddr::new(HostAddr(11), 2);
+        let src = SockAddr::new(HostAddr(10), 2);
+        let pkt = Packet::udp(999, src, dst, crate::pattern::pattern_bytes(0, 80));
+        w.with_node(client0, |_n, ctx| ctx.send(IfaceId(0), pkt));
+        w.run_until(SimTime::from_ms(60));
+        let got = &w.node_mut::<Chatter>(client1).received;
+        assert!(got.iter().any(|(_, id)| *id == 999), "cross-cell unicast must arrive: {got:?}");
     }
 
     #[test]

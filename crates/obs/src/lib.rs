@@ -35,7 +35,8 @@ pub mod report;
 pub use events::{EventKind, ObsEvent};
 pub use metrics::{Counter, Gauge, Hist, BUCKET_BOUNDS};
 pub use profile::{
-    delta_lines, parse_stage_rates, regressions, BenchJob, BenchReport, BenchStage, Stopwatch,
+    delta_lines, parse_stage_rates, regressions, BenchJob, BenchReport, BenchStage, StageRate,
+    Stopwatch, MIN_GATE_WALL_S,
 };
 pub use recorder::{Recorder, RecorderConfig};
 pub use report::{HistSnapshot, ObsReport};

@@ -169,27 +169,50 @@ impl BenchReport {
     }
 }
 
+/// One stage's figures as scanned back out of a rendered report:
+/// throughput for comparisons, wall time for judging whether the
+/// throughput figure is trustworthy at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRate {
+    /// Stage name.
+    pub name: String,
+    /// Stage wall time, seconds.
+    pub wall_s: f64,
+    /// Stage throughput, simulated events per wall second.
+    pub rate: f64,
+}
+
+/// Stages completing faster than this measure scheduler jitter and timer
+/// granularity more than throughput: a sub-5 ms stage routinely swings
+/// ±30% run to run on a shared CI runner. [`regressions`] refuses to gate
+/// on a stage whose *baseline or current* wall time is below this floor
+/// (the comparison still shows up in [`delta_lines`], just can't fail the
+/// build).
+pub const MIN_GATE_WALL_S: f64 = 0.05;
+
 /// Stages of `current` that regressed more than `threshold_pct` percent
 /// below `baseline` (both from [`parse_stage_rates`]), one formatted line
 /// per offender. Empty when everything is within the threshold — the
-/// gating form of [`delta_lines`].
+/// gating form of [`delta_lines`]. Stages too short to time reliably
+/// (either side under [`MIN_GATE_WALL_S`]) never gate.
 pub fn regressions(
-    current: &[(String, f64)],
-    baseline: &[(String, f64)],
+    current: &[StageRate],
+    baseline: &[StageRate],
     threshold_pct: f64,
 ) -> Vec<String> {
     current
         .iter()
-        .filter_map(|(name, rate)| {
-            let base = baseline.iter().find(|(b, _)| b == name).map(|(_, r)| *r)?;
-            if base <= 0.0 {
+        .filter_map(|st| {
+            let base = baseline.iter().find(|b| b.name == st.name)?;
+            if base.rate <= 0.0 || st.wall_s < MIN_GATE_WALL_S || base.wall_s < MIN_GATE_WALL_S {
                 return None;
             }
-            let pct = (rate - base) / base * 100.0;
+            let pct = (st.rate - base.rate) / base.rate * 100.0;
             if pct < -threshold_pct {
                 Some(format!(
-                    "{name:<18} {rate:>12.0} events/s  vs baseline {base:>12.0}  \
-                     ({pct:+.1}% < -{threshold_pct:.1}%)"
+                    "{:<18} {:>12.0} events/s  vs baseline {:>12.0}  \
+                     ({pct:+.1}% < -{threshold_pct:.1}%)",
+                    st.name, st.rate, base.rate
                 ))
             } else {
                 None
@@ -198,14 +221,25 @@ pub fn regressions(
         .collect()
 }
 
-/// Extract `(stage name, events_per_sec)` pairs from a rendered
+/// Extract each stage's name, wall time, and events/sec from a rendered
 /// [`BenchReport::to_json`] string.
 ///
 /// A deliberately tiny scanner rather than a JSON dependency: stage
 /// objects are the only places the report writes a `"name"` key (jobs use
-/// `"label"`), and each stage's `"events_per_sec"` follows its `"name"`.
-/// Returns an empty vec for input that doesn't look like a bench report.
-pub fn parse_stage_rates(json: &str) -> Vec<(String, f64)> {
+/// `"label"`), and each stage's `"wall_s"` and `"events_per_sec"` follow
+/// its `"name"` in emission order. Returns an empty vec for input that
+/// doesn't look like a bench report.
+pub fn parse_stage_rates(json: &str) -> Vec<StageRate> {
+    fn number(rest: &mut &str, key: &str) -> Option<f64> {
+        let p = rest.find(key)?;
+        *rest = &rest[p + key.len()..];
+        let num_end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        let v = rest[..num_end].parse::<f64>().ok();
+        *rest = &rest[num_end..];
+        v
+    }
     let mut out = Vec::new();
     let mut rest = json;
     while let Some(p) = rest.find("\"name\":\"") {
@@ -213,15 +247,9 @@ pub fn parse_stage_rates(json: &str) -> Vec<(String, f64)> {
         let Some(end) = rest.find('"') else { break };
         let name = rest[..end].to_string();
         rest = &rest[end..];
-        let Some(rp) = rest.find("\"events_per_sec\":") else { break };
-        rest = &rest[rp + 17..];
-        let num_end = rest
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-            .unwrap_or(rest.len());
-        if let Ok(rate) = rest[..num_end].parse::<f64>() {
-            out.push((name, rate));
-        }
-        rest = &rest[num_end..];
+        let Some(wall_s) = number(&mut rest, "\"wall_s\":") else { break };
+        let Some(rate) = number(&mut rest, "\"events_per_sec\":") else { break };
+        out.push(StageRate { name, wall_s, rate });
     }
     out
 }
@@ -229,15 +257,23 @@ pub fn parse_stage_rates(json: &str) -> Vec<(String, f64)> {
 /// Render a report-only comparison of `current` against `baseline`
 /// events/sec figures (both from [`parse_stage_rates`]), one line per
 /// stage present in `current`.
-pub fn delta_lines(current: &[(String, f64)], baseline: &[(String, f64)]) -> Vec<String> {
+pub fn delta_lines(current: &[StageRate], baseline: &[StageRate]) -> Vec<String> {
     current
         .iter()
-        .map(|(name, rate)| match baseline.iter().find(|(b, _)| b == name).map(|(_, r)| *r) {
-            Some(base) if base > 0.0 => {
-                let pct = (rate - base) / base * 100.0;
-                format!("{name:<18} {rate:>12.0} events/s  vs baseline {base:>12.0}  ({pct:+.1}%)")
+        .map(|st| match baseline.iter().find(|b| b.name == st.name) {
+            Some(base) if base.rate > 0.0 => {
+                let pct = (st.rate - base.rate) / base.rate * 100.0;
+                let noise = if st.wall_s < MIN_GATE_WALL_S || base.wall_s < MIN_GATE_WALL_S {
+                    "  [sub-floor wall time; not gated]"
+                } else {
+                    ""
+                };
+                format!(
+                    "{:<18} {:>12.0} events/s  vs baseline {:>12.0}  ({pct:+.1}%){noise}",
+                    st.name, st.rate, base.rate
+                )
             }
-            _ => format!("{name:<18} {rate:>12.0} events/s  (no baseline stage)"),
+            _ => format!("{:<18} {:>12.0} events/s  (no baseline stage)", st.name, st.rate),
         })
         .collect()
 }
@@ -292,10 +328,11 @@ mod tests {
         }
         let rates = parse_stage_rates(&r.to_json());
         assert_eq!(rates.len(), 2, "one rate per stage, job labels ignored");
-        assert_eq!(rates[0].0, "video");
-        assert!((rates[0].1 - 2_000.0).abs() < 1e-6);
-        assert_eq!(rates[1].0, "web");
-        assert!((rates[1].1 - 1_000.0).abs() < 1e-6);
+        assert_eq!(rates[0].name, "video");
+        assert!((rates[0].wall_s - 2.0).abs() < 1e-6);
+        assert!((rates[0].rate - 2_000.0).abs() < 1e-6);
+        assert_eq!(rates[1].name, "web");
+        assert!((rates[1].rate - 1_000.0).abs() < 1e-6);
     }
 
     #[test]
@@ -325,7 +362,7 @@ mod tests {
         // The stage-rate scanner ignores the new key.
         let rates = parse_stage_rates(&j);
         assert_eq!(rates.len(), 1);
-        assert_eq!(rates[0].0, "policy");
+        assert_eq!(rates[0].name, "policy");
     }
 
     #[test]
@@ -335,29 +372,52 @@ mod tests {
         assert!(parse_stage_rates("{\"name\":\"x\"").is_empty());
     }
 
+    fn rate(name: &str, wall_s: f64, rate: f64) -> StageRate {
+        StageRate { name: name.into(), wall_s, rate }
+    }
+
     #[test]
     fn delta_lines_report_relative_change() {
-        let cur = vec![("video".to_string(), 1_500.0), ("new".to_string(), 10.0)];
-        let base = vec![("video".to_string(), 1_000.0)];
+        let cur = vec![rate("video", 2.0, 1_500.0), rate("new", 2.0, 10.0)];
+        let base = vec![rate("video", 2.0, 1_000.0)];
         let lines = delta_lines(&cur, &base);
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("+50.0%"), "line: {}", lines[0]);
+        assert!(!lines[0].contains("not gated"), "line: {}", lines[0]);
         assert!(lines[1].contains("no baseline stage"), "line: {}", lines[1]);
     }
 
     #[test]
+    fn delta_lines_flag_sub_floor_stages() {
+        let cur = vec![rate("smoke", 0.004, 900.0)];
+        let base = vec![rate("smoke", 0.004, 1_000.0)];
+        let lines = delta_lines(&cur, &base);
+        assert!(lines[0].contains("[sub-floor wall time; not gated]"), "line: {}", lines[0]);
+    }
+
+    #[test]
     fn regressions_gate_only_past_threshold() {
-        let base = vec![("video".to_string(), 1_000.0), ("web".to_string(), 1_000.0)];
+        let base = vec![rate("video", 2.0, 1_000.0), rate("web", 2.0, 1_000.0)];
         // -4% survives a 5% threshold, -20% does not; unknown stages pass.
-        let cur = vec![
-            ("video".to_string(), 960.0),
-            ("web".to_string(), 800.0),
-            ("new".to_string(), 1.0),
-        ];
+        let cur = vec![rate("video", 2.0, 960.0), rate("web", 2.0, 800.0), rate("new", 2.0, 1.0)];
         let offenders = regressions(&cur, &base, 5.0);
         assert_eq!(offenders.len(), 1, "offenders: {offenders:?}");
         assert!(offenders[0].contains("web"), "line: {}", offenders[0]);
         assert!(regressions(&cur, &base, 25.0).is_empty());
+    }
+
+    #[test]
+    fn regressions_never_gate_on_sub_floor_wall_times() {
+        // A 4 ms stage showing -40% is timer noise, not a regression; the
+        // floor silences it whether the short side is current or baseline.
+        let base = vec![rate("smoke", 0.004, 1_000.0), rate("video", 2.0, 1_000.0)];
+        let cur = vec![rate("smoke", 0.004, 600.0), rate("video", 2.0, 500.0)];
+        let offenders = regressions(&cur, &base, 5.0);
+        assert_eq!(offenders.len(), 1, "only the long stage gates: {offenders:?}");
+        assert!(offenders[0].contains("video"));
+        let base = vec![rate("x", 1.0, 1_000.0)];
+        let cur = vec![rate("x", 0.01, 600.0)];
+        assert!(regressions(&cur, &base, 5.0).is_empty(), "short current side also exempt");
     }
 
     fn stage(name: &str, wall_s: f64, sim_events: u64) -> BenchStage {

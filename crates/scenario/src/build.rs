@@ -7,8 +7,9 @@
 //! postmortem analyzer.
 
 use powerburst_client::{ClientConfig, PowerClient};
+use powerburst_coord::{Coordinator, CoordinatorConfig, COORD_IFACE};
 use powerburst_core::invariants::{check_energy_conservation, InvariantKind, Violation};
-use powerburst_core::{Proxy, ProxyConfig, PROXY_AP, PROXY_LAN};
+use powerburst_core::{AdmissionStats, Proxy, ProxyConfig, ProxyStats, PROXY_AP, PROXY_LAN};
 use powerburst_energy::{naive_energy_mj, CardSpec};
 use powerburst_net::faults::{clock_skew_ramp, fault_stream, fault_streams, ApJitterFault};
 use powerburst_net::{
@@ -37,8 +38,11 @@ pub mod hosts {
     pub const VIDEO_SERVER: HostAddr = HostAddr(1);
     /// The web/ftp byte server.
     pub const BYTE_SERVER: HostAddr = HostAddr(2);
-    /// The proxy itself (source of schedule broadcasts).
+    /// The proxy itself (source of schedule broadcasts); in multi-cell
+    /// worlds, the shard serving the first occupied cell.
     pub const PROXY: HostAddr = HostAddr(3);
+    /// The coordinator tier (instantiated in multi-cell worlds only).
+    pub const COORDINATOR: HostAddr = HostAddr(4);
     /// Client `i` lives at `CLIENT_BASE + i`.
     pub const CLIENT_BASE: u32 = 100;
 
@@ -46,15 +50,41 @@ pub mod hosts {
     pub fn client(i: usize) -> HostAddr {
         HostAddr(CLIENT_BASE + i as u32)
     }
+
+    /// Host address of proxy shard `r` in a world of `n_clients` clients.
+    /// Shard 0 keeps the legacy [`PROXY`] address; later shards sit just
+    /// above the client range so the dense host table stays compact.
+    pub fn proxy_shard(r: usize, n_clients: usize) -> HostAddr {
+        if r == 0 {
+            PROXY
+        } else {
+            HostAddr(CLIENT_BASE + n_clients as u32 + r as u32)
+        }
+    }
+}
+
+/// One proxy shard + access point serving one radio cell.
+pub struct Shard {
+    /// The shard proxy's node id.
+    pub proxy: NodeId,
+    /// The cell's access point node id.
+    pub ap: NodeId,
+    /// The shard proxy's host address.
+    pub host: HostAddr,
+    /// The *configured* cell index this shard serves (empty cells are
+    /// elided, so this can exceed the shard's position in `shards`).
+    pub cell: u32,
+    /// Indices (into `ScenarioConfig::clients`) of this cell's clients.
+    pub clients: Vec<usize>,
 }
 
 /// Handles to the assembled world, for harnesses that need mid-run access.
 pub struct Assembled {
     /// The world, ready to run.
     pub world: World,
-    /// The proxy's node id.
+    /// The proxy's node id (shard 0 in multi-cell worlds).
     pub proxy: NodeId,
-    /// The access point's node id.
+    /// The access point's node id (cell 0's AP in multi-cell worlds).
     pub ap: NodeId,
     /// Client node ids, in spec order.
     pub clients: Vec<NodeId>,
@@ -62,6 +92,11 @@ pub struct Assembled {
     pub video_server: NodeId,
     /// The byte server's node id.
     pub byte_server: NodeId,
+    /// All proxy shards, one per occupied cell (length 1 in the paper's
+    /// single-AP world; `shards[0]` is always `proxy`/`ap`).
+    pub shards: Vec<Shard>,
+    /// The coordinator's node id, in multi-cell worlds.
+    pub coordinator: Option<NodeId>,
     /// The run's observability recorder (disabled unless the scenario
     /// enables collection). Every instrumented layer holds a clone.
     pub obs: Recorder,
@@ -71,6 +106,40 @@ pub struct Assembled {
 pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     let mut world = World::new(cfg.seed);
     let n = cfg.clients.len();
+
+    // --- cell partition ------------------------------------------------------
+    // Clients map onto cells (round-robin unless an explicit map is given);
+    // only occupied cells get an AP + proxy shard, so `cells: 16` with all
+    // clients in cell 0 assembles the identical 1-cell world.
+    if let Some(map) = &cfg.cell_map {
+        assert_eq!(map.len(), n, "cell_map must name a cell for every client");
+        assert!(
+            map.iter().all(|&c| (c as usize) < cfg.cells),
+            "cell_map entry out of range (cells = {})",
+            cfg.cells
+        );
+    }
+    let mut cell_clients: Vec<Vec<usize>> = vec![Vec::new(); cfg.cells.max(1)];
+    for i in 0..n {
+        cell_clients[cfg.cell_of(i)].push(i);
+    }
+    let mut realized: Vec<usize> =
+        (0..cell_clients.len()).filter(|&c| !cell_clients[c].is_empty()).collect();
+    if realized.is_empty() {
+        realized.push(0); // zero clients still gets the paper's single-AP world
+    }
+    let multi = realized.len() > 1;
+    let mut rank_of_cell = vec![usize::MAX; cell_clients.len()];
+    for (r, &c) in realized.iter().enumerate() {
+        rank_of_cell[c] = r;
+    }
+    // Switch ifaces: 0 video, 1 byte, 2+r per shard, one more for the
+    // coordinator. IfaceId is a u8, which caps the fan-out at 253 cells.
+    assert!(
+        2 + realized.len() + usize::from(multi) <= u8::MAX as usize + 1,
+        "too many occupied cells for the switch's u8 iface space: {}",
+        realized.len()
+    );
 
     // One recorder per run: sweep jobs never share observability state, so
     // exports are deterministic regardless of how runs are parallelized.
@@ -122,49 +191,25 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
     let mut router = StaticRouter::new();
     router.add_route(hosts::VIDEO_SERVER, IfaceId(0));
     router.add_route(hosts::BYTE_SERVER, IfaceId(1));
-    router.set_default(IfaceId(2)); // clients / unknown → proxy side
+    router.set_default(IfaceId(2)); // shard 0 / unknown → proxy side
+    if multi {
+        // Each client's downstream traffic goes down its own cell's link;
+        // later shard hosts and the coordinator get dedicated ifaces.
+        // Shard 0 keeps riding the default route, exactly as before.
+        for (r, &c) in realized.iter().enumerate() {
+            let iface = IfaceId((2 + r) as u8);
+            for &i in &cell_clients[c] {
+                router.add_route(hosts::client(i), iface);
+            }
+            if r > 0 {
+                router.add_route(hosts::proxy_shard(r, n), iface);
+            }
+        }
+        router.add_route(hosts::COORDINATOR, IfaceId((2 + realized.len()) as u8));
+    }
     let switch = world.add_node(Box::new(Switch::new(router)), NodeConfig::infrastructure());
 
-    // --- proxy ------------------------------------------------------------------
-    let client_hosts: Vec<HostAddr> = (0..n).map(hosts::client).collect();
-    let mut pcfg = ProxyConfig::new(
-        SockAddr::new(hosts::PROXY, ports::SCHEDULE),
-        client_hosts.clone(),
-        cfg.policy,
-    );
-    pcfg.bw = cfg.bw;
-    pcfg.mode = cfg.proxy_mode;
-    pcfg.flag_unchanged = cfg.flag_unchanged;
-    pcfg.admission = cfg.admission;
-    let mut proxy_node = Proxy::new(pcfg);
-    if let Some(chan_cfg) = cfg.channel {
-        // The model draws from its own derived stream, so attaching it
-        // never perturbs any other stochastic component of the run.
-        proxy_node.set_channel_model(ChannelModel::new(
-            chan_cfg,
-            n,
-            derive_rng(cfg.seed, streams::CHANNEL),
-        ));
-    }
-    proxy_node.set_recorder(obs.clone());
-    let proxy = world.add_node(
-        Box::new(proxy_node),
-        NodeConfig { host: Some(hosts::PROXY), clock: ClockModel::perfect(), wnic: None },
-    );
-
-    // --- access point -------------------------------------------------------------
-    let mut ap_node = AccessPoint::new(cfg.net.ap_delay);
-    if cfg.faults.affects_ap() {
-        ap_node = ap_node.with_fault_jitter(ApJitterFault::new(
-            cfg.faults.ap_jitter_prob,
-            cfg.faults.ap_jitter_max,
-            derive_rng(cfg.seed, fault_stream(fault_streams::AP)),
-        ));
-    }
-    ap_node.set_recorder(obs.clone());
-    let ap = world.add_node(Box::new(ap_node), NodeConfig::infrastructure());
-
-    // --- wiring ----------------------------------------------------------------------
+    // --- server uplinks ---------------------------------------------------------
     world.add_link(
         Endpoint { node: video_server, iface: IfaceId(0) },
         Endpoint { node: switch, iface: IfaceId(0) },
@@ -175,35 +220,86 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         Endpoint { node: switch, iface: IfaceId(1) },
         cfg.net.wired,
     );
-    match cfg.pipe {
-        Some(pspec) => {
-            let pipe = world.add_node(Box::new(Pipe::new(pspec)), NodeConfig::infrastructure());
-            world.add_link(
-                Endpoint { node: switch, iface: IfaceId(2) },
-                Endpoint { node: pipe, iface: IfaceId(0) },
-                cfg.net.wired,
-            );
-            world.add_link(
-                Endpoint { node: pipe, iface: IfaceId(1) },
-                Endpoint { node: proxy, iface: PROXY_LAN },
-                cfg.net.wired,
-            );
+
+    // --- proxy shards + access points, one pair per occupied cell --------------
+    // Creation order preserves the legacy 1-cell node-id layout exactly:
+    // proxy(3), ap(4), pipe(5, when configured), then clients.
+    let coord_addr = SockAddr::new(hosts::COORDINATOR, ports::COORD);
+    let mut shards = Vec::with_capacity(realized.len());
+    for (r, &c) in realized.iter().enumerate() {
+        let shard_clients = cell_clients[c].clone();
+        let shard_host = hosts::proxy_shard(r, n);
+        let shard_client_hosts: Vec<HostAddr> =
+            shard_clients.iter().map(|&i| hosts::client(i)).collect();
+        let mut pcfg = ProxyConfig::new(
+            SockAddr::new(shard_host, ports::SCHEDULE),
+            shard_client_hosts,
+            cfg.policy,
+        );
+        pcfg.bw = cfg.bw;
+        pcfg.mode = cfg.proxy_mode;
+        pcfg.flag_unchanged = cfg.flag_unchanged;
+        pcfg.admission = cfg.admission;
+        pcfg.cell = r as u32;
+        if multi {
+            pcfg.coord = Some(coord_addr);
         }
-        None => {
-            world.add_link(
-                Endpoint { node: switch, iface: IfaceId(2) },
-                Endpoint { node: proxy, iface: PROXY_LAN },
-                cfg.net.wired,
-            );
+        let mut proxy_node = Proxy::new(pcfg);
+        if let Some(chan_cfg) = cfg.channel {
+            // The model draws from its own derived stream (one per shard),
+            // so attaching it never perturbs any other stochastic
+            // component of the run.
+            proxy_node.set_channel_model(ChannelModel::new(
+                chan_cfg,
+                shard_clients.len(),
+                derive_rng(cfg.seed, streams::CHANNEL + r as u64),
+            ));
         }
+        proxy_node.set_recorder(obs.clone());
+        let proxy = world.add_node(
+            Box::new(proxy_node),
+            NodeConfig { host: Some(shard_host), clock: ClockModel::perfect(), wnic: None },
+        );
+
+        let mut ap_node = AccessPoint::new(cfg.net.ap_delay);
+        if cfg.faults.affects_ap() {
+            ap_node = ap_node.with_fault_jitter(ApJitterFault::new(
+                cfg.faults.ap_jitter_prob,
+                cfg.faults.ap_jitter_max,
+                // Cell 0 keeps the legacy AP fault stream; further cells
+                // fan out far above every other fault-stream index.
+                derive_rng(cfg.seed, fault_stream(fault_streams::AP) + 256 * r as u64),
+            ));
+        }
+        ap_node.set_recorder(obs.clone());
+        let ap = world.add_node(Box::new(ap_node), NodeConfig::infrastructure());
+
+        let uplink = Endpoint { node: switch, iface: IfaceId((2 + r) as u8) };
+        match cfg.pipe {
+            Some(pspec) => {
+                let pipe = world.add_node(Box::new(Pipe::new(pspec)), NodeConfig::infrastructure());
+                world.add_link(uplink, Endpoint { node: pipe, iface: IfaceId(0) }, cfg.net.wired);
+                world.add_link(
+                    Endpoint { node: pipe, iface: IfaceId(1) },
+                    Endpoint { node: proxy, iface: PROXY_LAN },
+                    cfg.net.wired,
+                );
+            }
+            None => {
+                world.add_link(uplink, Endpoint { node: proxy, iface: PROXY_LAN }, cfg.net.wired);
+            }
+        }
+        world.add_link(
+            Endpoint { node: proxy, iface: PROXY_AP },
+            Endpoint { node: ap, iface: AP_WIRED },
+            cfg.net.wired,
+        );
+        let cell_idx = world.add_cell(cfg.net.airtime, cfg.net.medium_backlog, ap);
+        debug_assert_eq!(cell_idx, r);
+        world.attach_wireless_cell(ap, powerburst_net::AP_RADIO, r);
+
+        shards.push(Shard { proxy, ap, host: shard_host, cell: c as u32, clients: shard_clients });
     }
-    world.add_link(
-        Endpoint { node: proxy, iface: PROXY_AP },
-        Endpoint { node: ap, iface: AP_WIRED },
-        cfg.net.wired,
-    );
-    world.set_medium(cfg.net.airtime, cfg.net.medium_backlog, ap);
-    world.attach_wireless(ap, powerburst_net::AP_RADIO);
     world.set_faults(cfg.faults);
 
     // --- clients --------------------------------------------------------------------------
@@ -265,15 +361,44 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
                 },
             },
         );
-        world.attach_wireless(node, IfaceId(0));
+        world.attach_wireless_cell(node, IfaceId(0), rank_of_cell[cfg.cell_of(i)]);
         client_ids.push(node);
     }
+
+    // --- coordinator (multi-cell only) ----------------------------------------
+    let coordinator = if multi {
+        let coord = world.add_node(
+            Box::new(Coordinator::new(CoordinatorConfig {
+                addr: coord_addr,
+                pool_permille: cfg.coord_pool_permille,
+            })),
+            NodeConfig::wired(hosts::COORDINATOR),
+        );
+        world.add_link(
+            Endpoint { node: switch, iface: IfaceId((2 + shards.len()) as u8) },
+            Endpoint { node: coord, iface: COORD_IFACE },
+            cfg.net.wired,
+        );
+        Some(coord)
+    } else {
+        None
+    };
 
     // Last: the world forwards the recorder to every live radio added above.
     world.set_recorder(obs.clone());
     world.presize_from_topology();
 
-    Assembled { world, proxy, ap, clients: client_ids, video_server, byte_server, obs }
+    Assembled {
+        world,
+        proxy: shards[0].proxy,
+        ap: shards[0].ap,
+        clients: client_ids,
+        video_server,
+        byte_server,
+        shards,
+        coordinator,
+        obs,
+    }
 }
 
 /// Run a scenario to completion and collect results.
@@ -387,18 +512,38 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         }
     }
 
-    let (proxy_stats, admission, mut invariants) = {
-        let p = a.world.node_mut::<Proxy>(a.proxy);
-        (p.stats, p.admission_stats(), p.take_invariants())
-    };
+    // Fold per-shard counters into one run-level picture. A 1-cell run has
+    // exactly one shard, so this reduces to the legacy single-proxy reads.
+    let mut proxy_stats = ProxyStats::default();
+    let mut admission: Option<AdmissionStats> = None;
+    let mut invariants = powerburst_core::invariants::InvariantLog::default();
+    for s in &a.shards {
+        let p = a.world.node_mut::<Proxy>(s.proxy);
+        proxy_stats.merge(&p.stats);
+        if let Some(shard_adm) = p.admission_stats() {
+            let total = admission.get_or_insert(AdmissionStats::default());
+            total.admitted += shard_adm.admitted;
+            total.rejected += shard_adm.rejected;
+            total.packets_refused += shard_adm.packets_refused;
+        }
+        let log = p.take_invariants();
+        invariants.merge(log);
+    }
     for v in dwell_violations {
         invariants.record(v);
     }
     let faults = {
         let mut f = a.world.fault_stats();
-        let ap = a.world.node_mut::<AccessPoint>(a.ap);
-        f.ap_spikes = ap.fault_spikes();
-        let fifo = ap.fifo_violations;
+        let mut spikes = 0u64;
+        let mut fifo = 0u64;
+        for s in &a.shards {
+            let ap = a.world.node_mut::<AccessPoint>(s.ap);
+            spikes += ap.fault_spikes();
+            fifo += ap.fifo_violations;
+        }
+        f.ap_spikes = spikes;
+        // record_counted is a no-op at zero, so summing across APs and
+        // recording once keeps the 1-cell invariant log byte-identical.
         invariants.record_counted(
             fifo,
             Violation {
@@ -465,6 +610,52 @@ mod tests {
         assert!(c.loss_pct() < 5.0, "loss {}", c.loss_pct());
         assert!(r.proxy.schedules_sent > 50);
         assert!(r.proxy.udp_packets_sent > 50);
+    }
+
+    proptest::proptest! {
+        /// Any explicit cell map partitions the clients: every client's
+        /// radio lands in exactly the cell its map entry names, shards
+        /// cover the client index space exactly once, and each realized
+        /// cell holds its AP plus precisely its own clients.
+        #[test]
+        fn arbitrary_cell_maps_partition_clients(
+            map in proptest::collection::vec(0u32..6, 1..32),
+        ) {
+            let n = map.len();
+            let clients = (0..n)
+                .map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 }))
+                .collect();
+            let cfg = ScenarioConfig::new(
+                11,
+                PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
+                clients,
+            )
+            .with_cells(6)
+            .with_cell_map(map.clone());
+            let a = assemble(&cfg);
+
+            let mut seen = vec![0u32; n];
+            for s in &a.shards {
+                for &i in &s.clients {
+                    proptest::prop_assert_eq!(map[i], s.cell, "client {} in wrong shard", i);
+                    seen[i] += 1;
+                }
+            }
+            proptest::prop_assert!(seen.iter().all(|&c| c == 1), "partition: {:?}", seen);
+            for (r, s) in a.shards.iter().enumerate() {
+                proptest::prop_assert_eq!(
+                    a.world.cell_members(r).len(),
+                    s.clients.len() + 1,
+                    "cell {} must hold its AP + its clients only", r
+                );
+                for &i in &s.clients {
+                    proptest::prop_assert_eq!(a.world.cell_of(a.clients[i]), Some(r as u32));
+                }
+            }
+            let occupied: std::collections::BTreeSet<u32> = map.iter().copied().collect();
+            proptest::prop_assert_eq!(a.shards.len(), occupied.len(), "one shard per occupied cell");
+            proptest::prop_assert_eq!(a.coordinator.is_some(), occupied.len() > 1);
+        }
     }
 
     #[test]

@@ -195,6 +195,24 @@ pub struct ScenarioConfig {
     /// automatically by [`ScenarioConfig::new`] when the policy is
     /// buffer-aware.
     pub buffer_reports: bool,
+    /// Number of radio cells. 1 (the default) is the paper's single-AP
+    /// world. With more, the builder instantiates one AP + one proxy
+    /// shard per *occupied* cell on the wired topology, plus a
+    /// coordinator tier exchanging per-cell aggregate demand — schedule
+    /// broadcasts then stay bounded by cell size instead of O(total
+    /// clients). Cells that end up with no clients are elided, so a
+    /// multi-cell config whose clients all land in cell 0 builds a world
+    /// structurally identical to the 1-cell one.
+    pub cells: usize,
+    /// Explicit client → cell assignment (`cell_map[i]` < `cells`).
+    /// `None` (the default) assigns round-robin: client `i` joins cell
+    /// `i % cells`.
+    pub cell_map: Option<Vec<u32>>,
+    /// Shared airtime pool for the coordinator, in permille of one burst
+    /// interval per cell (see `powerburst_coord::CoordinatorConfig`).
+    /// `None` grants every cell its full interval (non-overlapping
+    /// channels). Ignored in 1-cell worlds, which have no coordinator.
+    pub coord_pool_permille: Option<u32>,
 }
 
 impl ScenarioConfig {
@@ -227,6 +245,9 @@ impl ScenarioConfig {
             obs: ObsConfig::OFF,
             channel,
             buffer_reports,
+            cells: 1,
+            cell_map: None,
+            coord_pool_permille: None,
         }
     }
 
@@ -252,6 +273,35 @@ impl ScenarioConfig {
     pub fn with_channel(mut self, cfg: Option<MarkovChannelConfig>) -> ScenarioConfig {
         self.channel = cfg;
         self
+    }
+
+    /// Spread the clients over `cells` radio cells, round-robin (builder
+    /// style).
+    pub fn with_cells(mut self, cells: usize) -> ScenarioConfig {
+        assert!(cells >= 1, "a world has at least one cell");
+        self.cells = cells;
+        self
+    }
+
+    /// Pin every client to an explicit cell (builder style). The map must
+    /// cover every client with a cell index below `cells`.
+    pub fn with_cell_map(mut self, map: Vec<u32>) -> ScenarioConfig {
+        self.cell_map = Some(map);
+        self
+    }
+
+    /// Constrain the coordinator to a shared airtime pool (builder style).
+    pub fn with_coord_pool(mut self, permille: u32) -> ScenarioConfig {
+        self.coord_pool_permille = Some(permille);
+        self
+    }
+
+    /// The cell client `i` belongs to under this config.
+    pub fn cell_of(&self, i: usize) -> usize {
+        match &self.cell_map {
+            Some(map) => map[i] as usize,
+            None => i % self.cells.max(1),
+        }
     }
 }
 

@@ -15,7 +15,7 @@ use powerburst_obs::{BenchJob, BenchReport, BenchStage, Stopwatch};
 use powerburst_sim::{default_threads, parallel_sweep, parallel_sweep_timed, SimDuration, Summary};
 use powerburst_traffic::{Fidelity, WebScriptConfig};
 
-use crate::build::run_scenario;
+use crate::build::{assemble, run_scenario};
 use crate::calibrate::{calibrate, Calibration, DEFAULT_SIZES};
 use crate::config::{
     ClientKind, ClientSpec, NetworkConfig, ObsConfig, RadioMode, ScenarioConfig, VideoPattern,
@@ -89,6 +89,34 @@ fn video_clients(pattern: VideoPattern, n: usize) -> Vec<ClientSpec> {
         .into_iter()
         .map(|f| ClientSpec::new(ClientKind::Video { fidelity: f }))
         .collect()
+}
+
+/// A city-scale multi-cell configuration: `n` 56k video clients spread
+/// round-robin over `n / 64` cells (one AP + proxy shard each), with the
+/// paper's 1 s request stagger compressed so every client starts early in
+/// a short bench window.
+pub fn city_cfg(seed: u64, n: usize, duration: SimDuration) -> ScenarioConfig {
+    let specs =
+        (0..n).map(|_| ClientSpec::new(ClientKind::Video { fidelity: Fidelity::K56 })).collect();
+    let mut cfg = ScenarioConfig::new(
+        seed,
+        PolicyKind::DynamicFixed { interval: SimDuration::from_ms(100) },
+        specs,
+    )
+    .with_duration(duration)
+    .with_cells(n.div_ceil(64));
+    cfg.stagger = SimDuration::from_us(50);
+    cfg
+}
+
+/// Run a configuration on the light path — assemble + run, skipping the
+/// O(clients × trace) postmortem that full result collection performs —
+/// and return the events processed. City-scale stages measure the
+/// simulator with this, not the analyzer.
+pub fn light_events(cfg: &ScenarioConfig) -> u64 {
+    let mut a = assemble(cfg);
+    a.world.run_until(powerburst_sim::SimTime::ZERO + cfg.duration);
+    a.world.events_processed()
 }
 
 fn web_spec() -> ClientSpec {
@@ -1512,7 +1540,7 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
         jobs,
     };
 
-    let mut report = BenchReport::new("pr7");
+    let mut report = BenchReport::new("pr8");
     report.stages.push(sweep_stage);
 
     // Per-scenario throughput: one single-threaded run per named scenario.
@@ -1554,6 +1582,41 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
             }],
         });
     }
+
+    // City-scale (multi-cell): events/sec as the client population grows
+    // at 64 clients/cell, plus a 10 000-client smoke. These stages use the
+    // light path (assemble + run, no postmortem) so they measure the
+    // simulator, not the per-client analyzer.
+    let mut scaling_jobs = Vec::new();
+    let mut scaling_events = 0u64;
+    let scaling_sw = Stopwatch::start();
+    for n in [64usize, 256, 1024] {
+        let cfg = city_cfg(opt.seed, n, SimDuration::from_secs(2));
+        let sw = Stopwatch::start();
+        let ev = light_events(&cfg);
+        scaling_events += ev;
+        scaling_jobs.push(BenchJob::new(format!("c{n}"), sw.elapsed_s(), ev));
+    }
+    report.stages.push(BenchStage {
+        name: "scaling-cells".to_string(),
+        wall_s: scaling_sw.elapsed_s(),
+        threads: 1,
+        sim_events: scaling_events,
+        jobs: scaling_jobs,
+    });
+
+    let cfg = city_cfg(opt.seed, 10_000, SimDuration::from_secs(1));
+    let cells = cfg.cells;
+    let sw = Stopwatch::start();
+    let ev = light_events(&cfg);
+    let wall_s = sw.elapsed_s();
+    report.stages.push(BenchStage {
+        name: "smoke-10k".to_string(),
+        wall_s,
+        threads: 1,
+        sim_events: ev,
+        jobs: vec![BenchJob::new(format!("10000c/{cells}cells"), wall_s, ev)],
+    });
 
     // All56 rather than Mixed: the bench's instrumented run doubles as
     // CI's fail-on-invariants gate, so it sticks to the best-understood

@@ -61,6 +61,7 @@ USAGE:
   powerburst run [--clients N] [--pattern 56k|256k|512k|split|mix]
                  [--interval 100|500|var] [--secs S] [--seed K]
                  [--policy fixed|variable|channel|buffer]
+                 [--cells N] [--coord-pool PERMILLE] [--stagger-ms M]
                  [--web N] [--ftp BYTES] [--live] [--psm] [--static]
                  [--admission] [--trace-out FILE]
                  [--metrics-out FILE] [--trace-events FILE]
@@ -177,6 +178,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
     let mut cfg =
         ScenarioConfig::new(seed, policy, clients).with_duration(SimDuration::from_secs(secs));
+    // Multi-cell: N cells round-robin over the client list, one AP +
+    // proxy shard per occupied cell, coordinator tier when N > 1.
+    let cells: usize = f.parse("--cells", 1);
+    if cells > 1 {
+        cfg = cfg.with_cells(cells);
+    }
+    if let Some(pool) = f.get("--coord-pool").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_coord_pool(pool);
+    }
+    if let Some(ms) = f.get("--stagger-ms").and_then(|v| v.parse().ok()) {
+        cfg.stagger = SimDuration::from_ms(ms);
+    }
     if f.has("--live") {
         cfg.radio = RadioMode::Live;
     }
@@ -334,7 +347,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let (again, _) = exp::bench_suite(&opt);
         report.keep_best(again);
     }
-    let out = f.get("--out").unwrap_or("BENCH_pr7.json");
+    let out = f.get("--out").unwrap_or("BENCH_pr8.json");
     if let Err(e) = std::fs::write(out, report.to_json()) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
