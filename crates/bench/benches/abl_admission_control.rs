@@ -6,7 +6,7 @@ use powerburst_scenario::experiments::{abl_admission_control, render_admission};
 
 fn main() {
     let opt = bench_options();
-    header("abl_admission_control", &opt);
+    println!("{}", header("abl_admission_control", &opt));
     let rows = abl_admission_control(&opt);
     println!("{}", render_admission(&rows));
 }

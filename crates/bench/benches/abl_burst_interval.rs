@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{abl_burst_interval, render_interval_sweep
 
 fn main() {
     let opt = bench_options();
-    header("abl_burst_interval", &opt);
+    println!("{}", header("abl_burst_interval", &opt));
     let rows = abl_burst_interval(&opt);
     println!("{}", render_interval_sweep(&rows));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{abl_delay_compensation, render_delay_comp
 
 fn main() {
     let opt = bench_options();
-    header("abl_delay_compensation", &opt);
+    println!("{}", header("abl_delay_compensation", &opt));
     let rows = abl_delay_compensation(&opt);
     println!("{}", render_delay_compensation(&rows));
 }

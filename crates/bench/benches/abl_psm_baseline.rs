@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{abl_psm_baseline, render_psm};
 
 fn main() {
     let opt = bench_options();
-    header("abl_psm_baseline", &opt);
+    println!("{}", header("abl_psm_baseline", &opt));
     let rows = abl_psm_baseline(&opt);
     println!("{}", render_psm(&rows));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{abl_schedule_unchanged, render_unchanged}
 
 fn main() {
     let opt = bench_options();
-    header("abl_schedule_unchanged", &opt);
+    println!("{}", header("abl_schedule_unchanged", &opt));
     let rows = abl_schedule_unchanged(&opt);
     println!("{}", render_unchanged(&rows));
 }

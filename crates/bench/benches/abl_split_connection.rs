@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{abl_split_connection, render_split};
 
 fn main() {
     let opt = bench_options();
-    header("abl_split_connection", &opt);
+    println!("{}", header("abl_split_connection", &opt));
     let rows = abl_split_connection(&opt);
     println!("{}", render_split(&rows));
 }

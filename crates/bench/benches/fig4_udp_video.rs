@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{fig4_udp_video, render_fig4};
 
 fn main() {
     let opt = bench_options();
-    header("fig4_udp_video", &opt);
+    println!("{}", header("fig4_udp_video", &opt));
     let rows = fig4_udp_video(&opt);
     println!("{}", render_fig4(&rows));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{fig5_mixed, render_fig5};
 
 fn main() {
     let opt = bench_options();
-    header("fig5_mixed", &opt);
+    println!("{}", header("fig5_mixed", &opt));
     let rows = fig5_mixed(&opt);
     println!("{}", render_fig5(&rows));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{fig6_early_transition, render_fig6};
 
 fn main() {
     let opt = bench_options();
-    header("fig6_early_transition", &opt);
+    println!("{}", header("fig6_early_transition", &opt));
     let rows = fig6_early_transition(&opt);
     println!("{}", render_fig6(&rows));
 }

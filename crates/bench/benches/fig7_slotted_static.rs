@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{fig7_slotted_static, render_fig7};
 
 fn main() {
     let opt = bench_options();
-    header("fig7_slotted_static", &opt);
+    println!("{}", header("fig7_slotted_static", &opt));
     let rows = fig7_slotted_static(&opt);
     println!("{}", render_fig7(&rows));
 }

@@ -92,7 +92,7 @@ fn bench_schedule_build(c: &mut Criterion) {
 
 fn bench_marking(c: &mut Criterion) {
     c.bench_function("marking/burst_forward_cycle", |b| {
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         b.iter(|| {
             mc.on_burst_bytes(black_box(14_600));
             mc.end_burst();

@@ -5,7 +5,7 @@ use powerburst_scenario::experiments::{render_bandwidth_model, tab_bandwidth_mod
 
 fn main() {
     let opt = bench_options();
-    header("tab_bandwidth_model", &opt);
+    println!("{}", header("tab_bandwidth_model", &opt));
     let cal = tab_bandwidth_model(&opt);
     println!("{}", render_bandwidth_model(&cal));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{render_drop_impact, tab_drop_impact};
 
 fn main() {
     let opt = bench_options();
-    header("tab_drop_impact", &opt);
+    println!("{}", header("tab_drop_impact", &opt));
     let rows = tab_drop_impact(&opt);
     println!("{}", render_drop_impact(&rows));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{render_optimal, tab_optimal};
 
 fn main() {
     let opt = bench_options();
-    header("tab_optimal", &opt);
+    println!("{}", header("tab_optimal", &opt));
     let rows = tab_optimal(&opt);
     println!("{}", render_optimal(&rows));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{render_packet_loss, tab_packet_loss};
 
 fn main() {
     let opt = bench_options();
-    header("tab_packet_loss", &opt);
+    println!("{}", header("tab_packet_loss", &opt));
     let rows = tab_packet_loss(&opt);
     println!("{}", render_packet_loss(&rows));
 }

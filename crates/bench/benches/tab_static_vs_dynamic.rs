@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{render_static_vs_dynamic, tab_static_vs_d
 
 fn main() {
     let opt = bench_options();
-    header("tab_static_vs_dynamic", &opt);
+    println!("{}", header("tab_static_vs_dynamic", &opt));
     let rows = tab_static_vs_dynamic(&opt);
     println!("{}", render_static_vs_dynamic(&rows));
 }

@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{render_tcp_only, tab_tcp_only};
 
 fn main() {
     let opt = bench_options();
-    header("tab_tcp_only", &opt);
+    println!("{}", header("tab_tcp_only", &opt));
     let rows = tab_tcp_only(&opt);
     println!("{}", render_tcp_only(&rows));
 }

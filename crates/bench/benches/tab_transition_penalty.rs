@@ -7,7 +7,7 @@ use powerburst_scenario::experiments::{render_transition_penalty, tab_transition
 
 fn main() {
     let opt = bench_options();
-    header("tab_transition_penalty", &opt);
+    println!("{}", header("tab_transition_penalty", &opt));
     let rows = tab_transition_penalty(&opt);
     println!("{}", render_transition_penalty(&rows));
 }

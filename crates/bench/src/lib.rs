@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+use powerburst_obs::{EventKind, ObsEvent};
 use powerburst_scenario::experiments::ExpOptions;
 use powerburst_sim::SimDuration;
 
@@ -29,7 +30,19 @@ pub fn bench_options() -> ExpOptions {
     opt
 }
 
-/// Print a harness header with the options in force.
-pub fn header(name: &str, opt: &ExpOptions) {
-    println!("\n[{name}] seed={} duration={} threads={}\n", opt.seed, opt.duration, opt.threads);
+/// The harness banner as a structured obs event (one JSON line). The
+/// bench mains print the returned line themselves — this library never
+/// writes to the console (sim-purity rule D007), so the banner rides the
+/// same event schema as every other exported record.
+pub fn header(name: &'static str, opt: &ExpOptions) -> String {
+    ObsEvent {
+        t_us: 0,
+        kind: EventKind::HarnessBanner {
+            name,
+            seed: opt.seed,
+            duration_us: opt.duration.as_us(),
+            threads: opt.threads as u32,
+        },
+    }
+    .to_json()
 }

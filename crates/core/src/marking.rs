@@ -8,26 +8,29 @@
 //! copies `s` into `m`; the IPQ thread marks the packet that makes `f`
 //! reach `m` and resets `m`.
 //!
-//! [`MarkCoordinator`] is that protocol verbatim, on atomics (the paper's
-//! threads are our event handlers, but the shared-state discipline is kept
-//! so the invariant is machine-checkable). Retransmissions do not advance
-//! `f` — "for this case, `f` would not be incremented" — so a retransmitted
-//! byte range never produces a spurious mark.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//! [`MarkCoordinator`] is that protocol verbatim, on plain counters: the
+//! paper's two threads are our event handlers, which a shard's event loop
+//! runs strictly one at a time, so the three variables are owned state
+//! behind `&mut` — never cross-thread cells. (An earlier revision kept them
+//! on atomics for paper fidelity; the sim-purity lint's D009 rule now
+//! forbids that on sim-result paths, because a result that flows through an
+//! atomic is exactly the kind of cross-thread coupling that would let a
+//! parallel-shard schedule change simulated bytes.) Retransmissions do not
+//! advance `f` — "for this case, `f` would not be incremented" — so a
+//! retransmitted byte range never produces a spurious mark.
 
 /// Sentinel meaning "no mark requested".
 const NO_MARK: u64 = 0;
 
-/// Shared marking state for one client-side socket.
+/// Marking state for one client-side socket, owned by its splice.
 #[derive(Debug, Default)]
 pub struct MarkCoordinator {
     /// Bytes handed to the socket by the bursting thread (`s`).
-    sent: AtomicU64,
+    sent: u64,
     /// Bytes forwarded to the wire by the IPQ thread (`f`).
-    forwarded: AtomicU64,
+    forwarded: u64,
     /// Byte number to be marked (`m`); 0 = none pending.
-    mark: AtomicU64,
+    mark: u64,
 }
 
 impl MarkCoordinator {
@@ -37,20 +40,19 @@ impl MarkCoordinator {
     }
 
     /// Bursting thread: `n` more bytes were queued on the socket.
-    pub fn on_burst_bytes(&self, n: u64) {
-        self.sent.fetch_add(n, Ordering::Relaxed);
+    pub fn on_burst_bytes(&mut self, n: u64) {
+        self.sent += n;
     }
 
     /// Bursting thread: the burst is over — request a mark at the current
     /// send position. Returns the mark offset (total bytes queued so far),
     /// or `None` if nothing has ever been queued (nothing to mark).
-    pub fn end_burst(&self) -> Option<u64> {
-        let s = self.sent.load(Ordering::Relaxed);
-        if s == 0 {
+    pub fn end_burst(&mut self) -> Option<u64> {
+        if self.sent == 0 {
             return None;
         }
-        self.mark.store(s, Ordering::Release);
-        Some(s)
+        self.mark = self.sent;
+        Some(self.sent)
     }
 
     /// IPQ thread: `n` fresh (non-retransmitted) bytes are about to go to
@@ -59,15 +61,15 @@ impl MarkCoordinator {
     /// # Panics
     /// In debug builds, if the invariant `f ≤ s` would be violated —
     /// forwarding bytes the bursting thread never queued.
-    pub fn on_forward(&self, n: u64) -> bool {
-        let f = self.forwarded.fetch_add(n, Ordering::Relaxed) + n;
+    pub fn on_forward(&mut self, n: u64) -> bool {
+        self.forwarded += n;
         debug_assert!(
-            f <= self.sent.load(Ordering::Relaxed),
-            "marking invariant violated: forwarded {f} > sent"
+            self.forwarded <= self.sent,
+            "marking invariant violated: forwarded {} > sent",
+            self.forwarded
         );
-        let m = self.mark.load(Ordering::Acquire);
-        if m != NO_MARK && f >= m {
-            self.mark.store(NO_MARK, Ordering::Release);
+        if self.mark != NO_MARK && self.forwarded >= self.mark {
+            self.mark = NO_MARK;
             true
         } else {
             false
@@ -82,17 +84,12 @@ impl MarkCoordinator {
 
     /// Current `(sent, forwarded, mark)` snapshot, for assertions/telemetry.
     pub fn snapshot(&self) -> (u64, u64, u64) {
-        (
-            self.sent.load(Ordering::Relaxed),
-            self.forwarded.load(Ordering::Relaxed),
-            self.mark.load(Ordering::Relaxed),
-        )
+        (self.sent, self.forwarded, self.mark)
     }
 
     /// Bytes queued but not yet forwarded (`s - f`).
     pub fn backlog(&self) -> u64 {
-        let (s, f, _) = self.snapshot();
-        s - f
+        self.sent - self.forwarded
     }
 }
 
@@ -102,7 +99,7 @@ mod tests {
 
     #[test]
     fn mark_fires_exactly_at_burst_boundary() {
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         mc.on_burst_bytes(3_000);
         assert_eq!(mc.end_burst(), Some(3_000));
         assert!(!mc.on_forward(1_460));
@@ -115,13 +112,13 @@ mod tests {
 
     #[test]
     fn empty_burst_requests_no_mark() {
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         assert_eq!(mc.end_burst(), None);
     }
 
     #[test]
     fn retransmissions_never_mark_and_dont_advance_f() {
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         mc.on_burst_bytes(1_000);
         mc.end_burst();
         assert!(!mc.on_retransmit(1_000));
@@ -134,7 +131,7 @@ mod tests {
 
     #[test]
     fn two_bursts_two_marks() {
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         mc.on_burst_bytes(500);
         mc.end_burst();
         assert!(mc.on_forward(500));
@@ -146,7 +143,7 @@ mod tests {
 
     #[test]
     fn backlog_tracks_unforwarded() {
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         mc.on_burst_bytes(2_000);
         assert_eq!(mc.backlog(), 2_000);
         mc.on_forward(1_500);
@@ -158,7 +155,7 @@ mod tests {
         // If a second burst ends before the first mark is reached, the mark
         // moves to the new boundary (the last packet of the *latest* burst
         // carries it) — matching "valid for exactly one burst interval".
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         mc.on_burst_bytes(1_000);
         mc.end_burst();
         mc.on_burst_bytes(1_000);

@@ -18,7 +18,7 @@ proptest! {
     fn marking_invariant_and_single_mark(
         bursts in prop::collection::vec(1u64..10_000, 1..20),
     ) {
-        let mc = MarkCoordinator::new();
+        let mut mc = MarkCoordinator::new();
         let mut queued = 0u64;
         let mut forwarded = 0u64;
         for &b in &bursts {

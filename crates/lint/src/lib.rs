@@ -14,6 +14,17 @@
 //! | D005 | no floating-point in wire-encoding modules (marked `lint: wire-encoding`) |
 //! | D006 | no `unwrap()`/undocumented `expect()` in non-test core/net/transport code |
 //! | D007 | no `println!`/`eprintln!` outside the CLI (`src/bin/`) and this crate |
+//! | D008 | no shared mutable statics (`static mut`, mutable `thread_local!`, `lazy_static`/`OnceLock`) in sim-path crates |
+//! | D009 | no atomics in sim-path crates (atomics are legal only in `obs`, whose passivity is proven) |
+//! | D010 | no float accumulation over hash-container iteration outside sim-path crates (order-unstable sums) |
+//! | D011 | no `unsafe` outside `sim`; in `sim`, every `unsafe` needs an adjacent `// SAFETY:` line |
+//! | D012 | no interior mutability (`RefCell`/`Cell`/`Rc`) in sim-path crates (shard state must be owned) |
+//!
+//! D001–D007 police single-thread purity line by line; D008–D012 police
+//! *shardability* — the preconditions for running per-cell shards on
+//! threads with byte-identical exports (see DESIGN.md §16). They are
+//! backed by the crate-graph layering analysis in [`graph`], which
+//! enforces the workspace's declared import contract.
 //!
 //! The scanner works on a *code view* of each file: comments, string
 //! literal contents, and char literal contents are blanked out (preserving
@@ -30,6 +41,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod graph;
 
 use std::fmt;
 use std::fs;
@@ -58,12 +71,29 @@ pub enum Rule {
     D005,
     D006,
     D007,
+    D008,
+    D009,
+    D010,
+    D011,
+    D012,
 }
 
 impl Rule {
     /// All rules, in ID order.
-    pub const ALL: [Rule; 7] =
-        [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::D005, Rule::D006, Rule::D007];
+    pub const ALL: [Rule; 12] = [
+        Rule::D001,
+        Rule::D002,
+        Rule::D003,
+        Rule::D004,
+        Rule::D005,
+        Rule::D006,
+        Rule::D007,
+        Rule::D008,
+        Rule::D009,
+        Rule::D010,
+        Rule::D011,
+        Rule::D012,
+    ];
 
     /// The stable ID string (`"D001"`, …).
     pub fn id(self) -> &'static str {
@@ -75,6 +105,11 @@ impl Rule {
             Rule::D005 => "D005",
             Rule::D006 => "D006",
             Rule::D007 => "D007",
+            Rule::D008 => "D008",
+            Rule::D009 => "D009",
+            Rule::D010 => "D010",
+            Rule::D011 => "D011",
+            Rule::D012 => "D012",
         }
     }
 
@@ -93,6 +128,11 @@ impl Rule {
             Rule::D005 => "floating-point in a wire-encoding module (integer-only by contract)",
             Rule::D006 => "unwrap()/undocumented expect() in sim-path code (use typed errors or expect(\"invariant: ...\"))",
             Rule::D007 => "console output outside the CLI (route through obs events instead)",
+            Rule::D008 => "shared mutable static in sim-path code (static mut / mutable thread_local / lazy init cell — shard state must be owned)",
+            Rule::D009 => "atomic in sim-path code (sim results must never flow through cross-thread cells; atomics are legal only in obs)",
+            Rule::D010 => "float accumulation over hash-container iteration (order-unstable sum; iterate a BTreeMap or sort first)",
+            Rule::D011 => "unsafe outside the sim crate, or unsafe in sim without an adjacent // SAFETY: justification",
+            Rule::D012 => "interior mutability (RefCell/Cell/Rc) in sim-path code (aliased shard state defeats conservative-lookahead sharding)",
         }
     }
 }
@@ -278,6 +318,16 @@ impl<'a> FileScope<'a> {
                 matches!(self.crate_name, Some("core") | Some("net") | Some("transport"))
             }
             Rule::D007 => !self.rel.starts_with("src/bin/") && self.crate_name != Some("lint"),
+            Rule::D008 | Rule::D009 | Rule::D012 => self.is_sim_path(),
+            // D002 already bans hash iteration wholesale on the sim path;
+            // D010 extends the float-accumulation case to the reporting
+            // crates whose aggregates feed exports (scenario, client,
+            // coord, obs, the CLI). Bench and the lint itself are
+            // harnesses, not result paths.
+            Rule::D010 => {
+                !self.is_sim_path() && !matches!(self.crate_name, Some("bench") | Some("lint"))
+            }
+            Rule::D011 => true, // scoping is inside the rule: sim may, with SAFETY
         }
     }
 }
@@ -292,8 +342,21 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     let in_test = test_mask(&code_lines);
     let is_wire_module =
         raw_lines.iter().any(|l| l.trim_start().starts_with("//") && l.contains(WIRE_MARKER));
-    let hash_idents =
-        if scope.applies(Rule::D002) { hash_container_idents(&code_lines) } else { Vec::new() };
+    let hash_idents = if scope.applies(Rule::D002) || scope.applies(Rule::D010) {
+        hash_container_idents(&code_lines)
+    } else {
+        Vec::new()
+    };
+    let tls_violations = if scope.applies(Rule::D008) {
+        mutable_thread_local_lines(&code_lines)
+    } else {
+        Vec::new()
+    };
+    let d010_loop_lines = if scope.applies(Rule::D010) {
+        float_accum_loop_lines(&code_lines, &hash_idents)
+    } else {
+        Vec::new()
+    };
 
     let mut out = Vec::new();
     let mut push = |rule: Rule, line: usize| {
@@ -351,6 +414,176 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         {
             push(Rule::D007, lineno);
         }
+        if scope.applies(Rule::D008)
+            && (line.contains("static mut ")
+                || find_word(line, "lazy_static").is_some()
+                || find_word(line, "OnceLock").is_some()
+                || find_word(line, "OnceCell").is_some()
+                || tls_violations.contains(&lineno))
+        {
+            push(Rule::D008, lineno);
+        }
+        if scope.applies(Rule::D009)
+            && (line.contains("sync::atomic")
+                || ATOMIC_TYPES.iter().any(|t| find_word(line, t).is_some()))
+        {
+            push(Rule::D009, lineno);
+        }
+        if scope.applies(Rule::D010)
+            && (d010_loop_lines.contains(&lineno)
+                || (iterates_hash_container(line, &hash_idents)
+                    && has_float_accum(line, code_lines.get(i + 1).copied().unwrap_or(""))))
+        {
+            push(Rule::D010, lineno);
+        }
+        if find_word(line, "unsafe").is_some() {
+            let documented = scope.crate_name == Some("sim")
+                && raw_lines[i.saturating_sub(3)..=i].iter().any(|l| l.contains("SAFETY:"));
+            if !documented {
+                push(Rule::D011, lineno);
+            }
+        }
+        // `Cell` alone is a legitimate domain name (radio cells); require
+        // a shape that can only be `std::cell::Cell`.
+        if scope.applies(Rule::D012)
+            && (["RefCell", "Rc"].iter().any(|t| find_word(line, t).is_some()) || is_std_cell(line))
+        {
+            push(Rule::D012, lineno);
+        }
+    }
+    out
+}
+
+/// Atomic cell type names (rule D009).
+const ATOMIC_TYPES: [&str; 12] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Float-accumulation idioms chained onto an iterator (rule D010). The
+/// window is the match line plus its continuation (rustfmt splits chains).
+fn has_float_accum(line: &str, next: &str) -> bool {
+    const NEEDLES: [&str; 7] = [
+        ".sum::<f32",
+        ".sum::<f64",
+        ".product::<f32",
+        ".product::<f64",
+        ".fold(0.0",
+        ".fold(0f32",
+        ".fold(0f64",
+    ];
+    NEEDLES.iter().any(|n| line.contains(n) || next.contains(n))
+}
+
+/// Lines of `+=`-style float accumulation inside a `for` loop over a hash
+/// container (rule D010's loop form; the chained form is handled inline).
+fn float_accum_loop_lines(code_lines: &[&str], idents: &[String]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, &line) in code_lines.iter().enumerate() {
+        if find_word(line, "for").is_none() || !iterates_hash_container(line, idents) {
+            continue;
+        }
+        // Walk the loop body by brace counting.
+        let mut depth = 0i64;
+        let mut started = false;
+        for (j, &body) in code_lines.iter().enumerate().skip(i) {
+            if started
+                && depth > 0
+                && (body.contains("+=") || body.contains("-=") || body.contains("*="))
+                && (body.contains("as f64")
+                    || body.contains("as f32")
+                    || find_word(body, "f64").is_some()
+                    || find_word(body, "f32").is_some()
+                    || has_float_literal(body))
+            {
+                out.push(j + 1);
+            }
+            for c in body.bytes() {
+                match c {
+                    b'{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if started && depth <= 0 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Lines where a `thread_local!` block declares mutable per-thread state
+/// (rule D008): an interior-mutability cell in the body, or a non-`const`
+/// initializer. A `const` thread-local of immutable data is fine.
+fn mutable_thread_local_lines(code_lines: &[&str]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code_lines.len() {
+        if find_word(code_lines[i], "thread_local").is_none() {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut started = false;
+        let mut bad = false;
+        let mut j = i;
+        while j < code_lines.len() {
+            let body = code_lines[j];
+            if ["RefCell", "Cell", "UnsafeCell"].iter().any(|t| find_word(body, t).is_some())
+                || body.contains("Atomic")
+            {
+                bad = true;
+            }
+            if find_word(body, "static").is_some() {
+                // A static declaration inside the macro body: its
+                // initializer must be `const { .. }`. Look ahead to the
+                // terminating `;`.
+                let mut const_init = false;
+                for &k in code_lines.iter().skip(j).take(4) {
+                    if find_word(k, "const").is_some() {
+                        const_init = true;
+                    }
+                    if k.trim_end().ends_with(';') {
+                        break;
+                    }
+                }
+                if !const_init {
+                    bad = true;
+                }
+            }
+            for c in body.bytes() {
+                match c {
+                    b'{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if started && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        if bad {
+            out.push(i + 1);
+        }
+        i = j + 1;
     }
     out
 }
@@ -460,6 +693,22 @@ fn is_ident_byte(c: u8) -> bool {
 
 fn find_word(line: &str, needle: &str) -> Option<usize> {
     find_word_from(line, needle, 0)
+}
+
+/// A `std::cell::Cell` usage, as opposed to a domain type named `Cell`
+/// (rule D012): the word `Cell` qualified by `cell::`, instantiated with
+/// `::new`, or carrying a type parameter. `RefCell`/`UnsafeCell` never
+/// match here — `Cell` is not at a word boundary inside them.
+fn is_std_cell(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = find_word_from(line, "Cell", from) {
+        let after = &line[p + "Cell".len()..];
+        if after.starts_with('<') || after.starts_with("::new") || line[..p].ends_with("cell::") {
+            return true;
+        }
+        from = p + 1;
+    }
+    false
 }
 
 fn find_word_from(line: &str, needle: &str, from: usize) -> Option<usize> {

@@ -78,9 +78,65 @@ fn d007_console_output_fires_outside_the_cli() {
 }
 
 #[test]
+fn d008_shared_mutable_statics_fire_in_sim_path_crates() {
+    let r = fixture("bad");
+    // `static mut` (2), a mutable `thread_local!` (reported at the macro,
+    // 4), and a lazy-init cell (8). The `const`-initialized thread-local
+    // at 10 is immutable per-thread data and stays legal.
+    let hits = fired(&r, "crates/net/src/pattern.rs");
+    assert_eq!(
+        hits.iter().filter(|(_, r)| *r == Rule::D008).cloned().collect::<Vec<_>>(),
+        vec![(2, Rule::D008), (4, Rule::D008), (8, Rule::D008)]
+    );
+}
+
+#[test]
+fn d009_atomics_fire_in_sim_path_crates() {
+    let r = fixture("bad");
+    let hits = fired(&r, "crates/sim/src/sweep.rs");
+    assert_eq!(
+        hits.iter().filter(|(_, r)| *r == Rule::D009).cloned().collect::<Vec<_>>(),
+        vec![(2, Rule::D009), (4, Rule::D009)]
+    );
+}
+
+#[test]
+fn d010_float_accumulation_fires_on_chains_and_loops() {
+    let r = fixture("bad");
+    // The `.sum::<f64>()` chain over `.values()` (10) and the `+=` float
+    // accumulation inside a `for` loop over the map (17); the integer
+    // `.sum::<u64>()` at 23 is order-safe and stays legal.
+    assert_eq!(fired(&r, "crates/client/src/summary.rs"), vec![(10, Rule::D010), (17, Rule::D010)]);
+}
+
+#[test]
+fn d011_unsafe_requires_sim_plus_safety_comment() {
+    let r = fixture("bad");
+    // In `sim`: undocumented unsafe (6) fires, the `// SAFETY:`-annotated
+    // one (10) is exempt.
+    let hits = fired(&r, "crates/sim/src/sweep.rs");
+    assert_eq!(
+        hits.iter().filter(|(_, r)| *r == Rule::D011).cloned().collect::<Vec<_>>(),
+        vec![(6, Rule::D011)]
+    );
+    // Outside `sim` a SAFETY comment does not help.
+    assert_eq!(fired(&r, "crates/transport/src/loopback.rs"), vec![(4, Rule::D011)]);
+}
+
+#[test]
+fn d012_interior_mutability_fires_in_sim_path_crates() {
+    let r = fixture("bad");
+    let hits = fired(&r, "crates/net/src/pattern.rs");
+    assert_eq!(
+        hits.iter().filter(|(_, r)| *r == Rule::D012).cloned().collect::<Vec<_>>(),
+        vec![(5, Rule::D012)]
+    );
+}
+
+#[test]
 fn bad_tree_has_no_surprise_violations() {
     let r = fixture("bad");
-    let expected = 3 + 2 + 2 + 2 + 2 + 3 + 2 + 2;
+    let expected = (3 + 2 + 2 + 2 + 2 + 3 + 2 + 2) + 4 + 3 + 1 + 2;
     assert_eq!(r.violations.len(), expected, "unexpected: {:#?}", r.violations);
     assert!(!r.is_clean());
 }
@@ -97,15 +153,17 @@ fn violations_render_as_file_line_rule_message() {
 fn allowlist_suppresses_grandfathered_violations() {
     let r = fixture("allowed");
     assert!(r.is_clean(), "violations: {:?}, stale: {:?}", r.violations, r.stale);
-    assert_eq!(r.suppressed, 1);
+    assert_eq!(r.suppressed, 2); // the D006 unwrap and the D009 atomic
 }
 
 #[test]
 fn stale_allowlist_entry_fails_the_lint() {
     let r = fixture("stale");
     assert!(r.violations.is_empty(), "{:?}", r.violations);
-    assert_eq!(r.stale.len(), 1);
+    assert_eq!(r.stale.len(), 2);
     assert_eq!(r.stale[0].file, "crates/core/src/marking.rs");
     assert_eq!(r.stale[0].rule, Rule::D006);
+    assert_eq!(r.stale[1].file, "crates/net/src/pattern.rs");
+    assert_eq!(r.stale[1].rule, Rule::D012);
     assert!(!r.is_clean());
 }

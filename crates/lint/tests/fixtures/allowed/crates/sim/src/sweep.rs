@@ -1,0 +1,2 @@
+//! Fixture: a grandfathered atomic cursor covered by lint-allow.txt.
+use std::sync::atomic::AtomicUsize;

@@ -1,0 +1,25 @@
+//! Fixture: order-unstable float accumulation (rule D010).
+use std::collections::HashMap;
+
+pub struct Summary {
+    samples: HashMap<u32, u64>,
+}
+
+impl Summary {
+    pub fn mean(&self) -> f64 {
+        let total = self.samples.values().map(|v| *v as f64).sum::<f64>();
+        total / self.samples.len() as f64
+    }
+
+    pub fn spread(&self) -> f64 {
+        let mut acc = 0.0;
+        for (_k, v) in self.samples.iter() {
+            acc += *v as f64;
+        }
+        acc
+    }
+
+    pub fn count(&self) -> u64 {
+        self.samples.values().map(|v| *v).sum::<u64>()
+    }
+}

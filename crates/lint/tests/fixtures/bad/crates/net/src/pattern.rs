@@ -1,0 +1,12 @@
+//! Fixture: shared mutable state on the sim path (rules D008/D012).
+static mut SCRATCH: u64 = 0;
+
+thread_local! {
+    static CACHE: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+}
+
+static TABLE: OnceLock<Vec<u8>> = OnceLock::new();
+
+thread_local! {
+    static RUN_ID: u64 = const { 7 };
+}

@@ -1,0 +1,10 @@
+//! Fixture: atomics and undocumented unsafe on the sim path (D009/D011).
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next(c: &AtomicUsize) -> usize {
+    let n = c.fetch_add(1, Ordering::Relaxed);
+    unsafe { core::hint::unreachable_unchecked() }
+}
+
+// SAFETY: fixture — the documented form is exempt inside `sim`.
+pub unsafe fn documented() {}

@@ -1,0 +1,5 @@
+//! Fixture: unsafe outside `sim` is never allowed (rule D011).
+// SAFETY: a comment does not make it legal outside sim.
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

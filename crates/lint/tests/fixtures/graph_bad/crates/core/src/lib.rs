@@ -1,0 +1,7 @@
+//! Fixture: `core` reaching the quarantined `obs::profile` through a
+//! top-level re-export.
+use powerburst_obs::Stopwatch;
+
+pub mod wire;
+
+pub struct MarkCoordinator;

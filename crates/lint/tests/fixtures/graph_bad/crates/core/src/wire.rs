@@ -1,0 +1,5 @@
+// lint: wire-encoding — this module is hand-audited fixed-point code.
+//! Fixture: a wire-marked module may import the addr/time vocabulary but
+//! nothing else.
+use powerburst_sim::time::SimTime;
+use powerburst_net::Packet;

@@ -1,0 +1,3 @@
+//! Fixture: `energy` (layer 2) importing `core` (layer 6) is an upward
+//! edge.
+use powerburst_core::MarkCoordinator;

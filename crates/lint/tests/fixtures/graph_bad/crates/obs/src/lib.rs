@@ -1,0 +1,6 @@
+//! Fixture obs crate: re-exports `Stopwatch` from the quarantined
+//! `profile` module, so importer attribution must resolve through the
+//! re-export map.
+pub mod profile;
+
+pub use profile::Stopwatch;

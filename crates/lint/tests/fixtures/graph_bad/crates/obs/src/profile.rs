@@ -1,0 +1,2 @@
+//! Fixture quarantined module.
+pub struct Stopwatch;

@@ -1,0 +1,3 @@
+//! Fixture sim crate: declares the `time` module so wire-marked files in
+//! other crates can import the sanctioned vocabulary.
+pub mod time;

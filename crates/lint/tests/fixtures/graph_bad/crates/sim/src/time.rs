@@ -1,0 +1,2 @@
+//! Fixture time vocabulary.
+pub struct SimTime;

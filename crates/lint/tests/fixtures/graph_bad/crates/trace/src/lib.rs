@@ -1,0 +1,4 @@
+//! Fixture: `trace` may not import `obs` at all (export passivity).
+use powerburst_obs as obs;
+
+pub struct Row;

@@ -1,0 +1,2 @@
+//! Fixture: a crate with no declared layer in the contract.
+pub struct Widget;

@@ -1,0 +1,5 @@
+//! Fixture: half of a same-layer crate cycle (coord ↔ trace, both L7).
+//! Layering alone cannot reject equal-layer edges; cycle detection must.
+use powerburst_trace::Row;
+
+pub struct Shard;

@@ -1,0 +1,4 @@
+//! Fixture: the other half of the coord ↔ trace cycle.
+use powerburst_coord::Shard;
+
+pub struct Row;

@@ -4,6 +4,7 @@
 
 use std::path::Path;
 
+use powerburst_lint::graph::check_workspace_graph;
 use powerburst_lint::lint_workspace;
 
 #[test]
@@ -21,4 +22,15 @@ fn workspace_passes_sim_purity_lint() {
         "stale lint-allow.txt entries (fix the list): {:?}",
         report.stale
     );
+}
+
+#[test]
+fn workspace_satisfies_the_layering_contract() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let violations = check_workspace_graph(root).expect("workspace readable");
+    let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+    assert!(rendered.is_empty(), "layering violations:\n{}", rendered.join("\n"));
 }

@@ -47,7 +47,7 @@ pub use link::{Endpoint, Link, LinkSpec, WireOutcome};
 pub use medium::{AirtimeModel, Medium, TxOutcome};
 pub use node::{Ctx, Ev, Node, TimerToken};
 pub use packet::{Packet, Proto, TcpFlags, TcpHeader, IP_HEADER, TCP_HEADER, UDP_HEADER};
-pub use pattern::pattern_bytes;
+pub use pattern::{pattern_bytes, PatternCache};
 pub use shaper::{Pipe, PipeSpec};
 pub use sniffer::{Delivery, Sniffer, SnifferRecord};
 pub use world::{NodeConfig, NodeStats, World};

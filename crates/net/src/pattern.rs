@@ -3,46 +3,59 @@
 //! Traffic generators mostly send constant-filler payloads (a CBR stream
 //! of `0x5A`, a web response body of `0x42`, background chatter of zeros).
 //! Building each one with `Bytes::from(vec![byte; n])` costs an allocation
-//! and a memset per packet; instead, [`pattern_bytes`] hands out O(1)
-//! refcount-only [`Bytes::slice`] views into a few per-thread template
-//! buffers, one per filler byte, grown on demand.
+//! and a memset per packet; instead, a [`PatternCache`] hands out O(1)
+//! refcount-only [`Bytes::slice`] views into a few template buffers, one
+//! per filler byte, grown on demand.
 //!
-//! Templates are immutable once built and per-thread, so handing the same
-//! backing store to every packet is safe and deterministic: the bytes on
-//! the wire are identical to the per-packet construction they replace.
-
-use std::cell::RefCell;
+//! The cache is plain owned state: each traffic generator that builds
+//! filler payloads embeds its own. (An earlier revision kept one cache per
+//! thread in a `thread_local!` `RefCell`; the sim-purity lint's D008/D012
+//! shard-safety rules now forbid that shape in sim-path crates — owned
+//! per-generator state partitions trivially when a world is sharded across
+//! threads, and the bytes produced are identical either way.)
 
 use bytes::Bytes;
 
 /// Smallest template buffer built for a new filler byte.
 const MIN_TEMPLATE_LEN: usize = 4096;
 
-thread_local! {
-    /// One template per filler byte seen on this thread. A handful of
-    /// distinct fillers exist in practice, so a linear scan beats a map.
-    static TEMPLATES: RefCell<Vec<(u8, Bytes)>> = const { RefCell::new(Vec::new()) };
+/// Per-generator template store: one immutable buffer per filler byte.
+#[derive(Debug, Default)]
+pub struct PatternCache {
+    /// A handful of distinct fillers exist in practice, so a linear scan
+    /// beats a map.
+    templates: Vec<(u8, Bytes)>,
 }
 
-/// A `len`-byte payload filled with `byte`, as a refcount-only view into a
-/// shared template buffer. Falls back to a direct allocation only when the
-/// thread-local storage is unavailable (thread teardown).
+impl PatternCache {
+    /// An empty cache; templates are built on first use.
+    pub const fn new() -> PatternCache {
+        PatternCache { templates: Vec::new() }
+    }
+
+    /// A `len`-byte payload filled with `byte`, as a refcount-only view
+    /// into this cache's template buffer for that byte.
+    pub fn bytes(&mut self, byte: u8, len: usize) -> Bytes {
+        if let Some((_, tpl)) =
+            self.templates.iter().find(|(b, tpl)| *b == byte && tpl.len() >= len)
+        {
+            return tpl.slice(..len);
+        }
+        // First request for this byte, or longer than the current
+        // template: build a bigger one and remember it.
+        let cap = len.next_power_of_two().max(MIN_TEMPLATE_LEN);
+        let tpl = Bytes::from(vec![byte; cap]);
+        self.templates.retain(|(b, _)| *b != byte);
+        self.templates.push((byte, tpl.clone()));
+        tpl.slice(..len)
+    }
+}
+
+/// A `len`-byte payload filled with `byte`, freshly allocated. Uncached
+/// convenience for tests and cold paths; hot-path generators own a
+/// [`PatternCache`] instead.
 pub fn pattern_bytes(byte: u8, len: usize) -> Bytes {
-    TEMPLATES
-        .try_with(|t| {
-            let mut t = t.borrow_mut();
-            if let Some((_, tpl)) = t.iter().find(|(b, tpl)| *b == byte && tpl.len() >= len) {
-                return tpl.slice(..len);
-            }
-            // First request for this byte, or longer than the current
-            // template: build a bigger one and remember it.
-            let cap = len.next_power_of_two().max(MIN_TEMPLATE_LEN);
-            let tpl = Bytes::from(vec![byte; cap]);
-            t.retain(|(b, _)| *b != byte);
-            t.push((byte, tpl.clone()));
-            tpl.slice(..len)
-        })
-        .unwrap_or_else(|_| Bytes::from(vec![byte; len]))
+    Bytes::from(vec![byte; len])
 }
 
 #[cfg(test)]
@@ -51,8 +64,9 @@ mod tests {
 
     #[test]
     fn views_share_one_template() {
-        let a = pattern_bytes(0x42, 100);
-        let b = pattern_bytes(0x42, 700);
+        let mut c = PatternCache::new();
+        let a = c.bytes(0x42, 100);
+        let b = c.bytes(0x42, 700);
         assert_eq!(a.len(), 100);
         assert!(a.iter().all(|&x| x == 0x42));
         assert_eq!(b.len(), 700);
@@ -63,8 +77,9 @@ mod tests {
 
     #[test]
     fn distinct_fillers_get_distinct_templates() {
-        let a = pattern_bytes(0x00, 64);
-        let b = pattern_bytes(0x5A, 64);
+        let mut c = PatternCache::new();
+        let a = c.bytes(0x00, 64);
+        let b = c.bytes(0x5A, 64);
         assert!(a.iter().all(|&x| x == 0x00));
         assert!(b.iter().all(|&x| x == 0x5A));
         assert_ne!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
@@ -72,13 +87,20 @@ mod tests {
 
     #[test]
     fn oversized_request_grows_the_template() {
-        let small = pattern_bytes(0x77, 16);
-        let big = pattern_bytes(0x77, MIN_TEMPLATE_LEN * 4);
+        let mut c = PatternCache::new();
+        let small = c.bytes(0x77, 16);
+        let big = c.bytes(0x77, MIN_TEMPLATE_LEN * 4);
         assert_eq!(big.len(), MIN_TEMPLATE_LEN * 4);
         assert!(big.iter().all(|&x| x == 0x77));
         // The grown template serves later requests too.
-        let again = pattern_bytes(0x77, 32);
+        let again = c.bytes(0x77, 32);
         assert_eq!(again.as_ref().as_ptr(), big.as_ref().as_ptr());
         assert_eq!(&small[..], &again[..16]);
+    }
+
+    #[test]
+    fn uncached_fallback_matches_cache_content() {
+        let mut c = PatternCache::new();
+        assert_eq!(&pattern_bytes(0x42, 96)[..], &c.bytes(0x42, 96)[..]);
     }
 }

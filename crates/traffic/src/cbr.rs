@@ -112,8 +112,8 @@ impl App for CountingSink {
     }
 }
 
-/// Convenience: a payload of exactly `total` bytes (header included).
-/// A refcount-only view into a shared `0x5A` pattern template.
+/// Convenience: a freshly allocated payload of exactly `total` bytes
+/// (header included), filled with the `0x5A` CBR pattern.
 pub fn filler(total: usize) -> Bytes {
     powerburst_net::pattern_bytes(0x5A, total)
 }

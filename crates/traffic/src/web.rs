@@ -21,7 +21,9 @@ use bytes::{BufMut, Bytes, BytesMut};
 use powerburst_sim::{FastHashMap, SimDuration, SimTime};
 use rand::Rng;
 
-use powerburst_net::{Ctx, IfaceId, Node, Packet, Proto, SockAddr, TcpFlags, TimerToken};
+use powerburst_net::{
+    Ctx, IfaceId, Node, Packet, PatternCache, Proto, SockAddr, TcpFlags, TimerToken,
+};
 use powerburst_transport::{TcpConfig, TcpEndpoint, TcpEvent};
 
 use crate::app::{drive_endpoint, App, APP_TOKEN, CLIENT_RADIO};
@@ -48,6 +50,9 @@ pub struct ByteServer {
     tcp: TcpConfig,
     conns: Vec<ServerConn>,
     by_remote: FastHashMap<SockAddr, usize>,
+    /// Response-body filler templates, owned by this server so payload
+    /// construction stays refcount-only without shared thread state.
+    patterns: PatternCache,
     /// Total payload bytes served.
     pub bytes_served: u64,
     /// Connections accepted.
@@ -62,6 +67,7 @@ impl ByteServer {
             tcp,
             conns: Vec::new(),
             by_remote: FastHashMap::default(),
+            patterns: PatternCache::new(),
             bytes_served: 0,
             accepted: 0,
         }
@@ -92,12 +98,13 @@ impl ByteServer {
             conn.reqbuf.extend_from_slice(&chunk);
         }
         // Serve every complete 8-byte request. Response bodies are
-        // refcount-only views into the shared 0x42 pattern template.
+        // refcount-only views into this server's 0x42 pattern template.
         while conn.reqbuf.len() >= 8 {
             let size = u64::from_be_bytes(conn.reqbuf[..8].try_into().expect("8"));
             conn.reqbuf.drain(..8);
             self.bytes_served += size;
-            conn.ep.send(now, powerburst_net::pattern_bytes(0x42, size as usize));
+            let body = self.patterns.bytes(0x42, size as usize);
+            conn.ep.send(now, body);
         }
         let mut remote_fin = false;
         for ev in conn.ep.events_mut().drain(..) {

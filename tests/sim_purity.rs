@@ -4,6 +4,7 @@
 
 use std::path::Path;
 
+use powerburst_lint::graph::{check_workspace_graph, Contract, ImportGraph};
 use powerburst_lint::lint_workspace;
 
 #[test]
@@ -16,5 +17,27 @@ fn workspace_passes_sim_purity_lint() {
         report.stale.is_empty(),
         "stale lint-allow.txt entries (remove them): {:?}",
         report.stale
+    );
+}
+
+#[test]
+fn workspace_satisfies_the_layering_contract() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = check_workspace_graph(root).expect("workspace readable");
+    let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+    assert!(rendered.is_empty(), "layering violations:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn crate_graph_dot_golden_is_current() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let g = ImportGraph::build(root).expect("workspace readable");
+    let golden =
+        std::fs::read_to_string(root.join("docs/crate-graph.dot")).expect("golden committed");
+    assert_eq!(
+        g.to_dot(&Contract::powerburst()),
+        golden,
+        "docs/crate-graph.dot is stale — regenerate with \
+         `cargo run -p powerburst-lint -- graph --dot > docs/crate-graph.dot`"
     );
 }
