@@ -123,6 +123,16 @@ impl FaultStats {
     pub fn total_dropped(&self) -> u64 {
         self.frames_lost + self.schedules_dropped
     }
+
+    /// Fold another injector's counters into this one — a sharded world
+    /// runs one injector per cell and reports the city-wide sum.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.frames_lost += other.frames_lost;
+        self.schedules_dropped += other.schedules_dropped;
+        self.frames_duplicated += other.frames_duplicated;
+        self.frames_reordered += other.frames_reordered;
+        self.ap_spikes += other.ap_spikes;
+    }
 }
 
 /// The stateful medium-fault sampler owned by the world.

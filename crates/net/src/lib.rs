@@ -43,7 +43,7 @@ pub use channel::{ChannelModel, ChannelQuality, MarkovChannelConfig};
 pub use faults::{ApJitterFault, FaultInjector, FaultPlan, FaultStats};
 pub use feedback::ReceiverReport;
 pub use forward::{StaticRouter, Switch};
-pub use link::{Endpoint, Link, LinkSpec, WireOutcome};
+pub use link::{Endpoint, HalfLink, Link, LinkSpec, WireOutcome};
 pub use medium::{AirtimeModel, Medium, TxOutcome};
 pub use node::{Ctx, Ev, Node, TimerToken};
 pub use packet::{Packet, Proto, TcpFlags, TcpHeader, IP_HEADER, TCP_HEADER, UDP_HEADER};

@@ -28,6 +28,21 @@ impl LinkSpec {
         delay: SimDuration::from_us(50),
         max_backlog: SimDuration::from_ms(200),
     };
+
+    /// 100 Mbps metro backhaul: the aggregation hop between a city-scale
+    /// scenario's central switch and each cell's proxy shard. The 2 ms
+    /// one-way delay models the metro aggregation network rather than a
+    /// LAN patch cable — and because it is the *minimum cross-shard link
+    /// latency*, it is also the parallel core's conservative lookahead
+    /// (DESIGN.md §17): epoch windows are 2 ms wide instead of the 50 µs
+    /// a Fast Ethernet hop would force, keeping barrier overhead small.
+    /// Single-cell (paper-scale) topologies keep `FAST_ETHERNET`
+    /// everywhere and are unaffected.
+    pub const METRO_BACKHAUL: LinkSpec = LinkSpec {
+        bandwidth_bps: 100_000_000.0,
+        delay: SimDuration::from_ms(2),
+        max_backlog: SimDuration::from_ms(200),
+    };
 }
 
 /// One endpoint of a link.
@@ -51,20 +66,53 @@ pub enum WireOutcome {
     Dropped,
 }
 
-/// A bidirectional point-to-point link.
+/// One direction of a wired link: the transmit state owned by the sending
+/// side. A sharded world splits every [`Link`] into its two halves so each
+/// shard owns exactly the directions it transmits on — the two directions
+/// were always independent (separate busy/drop state), so the split cannot
+/// change any outcome.
+#[derive(Debug, Clone)]
+pub struct HalfLink {
+    /// Static parameters (shared with the reverse direction).
+    pub spec: LinkSpec,
+    /// The receiving endpoint.
+    pub peer: Endpoint,
+    busy_until: SimTime,
+    /// Frames dropped in this direction.
+    pub drops: u64,
+}
+
+impl HalfLink {
+    /// A fresh idle half-link toward `peer`.
+    pub fn new(spec: LinkSpec, peer: Endpoint) -> HalfLink {
+        HalfLink { spec, peer, busy_until: SimTime::ZERO, drops: 0 }
+    }
+
+    /// Attempt to send `bytes` at `now`.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> WireOutcome {
+        let start = now.max(self.busy_until);
+        if start.since(now) > self.spec.max_backlog {
+            self.drops += 1;
+            return WireOutcome::Dropped;
+        }
+        let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.spec.bandwidth_bps);
+        let end = start + tx;
+        self.busy_until = end;
+        WireOutcome::Sent { arrive: end + self.spec.delay }
+    }
+}
+
+/// A bidirectional point-to-point link: two independent [`HalfLink`]s.
 #[derive(Debug, Clone)]
 pub struct Link {
-    spec: LinkSpec,
     ends: [Endpoint; 2],
-    busy_until: [SimTime; 2],
-    /// Frames dropped per direction.
-    pub drops: [u64; 2],
+    halves: [HalfLink; 2],
 }
 
 impl Link {
     /// Create a link between two endpoints.
     pub fn new(a: Endpoint, b: Endpoint, spec: LinkSpec) -> Link {
-        Link { spec, ends: [a, b], busy_until: [SimTime::ZERO; 2], drops: [0; 2] }
+        Link { ends: [a, b], halves: [HalfLink::new(spec, b), HalfLink::new(spec, a)] }
     }
 
     /// Which direction index sends *from* this endpoint, if attached.
@@ -84,17 +132,22 @@ impl Link {
         self.ends[1 - dir]
     }
 
+    /// Frames dropped in direction `dir`.
+    pub fn drops(&self, dir: usize) -> u64 {
+        self.halves[dir].drops
+    }
+
     /// Attempt to send `bytes` in direction `dir` at `now`.
     pub fn transmit(&mut self, now: SimTime, dir: usize, bytes: usize) -> WireOutcome {
-        let start = now.max(self.busy_until[dir]);
-        if start.since(now) > self.spec.max_backlog {
-            self.drops[dir] += 1;
-            return WireOutcome::Dropped;
-        }
-        let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.spec.bandwidth_bps);
-        let end = start + tx;
-        self.busy_until[dir] = end;
-        WireOutcome::Sent { arrive: end + self.spec.delay }
+        self.halves[dir].transmit(now, bytes)
+    }
+
+    /// Split into `(sending endpoint, half)` pairs, direction order —
+    /// the shard finalizer hands each half to its sender's shard.
+    pub fn into_halves(self) -> [(Endpoint, HalfLink); 2] {
+        let [a, b] = self.ends;
+        let [ha, hb] = self.halves;
+        [(a, ha), (b, hb)]
     }
 }
 
@@ -150,8 +203,8 @@ mod tests {
             }
         }
         assert!(dropped > 0);
-        assert_eq!(l.drops[0], dropped);
-        assert_eq!(l.drops[1], 0);
+        assert_eq!(l.drops(0), dropped);
+        assert_eq!(l.drops(1), 0);
     }
 
     #[test]

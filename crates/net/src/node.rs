@@ -60,7 +60,11 @@ pub enum Ev {
 /// Implementors must also provide [`Node::as_any_mut`] (returning `self`)
 /// so experiment harnesses can downcast to the concrete type and read
 /// results after a run.
-pub trait Node: Any {
+///
+/// `Send` because a sharded world may run a node's shard on any worker
+/// thread (one shard is only ever touched by one thread at a time; the
+/// bound just lets ownership move across the epoch barrier).
+pub trait Node: Any + Send {
     /// Called once at simulation start (time zero) so sources can arm
     /// their first timers.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}

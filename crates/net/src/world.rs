@@ -6,9 +6,24 @@
 //! (and a monitoring station) on the radio side. The world is fully
 //! deterministic: one master seed derives every per-node and per-medium RNG
 //! stream, and all event ties break by insertion order.
+//!
+//! ## Sharded execution (DESIGN.md §17)
+//!
+//! A multi-cell world is partitioned into **shards** when it first runs:
+//! one shard per radio cell (cell `c` → shard `c + 1`) plus shard 0 for
+//! the wired backbone (servers, switch, coordinator). Each shard owns its
+//! nodes, cells, outbound link halves, event queue, timer index, packet-id
+//! space, and sniffer; cross-shard frames travel as mailbox messages
+//! applied at conservative-lookahead epoch barriers
+//! ([`powerburst_sim::shard`]). Single-cell worlds — every golden
+//! scenario — stay one shard and run the exact sequential loop they always
+//! did, so their traces are byte-identical by construction; multi-shard
+//! worlds are deterministic for any thread count because shard execution
+//! and mailbox drain order never depend on which OS thread runs a shard.
 
 use powerburst_obs::{Counter, Recorder};
 use powerburst_sim::rng::streams;
+use powerburst_sim::shard::{run_epochs, EpochPlan, MailDrain, MailGrid, MailSender};
 use powerburst_sim::{derive_rng, ClockModel, EventQueue, FastHashMap, SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -16,11 +31,16 @@ use powerburst_energy::{CardSpec, EnergyReport, Wnic};
 
 use crate::addr::{ports, HostAddr, IfaceId, NodeId};
 use crate::faults::{fault_stream, fault_streams, FaultInjector, FaultPlan, FaultStats};
-use crate::link::{Endpoint, Link, LinkSpec, WireOutcome};
+use crate::link::{Endpoint, HalfLink, Link, LinkSpec, WireOutcome};
 use crate::medium::{AirtimeModel, Medium, TxOutcome};
 use crate::node::{Ctx, Ev, Node, TimerToken};
 use crate::packet::Packet;
 use crate::sniffer::{Delivery, Sniffer, SnifferRecord};
+
+/// Shard rank is packed into the top bits of per-shard packet ids, so ids
+/// stay unique world-wide without a shared counter. Shard 0's ids are
+/// `0, 1, 2, …` — exactly the legacy single-counter sequence.
+const PACKET_SHARD_SHIFT: u64 = 40;
 
 /// Per-node frame counters maintained by the engine.
 #[derive(Debug, Clone, Copy, Default)]
@@ -127,6 +147,120 @@ struct Cell {
     /// which assemblers keep equal to node-id order so broadcast delivery
     /// order matches the legacy whole-world scan.
     members: Vec<NodeId>,
+    /// Injected medium faults for this cell, when enabled. Cell `k` draws
+    /// from stream `fault_stream(MEDIUM) + 256·k`: cell 0 reproduces the
+    /// legacy single-injector sequence byte-for-byte, and per-cell streams
+    /// keep fault draws shard-local (no cross-shard RNG ordering).
+    faults: Option<FaultInjector>,
+}
+
+/// One direction of a wired link, owned by its sending shard, plus the
+/// destination shard for routing the arrival.
+struct WireHalf {
+    half: HalfLink,
+    peer_shard: u32,
+}
+
+/// A cross-shard message, produced during an epoch's compute phase and
+/// applied at the barrier's drain phase (or synchronously, on sequential
+/// paths). Everything here is commutative-or-ordered: `Arrive` lands in
+/// the destination queue ordered by `(time, seq)` with drains in fixed
+/// sender-rank order, and `QueueDrop` is a counter increment.
+enum Mail {
+    /// Schedule an event (a wire arrival) in the destination shard.
+    Arrive(SimTime, Ev),
+    /// The transmit-side medium dropped a frame addressed to this remote
+    /// node: bump its AP queue-drop counter.
+    QueueDrop(NodeId),
+}
+
+/// The per-shard mutable simulation state. Before the world is finalized
+/// (lazily, at first run), everything lives in a single staging shard 0;
+/// finalization redistributes it per the cell map.
+struct ShardState {
+    rank: u32,
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeSlot>,
+    /// Radio cells owned by this shard, in creation order.
+    cells: Vec<Cell>,
+    /// Outbound link halves owned by this shard's senders.
+    wires: Vec<WireHalf>,
+    timer_index: FastHashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
+    packet_seq: u64,
+    send_buf: Vec<(IfaceId, Packet)>,
+    /// Reused buffer for same-timestamp event batches.
+    batch_buf: Vec<Ev>,
+    sniffer: Sniffer,
+    /// Events dispatched by this shard so far (always counted — it feeds
+    /// the events/sec profiling figure even when observability is off).
+    events_processed: u64,
+}
+
+impl ShardState {
+    fn new(rank: u32) -> ShardState {
+        ShardState {
+            rank,
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(1024),
+            nodes: Vec::new(),
+            cells: Vec::new(),
+            wires: Vec::new(),
+            timer_index: FastHashMap::default(),
+            packet_seq: (rank as u64) << PACKET_SHARD_SHIFT,
+            send_buf: Vec::new(),
+            batch_buf: Vec::new(),
+            sniffer: Sniffer::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Apply one inbound cross-shard message.
+    fn apply(&mut self, topo: &Topo, m: Mail) {
+        match m {
+            Mail::Arrive(t, ev) => {
+                self.queue.push(t, ev);
+            }
+            Mail::QueueDrop(id) => {
+                let (sh, ix) = topo.loc(id);
+                debug_assert_eq!(sh, self.rank as usize);
+                self.nodes[ix].stats.queue_drops += 1;
+            }
+        }
+    }
+}
+
+/// Read-only (after finalize) topology tables shared by every shard.
+struct Topo {
+    /// Dense host → node table, indexed by `HostAddr.0`. Host addresses
+    /// are small and assigned at wiring time (servers in the single
+    /// digits, clients from a low base), so the per-frame destination
+    /// lookup is an array load; `HostAddr::BROADCAST` (`u32::MAX`) never
+    /// indexes because broadcast frames take the broadcast path first.
+    host_index: Vec<Option<NodeId>>,
+    /// Node id → (shard, index within the shard's node vec).
+    node_loc: Vec<(u32, u32)>,
+    /// Node id → the radio cell its wireless interface joined, if any.
+    node_cell: Vec<Option<u32>>,
+    /// Cell id → (shard, index within the shard's cell vec).
+    cell_loc: Vec<(u32, u32)>,
+    /// Conservative lookahead: minimum delay of any cross-shard link.
+    /// `SimDuration::MAX` when no link crosses shards (single shard).
+    lookahead: SimDuration,
+}
+
+impl Topo {
+    #[inline]
+    fn loc(&self, id: NodeId) -> (usize, usize) {
+        let (sh, ix) = self.node_loc[id.index()];
+        (sh as usize, ix as usize)
+    }
+
+    /// The node owning host address `h`, if any.
+    #[inline]
+    fn host_lookup(&self, h: HostAddr) -> Option<NodeId> {
+        self.host_index.get(h.0 as usize).copied().flatten()
+    }
 }
 
 /// The simulation world.
@@ -134,30 +268,24 @@ pub struct World {
     seed: u64,
     now: SimTime,
     started: bool,
-    queue: EventQueue<Ev>,
-    nodes: Vec<NodeSlot>,
-    /// Dense host → node table, indexed by `HostAddr.0`. Host addresses
-    /// are small and assigned at wiring time (servers in the single
-    /// digits, clients from a low base), so the per-frame destination
-    /// lookup is an array load; `HostAddr::BROADCAST` (`u32::MAX`) never
-    /// indexes because broadcast frames take the broadcast path first.
-    host_index: Vec<Option<NodeId>>,
+    /// Topology frozen (state redistributed into shards)? Set lazily at
+    /// the first run; all `add_*`/`attach_*` calls must precede it.
+    finalized: bool,
+    /// Worker threads for multi-shard runs; 0 = auto (`PB_THREADS` or the
+    /// machine's parallelism). Thread count never changes results.
+    threads: usize,
+    topo: Topo,
+    /// Staging: exactly one shard holding everything until `finalize`.
+    shards: Vec<ShardState>,
+    /// Cross-shard mailboxes, sized at finalize.
+    mail: MailGrid<Mail>,
+    /// Staged bidirectional links; split into per-shard halves at finalize.
     links: Vec<Link>,
-    /// Radio cells, in creation order. Empty until `set_medium`/`add_cell`.
-    cells: Vec<Cell>,
-    /// Injected medium faults (loss/dup/reorder/SRP drops), when enabled.
-    faults: Option<FaultInjector>,
-    sniffer: Sniffer,
-    timer_index: FastHashMap<(NodeId, TimerToken), Vec<powerburst_sim::EventId>>,
-    packet_seq: u64,
-    send_buf: Vec<(IfaceId, Packet)>,
-    /// Reused buffer for same-timestamp event batches in `run_until`.
-    batch_buf: Vec<Ev>,
+    /// Wired nodes explicitly pinned to a cell's shard (a cell's proxy
+    /// front-end), applied at finalize.
+    pins: Vec<(NodeId, u32)>,
     /// Observability handle shared with node radios; disabled by default.
     obs: Recorder,
-    /// Events dispatched by the loop so far (always counted — it feeds the
-    /// events/sec profiling figure even when observability is off).
-    events_processed: u64,
 }
 
 impl World {
@@ -167,19 +295,20 @@ impl World {
             seed,
             now: SimTime::ZERO,
             started: false,
-            queue: EventQueue::with_capacity(1024),
-            nodes: Vec::new(),
-            host_index: Vec::new(),
+            finalized: false,
+            threads: 0,
+            topo: Topo {
+                host_index: Vec::new(),
+                node_loc: Vec::new(),
+                node_cell: Vec::new(),
+                cell_loc: Vec::new(),
+                lookahead: SimDuration::MAX,
+            },
+            shards: vec![ShardState::new(0)],
+            mail: MailGrid::new(1),
             links: Vec::new(),
-            cells: Vec::new(),
-            faults: None,
-            sniffer: Sniffer::new(),
-            timer_index: FastHashMap::default(),
-            packet_seq: 0,
-            send_buf: Vec::new(),
-            batch_buf: Vec::new(),
+            pins: Vec::new(),
             obs: Recorder::disabled(),
-            events_processed: 0,
         }
     }
 
@@ -188,22 +317,45 @@ impl World {
         self.seed
     }
 
+    /// Set the worker-thread count for multi-shard runs. `0` (the
+    /// default) resolves `PB_THREADS` / machine parallelism at run time.
+    /// Purely a scheduling knob: results are identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Number of shards this world runs as (1 until finalized, or for any
+    /// world with fewer than two radio cells).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Attach an observability recorder. Forwards it to every live radio
     /// already added (labelled by the node's host address), so call this
-    /// after the topology is assembled.
+    /// after the topology is assembled. Each radio gets the recorder
+    /// *lane* of the shard its node will run on, so event/gauge recording
+    /// stays single-writer-per-lane under multi-threaded runs; lane 0 (the
+    /// only lane in single-cell worlds) is the recorder itself.
     pub fn set_recorder(&mut self, rec: Recorder) {
-        for (i, slot) in self.nodes.iter_mut().enumerate() {
+        let multi = self.topo.cell_loc.len() >= 2;
+        for i in 0..self.topo.node_loc.len() {
+            let lane = match self.topo.node_cell[i] {
+                Some(c) if multi => c as usize + 1,
+                _ => 0,
+            };
+            let (sh, ix) = self.topo.loc(NodeId(i as u32));
+            let slot = &mut self.shards[sh].nodes[ix];
             if let Some(w) = slot.wnic.as_mut() {
                 let label = slot.host.map(|h| h.0).unwrap_or(i as u32);
-                w.set_recorder(rec.clone(), label);
+                w.set_recorder(rec.lane(lane), label);
             }
         }
         self.obs = rec;
     }
 
-    /// Events dispatched by the event loop so far.
+    /// Events dispatched by the event loop so far, summed over shards.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.shards.iter().map(|s| s.events_processed).sum()
     }
 
     /// Current simulation time.
@@ -213,16 +365,23 @@ impl World {
 
     /// Add a node. Ids are assigned densely in insertion order.
     pub fn add_node(&mut self, node: Box<dyn Node>, cfg: NodeConfig) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        assert!(!self.finalized, "topology is frozen once the world runs");
+        let id = NodeId(self.topo.node_loc.len() as u32);
         if let Some(h) = cfg.host {
             assert!(!h.is_broadcast(), "the broadcast address cannot be a node's host");
             let i = h.0 as usize;
-            if self.host_index.len() <= i {
-                self.host_index.resize(i + 1, None);
+            if self.topo.host_index.len() <= i {
+                self.topo.host_index.resize(i + 1, None);
             }
-            assert!(self.host_index[i].replace(id).is_none(), "host {h} assigned to two nodes");
+            assert!(
+                self.topo.host_index[i].replace(id).is_none(),
+                "host {h} assigned to two nodes"
+            );
         }
-        self.nodes.push(NodeSlot {
+        let stage = &mut self.shards[0];
+        self.topo.node_loc.push((0, stage.nodes.len() as u32));
+        self.topo.node_cell.push(None);
+        stage.nodes.push(NodeSlot {
             node,
             clock: cfg.clock,
             rng: derive_rng(self.seed, streams::NODE_BASE + id.0 as u64),
@@ -236,18 +395,42 @@ impl World {
         id
     }
 
-    /// The node owning host address `h`, if any.
+    /// Shared access to a node's slot, wherever its shard put it.
     #[inline]
-    fn host_lookup(&self, h: HostAddr) -> Option<NodeId> {
-        self.host_index.get(h.0 as usize).copied().flatten()
+    fn slot(&self, id: NodeId) -> &NodeSlot {
+        let (sh, ix) = self.topo.loc(id);
+        &self.shards[sh].nodes[ix]
+    }
+
+    /// Exclusive access to a node's slot, wherever its shard put it.
+    #[inline]
+    fn slot_mut(&mut self, id: NodeId) -> &mut NodeSlot {
+        let (sh, ix) = self.topo.loc(id);
+        &mut self.shards[sh].nodes[ix]
     }
 
     /// Connect two node interfaces with a wired link.
     pub fn add_link(&mut self, a: Endpoint, b: Endpoint, spec: LinkSpec) {
+        assert!(!self.finalized, "topology is frozen once the world runs");
         let idx = self.links.len();
         self.links.push(Link::new(a, b, spec));
-        self.nodes[a.node.index()].attach(a.iface, Attachment::Wired { link: idx });
-        self.nodes[b.node.index()].attach(b.iface, Attachment::Wired { link: idx });
+        self.slot_mut(a.node).attach(a.iface, Attachment::Wired { link: idx });
+        self.slot_mut(b.node).attach(b.iface, Attachment::Wired { link: idx });
+    }
+
+    /// Pin a *wired* node onto the shard of `cell` — a cell's proxy
+    /// front-end belongs with its cell, not the backbone, so the chatty
+    /// proxy↔AP traffic stays shard-local and only the calm proxy↔server
+    /// backhaul crosses shards. Radio nodes follow their cell
+    /// automatically and must not be pinned.
+    pub fn pin_to_cell(&mut self, node: NodeId, cell: usize) {
+        assert!(!self.finalized, "topology is frozen once the world runs");
+        assert!(cell < self.topo.cell_loc.len(), "cell {cell} not installed");
+        assert!(
+            self.topo.node_cell[node.index()].is_none(),
+            "pin_to_cell is for wired nodes; radio nodes follow their cell"
+        );
+        self.pins.push((node, cell as u32));
     }
 
     /// Install the shared wireless medium of a single-AP world, naming the
@@ -255,7 +438,7 @@ impl World {
     /// Equivalent to creating cell 0 with [`World::add_cell`]; kept as the
     /// ergonomic (and historical) entry point for 1-cell topologies.
     pub fn set_medium(&mut self, airtime: AirtimeModel, max_backlog: SimDuration, ap: NodeId) {
-        assert!(self.cells.is_empty(), "medium already installed");
+        assert!(self.topo.cell_loc.is_empty(), "medium already installed");
         self.add_cell(airtime, max_backlog, ap);
     }
 
@@ -270,46 +453,72 @@ impl World {
         max_backlog: SimDuration,
         ap: NodeId,
     ) -> usize {
-        let idx = self.cells.len();
-        self.cells.push(Cell {
+        assert!(!self.finalized, "topology is frozen once the world runs");
+        let idx = self.topo.cell_loc.len();
+        let stage = &mut self.shards[0];
+        self.topo.cell_loc.push((0, stage.cells.len() as u32));
+        stage.cells.push(Cell {
             medium: Medium::new(airtime, max_backlog),
             rng: derive_rng(self.seed, streams::AP_DELAY + idx as u64),
             ap,
             members: Vec::new(),
+            faults: None,
         });
         idx
     }
 
     /// Number of radio cells installed.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        self.topo.cell_loc.len()
     }
 
     /// The cell a node's radio is attached to, if any.
     pub fn cell_of(&self, id: NodeId) -> Option<u32> {
-        self.nodes[id.index()].cell
+        self.topo.node_cell[id.index()]
+    }
+
+    /// Shared access to a cell, wherever its shard put it.
+    #[inline]
+    fn cell(&self, cell: usize) -> &Cell {
+        let (sh, ix) = self.topo.cell_loc[cell];
+        &self.shards[sh as usize].cells[ix as usize]
     }
 
     /// The radio members of a cell (including its AP), in attach order.
     pub fn cell_members(&self, cell: usize) -> &[NodeId] {
-        &self.cells[cell].members
+        &self.cell(cell).members
     }
 
     /// Install a medium-level fault plan. Draws come from the dedicated
     /// fault stream, so an empty plan (the default) leaves every other
-    /// random sequence — and thus the whole run — untouched.
+    /// random sequence — and thus the whole run — untouched. Each cell
+    /// gets its own injector on its own derived stream (cell 0's stream is
+    /// the legacy single-injector stream), keeping draws shard-local.
     pub fn set_faults(&mut self, plan: FaultPlan) {
-        if plan.affects_medium() {
-            self.faults = Some(FaultInjector::new(
+        if !plan.affects_medium() {
+            return;
+        }
+        for k in 0..self.topo.cell_loc.len() {
+            let seed = self.seed;
+            let (sh, ix) = self.topo.cell_loc[k];
+            self.shards[sh as usize].cells[ix as usize].faults = Some(FaultInjector::new(
                 plan,
-                derive_rng(self.seed, fault_stream(fault_streams::MEDIUM)),
+                derive_rng(seed, fault_stream(fault_streams::MEDIUM) + 256 * k as u64),
             ));
         }
     }
 
-    /// Counters of injected medium faults so far.
+    /// Counters of injected medium faults so far, summed over cells.
     pub fn fault_stats(&self) -> FaultStats {
-        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+        let mut total = FaultStats::default();
+        for s in &self.shards {
+            for c in &s.cells {
+                if let Some(f) = c.faults.as_ref() {
+                    total.merge(&f.stats);
+                }
+            }
+        }
+        total
     }
 
     /// Mark `iface` on `node` as the node's radio interface, in cell 0
@@ -322,63 +531,88 @@ impl World {
     /// given cell. Attach the cell's AP first, then its clients in id
     /// order: broadcast delivery walks the member list in attach order.
     pub fn attach_wireless_cell(&mut self, node: NodeId, iface: IfaceId, cell: usize) {
-        assert!(cell < self.cells.len(), "cell {cell} not installed (call add_cell first)");
-        let slot = &mut self.nodes[node.index()];
+        assert!(!self.finalized, "topology is frozen once the world runs");
+        assert!(cell < self.topo.cell_loc.len(), "cell {cell} not installed (call add_cell first)");
+        self.topo.node_cell[node.index()] = Some(cell as u32);
+        let slot = self.slot_mut(node);
         slot.attach(iface, Attachment::Wireless);
         slot.wireless_iface = Some(iface);
         slot.cell = Some(cell as u32);
-        self.cells[cell].members.push(node);
+        let (sh, ix) = self.topo.cell_loc[cell];
+        self.shards[sh as usize].cells[ix as usize].members.push(node);
     }
 
-    /// Pre-size the event queue and the send buffer from the assembled
-    /// topology, so the steady-state hot path never reallocates. Purely a
-    /// capacity hint: it cannot change any simulated outcome.
+    /// Freeze the topology and pre-size every shard's event queue and
+    /// scratch buffers from its own node count, so the steady-state hot
+    /// path never reallocates — on any shard. Purely a capacity hint: it
+    /// cannot change any simulated outcome.
     pub fn presize_from_topology(&mut self) {
-        // Empirically a node keeps a few dozen events in flight at peak
-        // (timers, frames on the wire, schedule broadcasts fanned out).
-        self.queue.reserve(self.nodes.len().saturating_mul(64));
-        // `send_buf` is empty between dispatches, so this is an absolute
-        // capacity floor for one handler's burst of sends.
-        self.send_buf.reserve(32);
-        // A same-timestamp batch is at most one burst fan-out wide.
-        self.batch_buf.reserve(64);
+        self.finalize();
+        for s in &mut self.shards {
+            // Empirically a node keeps a few dozen events in flight at
+            // peak (timers, frames on the wire, schedule fan-outs).
+            s.queue.reserve(s.nodes.len().saturating_mul(64));
+            // `send_buf` is empty between dispatches, so this is an
+            // absolute capacity floor for one handler's burst of sends.
+            s.send_buf.reserve(32);
+            // A same-timestamp batch is at most one burst fan-out wide.
+            s.batch_buf.reserve(64);
+        }
     }
 
     /// The host address a node owns.
     pub fn host_of(&self, id: NodeId) -> Option<HostAddr> {
-        self.nodes[id.index()].host
+        self.slot(id).host
     }
 
     /// Engine counters for a node.
     pub fn stats(&self, id: NodeId) -> &NodeStats {
-        &self.nodes[id.index()].stats
+        &self.slot(id).stats
     }
 
     /// Energy report for a live-radio node as of the current time.
     pub fn wnic_report(&mut self, id: NodeId) -> Option<EnergyReport> {
         let now = self.now;
-        self.nodes[id.index()].wnic.as_mut().map(|w| w.report_at(now))
+        self.slot_mut(id).wnic.as_mut().map(|w| w.report_at(now))
     }
 
-    /// The captured wireless trace so far.
+    /// The captured wireless trace so far. In a sharded world this is
+    /// shard 0's capture only (empty — radio traffic lives on cell
+    /// shards); use [`World::take_trace`] for the merged trace.
     pub fn sniffer(&self) -> &Sniffer {
-        &self.sniffer
+        &self.shards[0].sniffer
     }
 
-    /// Take ownership of the captured trace.
+    /// Take ownership of the captured trace, merged across shards in
+    /// timestamp order (ties break by shard rank, then capture order —
+    /// both deterministic). A single-shard world returns its capture
+    /// as-is, byte-identical to the pre-shard engine.
     pub fn take_trace(&mut self) -> Vec<SnifferRecord> {
-        self.sniffer.take()
+        if self.shards.len() == 1 {
+            return self.shards[0].sniffer.take();
+        }
+        let mut all = Vec::new();
+        for s in &mut self.shards {
+            all.extend(s.sniffer.take());
+        }
+        // Each shard's capture is already time-ordered; a stable sort by
+        // timestamp yields the (t, rank, capture-index) merge order.
+        all.sort_by_key(|r| r.t);
+        all
     }
 
     /// Frames dropped at the medium transmit queues, summed over cells.
     pub fn medium_drops(&self) -> u64 {
-        self.cells.iter().map(|c| c.medium.drops).sum()
+        self.shards.iter().flat_map(|s| s.cells.iter()).map(|c| c.medium.drops).sum()
     }
 
     /// Airtime carried by the media (utilization numerator), summed over
     /// cells.
     pub fn medium_carried_airtime(&self) -> SimDuration {
-        self.cells.iter().fold(SimDuration::ZERO, |acc, c| acc + c.medium.carried_airtime)
+        self.shards
+            .iter()
+            .flat_map(|s| s.cells.iter())
+            .fold(SimDuration::ZERO, |acc, c| acc + c.medium.carried_airtime)
     }
 
     /// Downcast a node to its concrete type.
@@ -386,35 +620,210 @@ impl World {
     /// # Panics
     /// If the node is not a `T`.
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        self.nodes[id.index()]
+        self.slot_mut(id)
             .node
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("invariant: caller names the node's registered concrete type (see Panics)")
     }
 
+    /// Freeze the topology: decide every node's shard, redistribute the
+    /// staging state, split links into sender-owned halves, and derive the
+    /// conservative lookahead. Idempotent; runs lazily before the first
+    /// event. Worlds with fewer than two radio cells stay one shard — the
+    /// redistribution is then a no-op re-wiring and the event loop is the
+    /// exact sequential loop of the pre-shard engine.
+    fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let cell_count = self.topo.cell_loc.len();
+        let multi = cell_count >= 2;
+        let shard_total = if multi { cell_count + 1 } else { 1 };
+
+        // Every node's shard: its cell's (cell c → shard c+1), a pin, or
+        // the wired backbone shard 0.
+        let mut shard_of: Vec<u32> = self
+            .topo
+            .node_cell
+            .iter()
+            .map(|c| match c {
+                Some(c) if multi => c + 1,
+                _ => 0,
+            })
+            .collect();
+        for &(id, cell) in &self.pins {
+            if multi {
+                shard_of[id.index()] = cell + 1;
+            }
+        }
+        self.pins.clear();
+
+        let stage = self.shards.pop().expect("invariant: the staging shard exists until finalize");
+        assert!(self.shards.is_empty() && stage.queue.is_empty(), "finalize before any events");
+
+        let mut shards: Vec<ShardState> = (0..shard_total as u32).map(ShardState::new).collect();
+        for (i, slot) in stage.nodes.into_iter().enumerate() {
+            let sh = shard_of[i] as usize;
+            self.topo.node_loc[i] = (sh as u32, shards[sh].nodes.len() as u32);
+            shards[sh].nodes.push(slot);
+        }
+        for (c, cell) in stage.cells.into_iter().enumerate() {
+            let sh = if multi { c + 1 } else { 0 };
+            self.topo.cell_loc[c] = (sh as u32, shards[sh].cells.len() as u32);
+            shards[sh].cells.push(cell);
+        }
+
+        // Split each staged link into its two sender-owned halves and
+        // re-point the senders' attachments at the per-shard wire table.
+        // The minimum delay among shard-crossing halves is the lookahead.
+        let mut lookahead = SimDuration::MAX;
+        for link in self.links.drain(..) {
+            for (from_ep, half) in link.into_halves() {
+                let from_sh = shard_of[from_ep.node.index()] as usize;
+                let peer_shard = shard_of[half.peer.node.index()];
+                if peer_shard as usize != from_sh {
+                    lookahead = lookahead.min(half.spec.delay);
+                }
+                let (sh, ix) = self.topo.loc(from_ep.node);
+                debug_assert_eq!(sh, from_sh);
+                let wire = shards[from_sh].wires.len();
+                shards[sh].nodes[ix].attachments[from_ep.iface.0 as usize] =
+                    Some(Attachment::Wired { link: wire });
+                shards[from_sh].wires.push(WireHalf { half, peer_shard });
+            }
+        }
+        if multi {
+            assert!(
+                !lookahead.is_zero(),
+                "a zero-latency cross-shard link would force zero lookahead"
+            );
+        }
+        self.topo.lookahead = lookahead;
+        self.mail = MailGrid::new(shard_total);
+        self.shards = shards;
+    }
+
     /// Run the event loop until simulated `t` (inclusive of events at `t`).
     pub fn run_until(&mut self, t: SimTime) {
+        self.finalize();
         if !self.started {
             self.started = true;
-            for i in 0..self.nodes.len() {
+            // Start every node in id order, sequentially — identical to
+            // the pre-shard engine's start sequence for any shard count.
+            for i in 0..self.topo.node_loc.len() {
                 self.with_node(NodeId(i as u32), |n, ctx| n.on_start(ctx));
             }
         }
-        // Batched dispatch: drain every event sharing the next timestamp in
-        // one pass over the heap, then run the batch from a reused buffer.
-        // Same-time events pushed *during* the batch always carry higher
-        // sequence numbers than anything drained, so they form the next
-        // batch at the same timestamp and overall dispatch order is
-        // byte-identical to popping one event at a time.
-        let mut batch = std::mem::take(&mut self.batch_buf);
+        // `run_window` processes events strictly before its end; `t + 1 µs`
+        // makes the whole call inclusive of events at `t`, matching the
+        // pre-shard loop's `ev_t <= t` exactly (time is integral µs).
+        let cap = t.saturating_add(SimDuration::from_us(1));
+        if self.shards.len() == 1 {
+            // Sequential fast path: the exact legacy event loop. No mail
+            // can exist — every destination is shard 0.
+            let tx = self.mail.sender(0);
+            Exec { rank: 0, topo: &self.topo, obs: &self.obs, s: &mut self.shards[0], tx }
+                .run_window(cap);
+        } else {
+            let threads = match self.threads {
+                0 => powerburst_sim::default_threads(),
+                n => n,
+            };
+            let plan = EpochPlan { threads, target: t, lookahead: self.topo.lookahead };
+            let topo = &self.topo;
+            let obs = &self.obs;
+            run_epochs(
+                &mut self.shards,
+                &mut self.mail,
+                plan,
+                |s: &ShardState| s.queue.peek_time(),
+                |r, s, wend, tx| {
+                    Exec { rank: r as u32, topo, obs, s, tx }.run_window(wend);
+                },
+                |_r, s, mut rx: MailDrain<'_, Mail>| {
+                    rx.drain(|_from, m| s.apply(topo, m));
+                },
+            );
+        }
+        for s in &mut self.shards {
+            s.now = t;
+        }
+        self.now = t;
+    }
+
+    /// Run a handler on a node (out of band), then route its sends and
+    /// synchronously apply any cross-shard mail they produced — injections
+    /// between `run_until` calls must be visible before the next epoch is
+    /// planned.
+    fn with_node<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, id: NodeId, f: F) {
+        self.finalize();
+        let (sh, _) = self.topo.loc(id);
+        {
+            let tx = self.mail.sender(sh);
+            let mut ex = Exec {
+                rank: sh as u32,
+                topo: &self.topo,
+                obs: &self.obs,
+                s: &mut self.shards[sh],
+                tx,
+            };
+            ex.with_node(id, f);
+        }
+        if self.shards.len() > 1 {
+            let World { shards, mail, topo, .. } = self;
+            mail.drain_row(sh, |to, m| shards[to].apply(topo, m));
+        }
+    }
+}
+
+/// One shard's execution view: the shard's own mutable state plus the
+/// world-wide read-only tables and the outbound mailbox row. All event
+/// dispatch — timers, wire arrivals, radio delivery — happens through
+/// this; the only cross-shard effects are `tx` sends.
+struct Exec<'a> {
+    rank: u32,
+    topo: &'a Topo,
+    obs: &'a Recorder,
+    s: &'a mut ShardState,
+    tx: MailSender<'a, Mail>,
+}
+
+impl Exec<'_> {
+    /// This shard's slot for a node; the node must live here.
+    #[inline]
+    fn local_slot(&mut self, id: NodeId) -> &mut NodeSlot {
+        let (sh, ix) = self.topo.loc(id);
+        debug_assert_eq!(sh, self.rank as usize, "node {id:?} dispatched on the wrong shard");
+        &mut self.s.nodes[ix]
+    }
+
+    /// This shard's local index for a cell; the cell must live here.
+    #[inline]
+    fn local_cell(&self, cell: u32) -> usize {
+        let (sh, ix) = self.topo.cell_loc[cell as usize];
+        debug_assert_eq!(sh, self.rank, "cell {cell} touched from the wrong shard");
+        ix as usize
+    }
+
+    /// Process every pending event strictly before `wend`.
+    ///
+    /// Batched dispatch: drain every event sharing the next timestamp in
+    /// one pass over the heap, then run the batch from a reused buffer.
+    /// Same-time events pushed *during* the batch always carry higher
+    /// sequence numbers than anything drained, so they form the next
+    /// batch at the same timestamp and overall dispatch order is
+    /// byte-identical to popping one event at a time.
+    fn run_window(&mut self, wend: SimTime) {
+        let mut batch = std::mem::take(&mut self.s.batch_buf);
         debug_assert!(batch.is_empty());
         loop {
-            match self.queue.peek_time() {
-                Some(ev_t) if ev_t <= t => {
-                    debug_assert!(ev_t >= self.now, "event from the past");
-                    self.now = ev_t;
-                    self.queue.pop_batch_at(ev_t, &mut batch);
+            match self.s.queue.peek_time() {
+                Some(ev_t) if ev_t < wend => {
+                    debug_assert!(ev_t >= self.s.now, "event from the past");
+                    self.s.now = ev_t;
+                    self.s.queue.pop_batch_at(ev_t, &mut batch);
                     for ev in batch.drain(..) {
                         self.dispatch(ev);
                     }
@@ -422,12 +831,11 @@ impl World {
                 _ => break,
             }
         }
-        self.batch_buf = batch;
-        self.now = t;
+        self.s.batch_buf = batch;
     }
 
     fn dispatch(&mut self, ev: Ev) {
-        self.events_processed += 1;
+        self.s.events_processed += 1;
         self.obs.incr(Counter::WorldEvents);
         match ev {
             Ev::Timer { node, token } => {
@@ -435,7 +843,7 @@ impl World {
                 // the key space is bounded by distinct (node, token) pairs,
                 // and keeping the Vec lets the next set_timer on the same
                 // key reuse its capacity instead of reallocating.
-                if let Some(ids) = self.timer_index.get_mut(&(node, token)) {
+                if let Some(ids) = self.s.timer_index.get_mut(&(node, token)) {
                     if !ids.is_empty() {
                         ids.remove(0);
                     }
@@ -453,32 +861,35 @@ impl World {
 
     /// Run a handler on a node, then route the sends it buffered.
     fn with_node<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, id: NodeId, f: F) {
-        let mut sends = std::mem::take(&mut self.send_buf);
+        let mut sends = std::mem::take(&mut self.s.send_buf);
         debug_assert!(sends.is_empty());
         {
-            let slot = &mut self.nodes[id.index()];
+            let now = self.s.now;
+            let (_, ix) = self.topo.loc(id);
+            let slot = &mut self.s.nodes[ix];
             let mut ctx = Ctx {
-                now: self.now,
+                now,
                 node: id,
                 clock: &slot.clock,
                 rng: &mut slot.rng,
                 wnic: slot.wnic.as_mut(),
-                queue: &mut self.queue,
-                timer_index: &mut self.timer_index,
+                queue: &mut self.s.queue,
+                timer_index: &mut self.s.timer_index,
                 sends: &mut sends,
-                packet_seq: &mut self.packet_seq,
+                packet_seq: &mut self.s.packet_seq,
             };
             f(&mut *slot.node, &mut ctx);
         }
         for (iface, pkt) in sends.drain(..) {
             self.route_send(id, iface, pkt);
         }
-        self.send_buf = sends;
+        self.s.send_buf = sends;
     }
 
     /// Route one outbound frame onto its attachment.
     fn route_send(&mut self, from: NodeId, iface: IfaceId, pkt: Packet) {
-        let att = self.nodes[from.index()]
+        let att = self
+            .local_slot(from)
             .attachments
             .get(iface.0 as usize)
             .copied()
@@ -486,35 +897,38 @@ impl World {
             .unwrap_or_else(|| panic!("node {from:?} iface {iface:?} not attached"));
         match att {
             Attachment::Wired { link } => {
-                let l = &mut self.links[link];
-                let dir = l
-                    .direction_from(from, iface)
-                    .expect("invariant: attachment table and link endpoints agree");
-                match l.transmit(self.now, dir, pkt.wire_size()) {
+                let now = self.s.now;
+                let w = &mut self.s.wires[link];
+                match w.half.transmit(now, pkt.wire_size()) {
                     WireOutcome::Sent { arrive } => {
-                        let peer = l.peer(dir);
-                        self.queue.push(
-                            arrive,
-                            Ev::WireArrive { node: peer.node, iface: peer.iface, pkt },
-                        );
+                        let peer = w.half.peer;
+                        let peer_shard = w.peer_shard;
+                        let ev = Ev::WireArrive { node: peer.node, iface: peer.iface, pkt };
+                        if peer_shard == self.rank {
+                            self.s.queue.push(arrive, ev);
+                        } else {
+                            // Arrives ≥ one lookahead away — at or past the
+                            // epoch window's end — so delivery via the next
+                            // barrier's drain phase is causally safe.
+                            self.tx.send(peer_shard as usize, Mail::Arrive(arrive, ev));
+                        }
                     }
                     WireOutcome::Dropped => { /* counted on the link */ }
                 }
             }
             Attachment::Wireless => {
+                let gci = self.topo.node_cell[from.index()]
+                    .expect("invariant: wireless attachment implies a cell");
+                let cix = self.local_cell(gci);
+                let now = self.s.now;
+                let cell = &mut self.s.cells[cix];
                 // Fault decisions are drawn per attempted frame, before the
                 // medium outcome, so the fault stream's position depends
-                // only on traffic order.
-                let (reorder, dup) = match self.faults.as_mut() {
+                // only on traffic order (within this cell).
+                let (reorder, dup) = match cell.faults.as_mut() {
                     Some(f) => (f.reorder_delay(), f.duplicate()),
                     None => (None, false),
                 };
-                let ci = self.nodes[from.index()]
-                    .cell
-                    .expect("invariant: wireless attachment implies a cell")
-                    as usize;
-                let now = self.now;
-                let cell = &mut self.cells[ci];
                 match cell.medium.transmit(now, pkt.wire_size(), &mut cell.rng) {
                     TxOutcome::Sent { finish, airtime } => {
                         if dup {
@@ -522,7 +936,7 @@ impl World {
                             if let TxOutcome::Sent { finish: f2, airtime: a2 } =
                                 cell.medium.transmit(now, pkt.wire_size(), &mut cell.rng)
                             {
-                                self.queue.push(
+                                self.s.queue.push(
                                     f2,
                                     Ev::RadioArrive { pkt: pkt.clone(), from, airtime: a2 },
                                 );
@@ -532,17 +946,24 @@ impl World {
                             Some(extra) => finish + extra,
                             None => finish,
                         };
-                        self.queue.push(arrive, Ev::RadioArrive { pkt, from, airtime });
+                        self.s.queue.push(arrive, Ev::RadioArrive { pkt, from, airtime });
                     }
                     TxOutcome::Dropped => {
-                        self.sniffer.record(SnifferRecord::of(
-                            self.now,
+                        self.s.sniffer.record(SnifferRecord::of(
+                            now,
                             &pkt,
                             SimDuration::ZERO,
                             Delivery::QueueDrop,
                         ));
-                        if let Some(dst) = self.host_lookup(pkt.dst.host) {
-                            self.nodes[dst.index()].stats.queue_drops += 1;
+                        if let Some(dst) = self.topo.host_lookup(pkt.dst.host) {
+                            let (dsh, dix) = self.topo.loc(dst);
+                            if dsh == self.rank as usize {
+                                self.s.nodes[dix].stats.queue_drops += 1;
+                            } else {
+                                // A commutative counter bump; barrier-phase
+                                // application cannot reorder anything.
+                                self.tx.send(dsh, Mail::QueueDrop(dst));
+                            }
                         }
                     }
                 }
@@ -551,20 +972,21 @@ impl World {
     }
 
     /// A frame's airtime completed: bill the transmitter, record it, and
-    /// deliver to listening receivers in the transmitter's cell.
+    /// deliver to listening receivers in the transmitter's cell. Radio
+    /// traffic never leaves the shard: every cell member (and the AP that
+    /// bridges outward) lives on the cell's shard.
     fn radio_deliver(&mut self, pkt: Packet, from: NodeId, airtime: SimDuration) {
-        let now = self.now;
-        let ci = self.nodes[from.index()]
-            .cell
-            .expect("invariant: radio frames originate from cell members")
-            as usize;
+        let now = self.s.now;
+        let gci = self.topo.node_cell[from.index()]
+            .expect("invariant: radio frames originate from cell members");
+        let cix = self.local_cell(gci);
         // Injected faults: generic frame loss plus targeted SRP drops. The
         // airtime was burned either way, so the transmitter still pays.
-        if let Some(f) = self.faults.as_mut() {
+        if let Some(f) = self.s.cells[cix].faults.as_mut() {
             let is_schedule = pkt.is_broadcast() && pkt.dst.port == ports::SCHEDULE;
             if f.should_drop(is_schedule) {
-                self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
-                let s = &mut self.nodes[from.index()];
+                self.s.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
+                let s = self.local_slot(from);
                 s.stats.tx_frames += 1;
                 s.stats.tx_airtime += airtime;
                 if let Some(w) = s.wnic.as_mut() {
@@ -575,13 +997,13 @@ impl World {
         }
         // Channel corruption: the frame burned its airtime but nobody
         // decodes it (the §4.3 lossy-channel validation knob).
-        let loss_prob = self.cells[ci].medium.airtime_model().loss_prob;
+        let loss_prob = self.s.cells[cix].medium.airtime_model().loss_prob;
         if loss_prob > 0.0 {
             use rand::Rng;
-            if self.cells[ci].rng.random::<f64>() < loss_prob {
-                self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
+            if self.s.cells[cix].rng.random::<f64>() < loss_prob {
+                self.s.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Corrupted));
                 // Transmit energy is still paid.
-                let s = &mut self.nodes[from.index()];
+                let s = self.local_slot(from);
                 s.stats.tx_frames += 1;
                 s.stats.tx_airtime += airtime;
                 if let Some(w) = s.wnic.as_mut() {
@@ -592,7 +1014,7 @@ impl World {
         }
         // Transmit-side energy (client uplink: TCP ACKs, stream feedback).
         {
-            let s = &mut self.nodes[from.index()];
+            let s = self.local_slot(from);
             s.stats.tx_frames += 1;
             s.stats.tx_airtime += airtime;
             if let Some(w) = s.wnic.as_mut() {
@@ -601,18 +1023,18 @@ impl World {
         }
 
         if pkt.is_broadcast() {
-            self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Broadcast));
+            self.s.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Broadcast));
             // Broadcast fan-out is bounded by the cell's member list — a
             // schedule broadcast in one cell costs O(cell size), never
             // O(total clients across the city.)
-            let ap = self.cells[ci].ap;
-            let n = self.cells[ci].members.len();
+            let ap = self.s.cells[cix].ap;
+            let n = self.s.cells[cix].members.len();
             for mi in 0..n {
-                let id = self.cells[ci].members[mi];
+                let id = self.s.cells[cix].members[mi];
                 if id == from || id == ap {
                     continue; // the AP originated or bridged it; don't echo back
                 }
-                let slot = &mut self.nodes[id.index()];
+                let slot = self.local_slot(id);
                 let wiface =
                     slot.wireless_iface.expect("invariant: cell members always have a radio iface");
                 let listening = match slot.wnic.as_mut() {
@@ -638,11 +1060,11 @@ impl World {
         // Unicast: find the owner of the destination host. Direct radio
         // delivery only within the transmitter's cell; anything else
         // (wired hosts, radios in other cells) bridges via the cell's AP.
-        let ap = self.cells[ci].ap;
-        let target = self.host_lookup(pkt.dst.host);
+        let ap = self.s.cells[cix].ap;
+        let target = self.topo.host_lookup(pkt.dst.host);
         match target {
-            Some(id) if self.nodes[id.index()].cell == Some(ci as u32) && id != ap => {
-                let slot = &mut self.nodes[id.index()];
+            Some(id) if self.topo.node_cell[id.index()] == Some(gci) && id != ap => {
+                let slot = self.local_slot(id);
                 let wiface =
                     slot.wireless_iface.expect("invariant: match arm checked wireless_iface");
                 let listening = match slot.wnic.as_mut() {
@@ -656,13 +1078,18 @@ impl World {
                     if let Some(w) = slot.wnic.as_mut() {
                         w.on_receive(now, airtime);
                     }
-                    self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
+                    self.s.sniffer.record(SnifferRecord::of(
+                        now,
+                        &pkt,
+                        airtime,
+                        Delivery::Delivered,
+                    ));
                     self.with_node(id, |n, ctx| n.on_packet(ctx, wiface, pkt));
                 } else {
                     slot.stats.missed_frames += 1;
                     slot.stats.missed_bytes += pkt.wire_size() as u64;
                     slot.stats.missed_airtime += airtime;
-                    self.sniffer.record(SnifferRecord::of(
+                    self.s.sniffer.record(SnifferRecord::of(
                         now,
                         &pkt,
                         airtime,
@@ -674,13 +1101,19 @@ impl World {
                 // Uplink toward a wired host, another cell, or unknown:
                 // bridge via this cell's AP.
                 if ap != from {
-                    let wiface = self.nodes[ap.index()]
+                    let wiface = self
+                        .local_slot(ap)
                         .wireless_iface
                         .expect("invariant: the registered AP always has a radio iface");
-                    self.sniffer.record(SnifferRecord::of(now, &pkt, airtime, Delivery::Delivered));
+                    self.s.sniffer.record(SnifferRecord::of(
+                        now,
+                        &pkt,
+                        airtime,
+                        Delivery::Delivered,
+                    ));
                     self.with_node(ap, |n, ctx| n.on_packet(ctx, wiface, pkt));
                 } else {
-                    self.sniffer.record(SnifferRecord::of(
+                    self.s.sniffer.record(SnifferRecord::of(
                         now,
                         &pkt,
                         airtime,

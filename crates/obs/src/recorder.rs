@@ -7,6 +7,19 @@
 //! stores counters/gauges/histograms in fixed-size atomic arrays indexed
 //! by the static catalog, so the enabled hot path is allocation-free too;
 //! the event channel is pre-allocated to its cap for the same reason.
+//!
+//! ## Lanes
+//!
+//! A sharded world (DESIGN.md §17) records from several worker threads at
+//! once. Counters, histograms, and `gauge_add` are commutative atomics, so
+//! their totals are thread-order independent; the event channel and
+//! `gauge_set` are not. [`Recorder::lane`] derives a handle bound to one
+//! **lane**: a private event buffer plus private `gauge_set` slots, written
+//! by exactly one shard. [`Recorder::export`] merges lanes
+//! deterministically — events concatenated in lane order then stably
+//! sorted by timestamp, set-gauges resolved highest-written-lane-wins.
+//! A single-lane recorder (the default) is byte-identical to the
+//! pre-lane implementation.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -23,12 +36,17 @@ pub struct RecorderConfig {
     pub events: bool,
     /// Maximum events retained; later events are counted as dropped. The
     /// buffer is pre-allocated to this cap so recording never allocates.
+    /// With multiple lanes the cap applies per lane while recording and
+    /// again to the merged stream at export.
     pub event_cap: usize,
+    /// Number of independent recording lanes (clamped to ≥ 1). One unless
+    /// the world is sharded, in which case shard *k* records on lane *k*.
+    pub lanes: usize,
 }
 
 impl Default for RecorderConfig {
     fn default() -> Self {
-        RecorderConfig { events: true, event_cap: 65_536 }
+        RecorderConfig { events: true, event_cap: 65_536, lanes: 1 }
     }
 }
 
@@ -48,14 +66,37 @@ impl HistCore {
     }
 }
 
+/// Per-lane state: everything whose outcome depends on *write order*
+/// rather than a commutative sum. Each lane has exactly one writer (one
+/// shard), so within a lane the legacy sequential semantics hold.
+struct LaneCore {
+    /// `gauge_set` slots: last value stored by this lane's writer.
+    gauge_set: [AtomicI64; Gauge::COUNT],
+    /// 1 once this lane has `gauge_set` the matching gauge.
+    gauge_written: [AtomicU64; Gauge::COUNT],
+    events: Mutex<Vec<ObsEvent>>,
+    events_dropped: AtomicU64,
+}
+
+impl LaneCore {
+    fn new(events_on: bool, event_cap: usize) -> Self {
+        LaneCore {
+            gauge_set: [const { AtomicI64::new(0) }; Gauge::COUNT],
+            gauge_written: [const { AtomicU64::new(0) }; Gauge::COUNT],
+            events: Mutex::new(Vec::with_capacity(if events_on { event_cap } else { 0 })),
+            events_dropped: AtomicU64::new(0),
+        }
+    }
+}
+
 struct ObsCore {
     counters: [AtomicU64; Counter::COUNT],
+    /// Accumulators for `gauge_add` (commutative, shared across lanes).
     gauges: [AtomicI64; Gauge::COUNT],
     hists: [HistCore; Hist::COUNT],
     events_on: bool,
     event_cap: usize,
-    events: Mutex<Vec<ObsEvent>>,
-    events_dropped: AtomicU64,
+    lanes: Vec<LaneCore>,
 }
 
 /// Handle through which the simulation layers record metrics and events.
@@ -66,22 +107,28 @@ struct ObsCore {
 #[derive(Clone, Default)]
 pub struct Recorder {
     core: Option<Arc<ObsCore>>,
+    /// Which lane this handle writes events / set-gauges to.
+    lane: u32,
 }
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Recorder").field("enabled", &self.core.is_some()).finish()
+        f.debug_struct("Recorder")
+            .field("enabled", &self.core.is_some())
+            .field("lane", &self.lane)
+            .finish()
     }
 }
 
 impl Recorder {
     /// The no-op recorder: records nothing, costs one branch per call.
     pub const fn disabled() -> Self {
-        Recorder { core: None }
+        Recorder { core: None, lane: 0 }
     }
 
-    /// An enabled recorder.
+    /// An enabled recorder, writing on lane 0.
     pub fn new(cfg: RecorderConfig) -> Self {
+        let lanes = cfg.lanes.max(1);
         Recorder {
             core: Some(Arc::new(ObsCore {
                 counters: [const { AtomicU64::new(0) }; Counter::COUNT],
@@ -89,10 +136,26 @@ impl Recorder {
                 hists: std::array::from_fn(|_| HistCore::new()),
                 events_on: cfg.events,
                 event_cap: cfg.event_cap,
-                events: Mutex::new(Vec::with_capacity(if cfg.events { cfg.event_cap } else { 0 })),
-                events_dropped: AtomicU64::new(0),
+                lanes: (0..lanes).map(|_| LaneCore::new(cfg.events, cfg.event_cap)).collect(),
             })),
+            lane: 0,
         }
+    }
+
+    /// A handle over the same core, bound to lane `idx` (clamped to the
+    /// configured lane count). Shared-atomic paths (counters, histograms,
+    /// `gauge_add`) are unaffected; events and `gauge_set` go to the lane.
+    pub fn lane(&self, idx: usize) -> Recorder {
+        let max = match &self.core {
+            Some(core) => core.lanes.len() - 1,
+            None => 0,
+        };
+        Recorder { core: self.core.clone(), lane: idx.min(max) as u32 }
+    }
+
+    /// Number of configured lanes (1 for the disabled recorder).
+    pub fn lane_count(&self) -> usize {
+        self.core.as_ref().map_or(1, |c| c.lanes.len())
     }
 
     /// Is this recorder collecting anything at all?
@@ -121,11 +184,16 @@ impl Recorder {
         self.add(c, 1);
     }
 
-    /// Set a gauge to `v`.
+    /// Set a gauge to `v` (recorded on this handle's lane; the export
+    /// value for a set-gauge is the highest lane that ever set it). A
+    /// gauge should be either set-style or add-style, not both: a lane's
+    /// set value hides the shared add accumulator at export.
     #[inline]
     pub fn gauge_set(&self, g: Gauge, v: i64) {
         if let Some(core) = &self.core {
-            core.gauges[g.idx()].store(v, Ordering::Relaxed);
+            let lane = &core.lanes[self.lane as usize];
+            lane.gauge_set[g.idx()].store(v, Ordering::Relaxed);
+            lane.gauge_written[g.idx()].store(1, Ordering::Relaxed);
         }
     }
 
@@ -148,29 +216,48 @@ impl Recorder {
         }
     }
 
-    /// Record a structured event at simulation time `t_us`.
+    /// Record a structured event at simulation time `t_us` on this
+    /// handle's lane.
     #[inline]
     pub fn event(&self, t_us: u64, kind: EventKind) {
         let Some(core) = &self.core else { return };
         if !core.events_on {
             return;
         }
-        let mut ev = core.events.lock().expect("obs event channel poisoned");
+        let lane = &core.lanes[self.lane as usize];
+        let mut ev = lane.events.lock().expect("obs event channel poisoned");
         if ev.len() < core.event_cap {
             ev.push(ObsEvent { t_us, kind });
         } else {
-            core.events_dropped.fetch_add(1, Ordering::Relaxed);
+            lane.events_dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Snapshot everything recorded so far into a plain-data report.
     /// Returns `None` for the disabled recorder.
+    ///
+    /// Lane merge: events are concatenated in lane order and stably
+    /// sorted by timestamp (within a lane, recording order is time order,
+    /// so one lane exports its events byte-identically to the pre-lane
+    /// recorder); set-gauges resolve to the highest lane that wrote them,
+    /// falling back to the shared `gauge_add` accumulator. The merge
+    /// depends only on what each single-writer lane recorded — never on
+    /// cross-thread timing.
     pub fn export(&self) -> Option<ObsReport> {
         let core = self.core.as_ref()?;
         let counters =
             Counter::ALL.iter().map(|c| core.counters[c.idx()].load(Ordering::Relaxed)).collect();
-        let gauges =
-            Gauge::ALL.iter().map(|g| core.gauges[g.idx()].load(Ordering::Relaxed)).collect();
+        let gauges = Gauge::ALL
+            .iter()
+            .map(|g| {
+                for lane in core.lanes.iter().rev() {
+                    if lane.gauge_written[g.idx()].load(Ordering::Relaxed) != 0 {
+                        return lane.gauge_set[g.idx()].load(Ordering::Relaxed);
+                    }
+                }
+                core.gauges[g.idx()].load(Ordering::Relaxed)
+            })
+            .collect();
         let hists = Hist::ALL
             .iter()
             .map(|h| {
@@ -182,14 +269,20 @@ impl Recorder {
                 }
             })
             .collect();
-        let events = core.events.lock().expect("obs event channel poisoned").clone();
-        Some(ObsReport {
-            counters,
-            gauges,
-            hists,
-            events,
-            events_dropped: core.events_dropped.load(Ordering::Relaxed),
-        })
+        let mut events: Vec<ObsEvent> = Vec::new();
+        let mut events_dropped = 0;
+        for lane in &core.lanes {
+            events.extend(lane.events.lock().expect("obs event channel poisoned").iter().cloned());
+            events_dropped += lane.events_dropped.load(Ordering::Relaxed);
+        }
+        if core.lanes.len() > 1 {
+            events.sort_by_key(|e| e.t_us);
+            if events.len() > core.event_cap {
+                events_dropped += (events.len() - core.event_cap) as u64;
+                events.truncate(core.event_cap);
+            }
+        }
+        Some(ObsReport { counters, gauges, hists, events, events_dropped })
     }
 }
 
@@ -233,7 +326,7 @@ mod tests {
 
     #[test]
     fn event_channel_caps_and_counts_drops() {
-        let r = Recorder::new(RecorderConfig { events: true, event_cap: 2 });
+        let r = Recorder::new(RecorderConfig { events: true, event_cap: 2, lanes: 1 });
         for i in 0..5 {
             r.event(i, EventKind::BurstStart { client: 1, budget_us: i });
         }
@@ -244,7 +337,7 @@ mod tests {
 
     #[test]
     fn events_can_be_disabled_independently() {
-        let r = Recorder::new(RecorderConfig { events: false, event_cap: 16 });
+        let r = Recorder::new(RecorderConfig { events: false, event_cap: 16, lanes: 1 });
         assert!(r.enabled());
         assert!(!r.events_on());
         r.event(1, EventKind::BurstStart { client: 1, budget_us: 1 });
@@ -252,6 +345,47 @@ mod tests {
         let rep = r.export().unwrap();
         assert!(rep.events.is_empty());
         assert_eq!(rep.counter(Counter::BurstsStarted), 1);
+    }
+
+    #[test]
+    fn lanes_merge_deterministically() {
+        let r = Recorder::new(RecorderConfig { events: true, event_cap: 8, lanes: 3 });
+        let l1 = r.lane(1);
+        let l2 = r.lane(2);
+        // Counters stay shared.
+        r.incr(Counter::WnicWakes);
+        l1.incr(Counter::WnicWakes);
+        l2.incr(Counter::WnicWakes);
+        // Events interleave by timestamp across lanes, ties in lane order.
+        l2.event(5, EventKind::BurstStart { client: 2, budget_us: 0 });
+        l1.event(3, EventKind::BurstStart { client: 1, budget_us: 0 });
+        r.event(5, EventKind::BurstStart { client: 0, budget_us: 0 });
+        // Set-gauges: highest writing lane wins.
+        r.gauge_set(Gauge::LastScheduleEntries, 10);
+        l1.gauge_set(Gauge::LastScheduleEntries, 11);
+        // Add-gauges accumulate across lanes as before.
+        r.gauge_add(Gauge::ActiveSplices, 2);
+        l2.gauge_add(Gauge::ActiveSplices, 1);
+        let rep = r.export().unwrap();
+        assert_eq!(rep.counter(Counter::WnicWakes), 3);
+        assert_eq!(rep.events.iter().map(|e| e.t_us).collect::<Vec<_>>(), vec![3, 5, 5]);
+        let EventKind::BurstStart { client, .. } = rep.events[1].kind else { panic!() };
+        assert_eq!(client, 0, "lane 0 sorts before lane 2 at the same timestamp");
+        assert_eq!(rep.gauge(Gauge::LastScheduleEntries), 11);
+        assert_eq!(rep.gauge(Gauge::ActiveSplices), 3);
+    }
+
+    #[test]
+    fn lane_index_clamps_and_single_lane_matches_legacy() {
+        let r = Recorder::new(RecorderConfig::default());
+        assert_eq!(r.lane_count(), 1);
+        let clamped = r.lane(7); // only lane 0 exists
+        clamped.event(1, EventKind::BurstStart { client: 9, budget_us: 0 });
+        clamped.gauge_set(Gauge::BacklogBytes, 42);
+        let rep = r.export().unwrap();
+        assert_eq!(rep.events.len(), 1);
+        assert_eq!(rep.gauge(Gauge::BacklogBytes), 42);
+        assert_eq!(Recorder::disabled().lane(3).lane_count(), 1);
     }
 
     #[test]

@@ -143,11 +143,22 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
 
     // One recorder per run: sweep jobs never share observability state, so
     // exports are deterministic regardless of how runs are parallelized.
+    // Multi-cell worlds get one recording lane per world shard (backbone
+    // lane 0 + one per cell) so shards never contend on the event channel
+    // and exports stay deterministic at any thread count; the 1-cell world
+    // keeps the single-lane recorder, byte-identical to before.
     let obs = if cfg.obs.metrics {
-        Recorder::new(RecorderConfig { events: cfg.obs.events, event_cap: cfg.obs.event_cap })
+        Recorder::new(RecorderConfig {
+            events: cfg.obs.events,
+            event_cap: cfg.obs.event_cap,
+            lanes: if multi { realized.len() + 1 } else { 1 },
+        })
     } else {
         Recorder::disabled()
     };
+    // Lane for components living on cell-rank `r`'s shard (see
+    // `World::finalize`: cell r is world shard r + 1).
+    let lane_of = |r: usize| if multi { obs.lane(r + 1) } else { obs.clone() };
 
     // --- traffic provisioning ------------------------------------------------
     // §4.1: requests are spaced "roughly one second apart in order to
@@ -255,7 +266,7 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
                 derive_rng(cfg.seed, streams::CHANNEL + r as u64),
             ));
         }
-        proxy_node.set_recorder(obs.clone());
+        proxy_node.set_recorder(lane_of(r));
         let proxy = world.add_node(
             Box::new(proxy_node),
             NodeConfig { host: Some(shard_host), clock: ClockModel::perfect(), wnic: None },
@@ -271,14 +282,23 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
                 derive_rng(cfg.seed, fault_stream(fault_streams::AP) + 256 * r as u64),
             ));
         }
-        ap_node.set_recorder(obs.clone());
+        ap_node.set_recorder(lane_of(r));
         let ap = world.add_node(Box::new(ap_node), NodeConfig::infrastructure());
 
+        // In multi-cell worlds the switch → shard hop is the metro
+        // backhaul, and the whole cell-side chain (pipe, proxy, AP, the
+        // radio cell) is pinned onto the cell's shard — the backhaul's
+        // delay is then the only cross-shard latency and becomes the
+        // engine's conservative lookahead. 1-cell worlds keep the paper's
+        // all-Fast-Ethernet LAN on the single sequential shard.
+        let uplink_spec = if multi { cfg.net.backhaul } else { cfg.net.wired };
         let uplink = Endpoint { node: switch, iface: IfaceId((2 + r) as u8) };
-        match cfg.pipe {
-            Some(pspec) => {
-                let pipe = world.add_node(Box::new(Pipe::new(pspec)), NodeConfig::infrastructure());
-                world.add_link(uplink, Endpoint { node: pipe, iface: IfaceId(0) }, cfg.net.wired);
+        let pipe = cfg
+            .pipe
+            .map(|pspec| world.add_node(Box::new(Pipe::new(pspec)), NodeConfig::infrastructure()));
+        match pipe {
+            Some(pipe) => {
+                world.add_link(uplink, Endpoint { node: pipe, iface: IfaceId(0) }, uplink_spec);
                 world.add_link(
                     Endpoint { node: pipe, iface: IfaceId(1) },
                     Endpoint { node: proxy, iface: PROXY_LAN },
@@ -286,7 +306,7 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
                 );
             }
             None => {
-                world.add_link(uplink, Endpoint { node: proxy, iface: PROXY_LAN }, cfg.net.wired);
+                world.add_link(uplink, Endpoint { node: proxy, iface: PROXY_LAN }, uplink_spec);
             }
         }
         world.add_link(
@@ -297,6 +317,12 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         let cell_idx = world.add_cell(cfg.net.airtime, cfg.net.medium_backlog, ap);
         debug_assert_eq!(cell_idx, r);
         world.attach_wireless_cell(ap, powerburst_net::AP_RADIO, r);
+        if multi {
+            world.pin_to_cell(proxy, r);
+            if let Some(pipe) = pipe {
+                world.pin_to_cell(pipe, r);
+            }
+        }
 
         shards.push(Shard { proxy, ap, host: shard_host, cell: c as u32, clients: shard_clients });
     }
@@ -349,7 +375,7 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         // client↔proxy skew ramps linearly over the run.
         clock.drift_ppm += clock_skew_ramp(&cfg.faults, &mut skew_rng);
         let mut daemon = PowerClient::new(ccfg, app);
-        daemon.set_recorder(obs.clone());
+        daemon.set_recorder(lane_of(rank_of_cell[cfg.cell_of(i)]));
         let node = world.add_node(
             Box::new(daemon),
             NodeConfig {
@@ -384,8 +410,10 @@ pub fn assemble(cfg: &ScenarioConfig) -> Assembled {
         None
     };
 
-    // Last: the world forwards the recorder to every live radio added above.
+    // Last: the world forwards the recorder to every live radio added
+    // above (lane-aware — each radio records on its cell's lane).
     world.set_recorder(obs.clone());
+    world.set_threads(cfg.threads);
     world.presize_from_topology();
 
     Assembled {

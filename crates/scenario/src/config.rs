@@ -13,6 +13,13 @@ use powerburst_traffic::{AdaptConfig, Fidelity, WebScriptConfig};
 pub struct NetworkConfig {
     /// Wired segment (100 Mbps Fast Ethernet in the paper).
     pub wired: LinkSpec,
+    /// The switch → per-cell shard links in multi-cell worlds (the metro
+    /// aggregation hops). Ignored in 1-cell worlds, which use `wired`
+    /// everywhere exactly as the paper's testbed did. The backhaul's
+    /// one-way delay doubles as the sharded engine's conservative
+    /// lookahead (DESIGN.md §17), so don't set it below ~1 ms unless you
+    /// enjoy barrier overhead.
+    pub backhaul: LinkSpec,
     /// Radio airtime model (11 Mbps DSSS).
     pub airtime: AirtimeModel,
     /// AP transmit-queue bound, expressed as backlog time.
@@ -29,6 +36,7 @@ impl Default for NetworkConfig {
     fn default() -> Self {
         NetworkConfig {
             wired: LinkSpec::FAST_ETHERNET,
+            backhaul: LinkSpec::METRO_BACKHAUL,
             airtime: AirtimeModel::DSSS_11MBPS,
             medium_backlog: SimDuration::from_ms(150),
             ap_delay: ApDelayParams::default(),
@@ -213,6 +221,12 @@ pub struct ScenarioConfig {
     /// `None` grants every cell its full interval (non-overlapping
     /// channels). Ignored in 1-cell worlds, which have no coordinator.
     pub coord_pool_permille: Option<u32>,
+    /// Worker threads for the sharded event core (`0`, the default, reads
+    /// `PB_THREADS` / available parallelism). Thread count never changes
+    /// any simulated result — the conservative-lookahead engine is
+    /// byte-identical at every thread count (see the determinism matrix
+    /// test) — and 1-cell worlds always run the sequential fast path.
+    pub threads: usize,
 }
 
 impl ScenarioConfig {
@@ -248,6 +262,7 @@ impl ScenarioConfig {
             cells: 1,
             cell_map: None,
             coord_pool_permille: None,
+            threads: 0,
         }
     }
 
@@ -293,6 +308,13 @@ impl ScenarioConfig {
     /// Constrain the coordinator to a shared airtime pool (builder style).
     pub fn with_coord_pool(mut self, permille: u32) -> ScenarioConfig {
         self.coord_pool_permille = Some(permille);
+        self
+    }
+
+    /// Run the sharded event core on `threads` workers (builder style);
+    /// `0` auto-detects. Purely a wall-clock knob.
+    pub fn with_threads(mut self, threads: usize) -> ScenarioConfig {
+        self.threads = threads;
         self
     }
 

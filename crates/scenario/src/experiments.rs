@@ -1440,7 +1440,7 @@ pub fn run_all(opt: &ExpOptions) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Perf profiling — the BENCH_pr7.json report.
+// Perf profiling — the BENCH_pr10.json report.
 // ---------------------------------------------------------------------------
 
 /// The named single-run throughput scenarios of the bench suite. Each
@@ -1540,7 +1540,7 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
         jobs,
     };
 
-    let mut report = BenchReport::new("pr8");
+    let mut report = BenchReport::new("pr10");
     report.stages.push(sweep_stage);
 
     // Per-scenario throughput: one single-threaded run per named scenario.
@@ -1616,6 +1616,34 @@ pub fn bench_suite(opt: &ExpOptions) -> (BenchReport, ScenarioResult) {
         threads: 1,
         sim_events: ev,
         jobs: vec![BenchJob::new(format!("10000c/{cells}cells"), wall_s, ev)],
+    });
+
+    // Threads-scaling: the same 10 000-client smoke on the sharded core at
+    // 1/2/4/8 worker threads. The workload is byte-identical at every row
+    // (the core's determinism contract), so only wall time moves; each
+    // job's label carries its speedup over the 1-thread row, and the
+    // per-job events/sec follows from wall_s + sim_events as usual.
+    let ts_sw = Stopwatch::start();
+    let mut ts_rows = Vec::new();
+    for t in [1usize, 2, 4, 8] {
+        let cfg = city_cfg(opt.seed, 10_000, SimDuration::from_secs(1)).with_threads(t);
+        let sw = Stopwatch::start();
+        let ev = light_events(&cfg);
+        ts_rows.push((t, sw.elapsed_s(), ev));
+    }
+    let base_wall = ts_rows[0].1;
+    report.stages.push(BenchStage {
+        name: "threads-scaling".to_string(),
+        wall_s: ts_sw.elapsed_s(),
+        threads: ts_rows.iter().map(|&(t, _, _)| t).max().unwrap_or(1),
+        sim_events: ts_rows.iter().map(|&(_, _, ev)| ev).sum(),
+        jobs: ts_rows
+            .into_iter()
+            .map(|(t, wall_s, ev)| {
+                let speedup = if wall_s > 0.0 { base_wall / wall_s } else { 0.0 };
+                BenchJob::new(format!("t{t}/x{speedup:.2}"), wall_s, ev)
+            })
+            .collect(),
     });
 
     // All56 rather than Mixed: the bench's instrumented run doubles as

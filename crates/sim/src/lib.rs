@@ -17,6 +17,8 @@
 //!   master seed;
 //! * [`sweep`] — a scoped-thread parallel runner for fanning experiment
 //!   configurations across cores;
+//! * [`shard`] — the conservative-lookahead epoch executor that runs one
+//!   world's shards across threads with deterministic mailbox exchange;
 //! * [`stats`] — the summary statistics and least-squares fit the
 //!   experiment harnesses report.
 //!
@@ -31,6 +33,7 @@ pub mod clock;
 pub mod events;
 pub mod hash;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod sweep;
 pub mod time;
@@ -39,6 +42,7 @@ pub use clock::{ClockModel, LocalTime};
 pub use events::{EventId, EventQueue};
 pub use hash::{FastHashBuilder, FastHashMap};
 pub use rng::derive_rng;
+pub use shard::{run_epochs, EpochPlan, MailDrain, MailGrid, MailSender};
 pub use stats::{LinearFit, Summary};
 pub use sweep::{default_threads, parallel_sweep, parallel_sweep_timed, SweepTiming};
 pub use time::{SimDuration, SimTime};

@@ -12,8 +12,9 @@
 //! workers never contend on a shared lock to publish results.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+use crate::shard::Cursor;
 
 /// Wall-clock profile of one [`parallel_sweep_timed`] call.
 #[derive(Debug, Clone, Default)]
@@ -83,7 +84,7 @@ where
         return (results, timing);
     }
 
-    let cursor = AtomicUsize::new(0);
+    let cursor = Cursor::new();
     let slots: Vec<Slot<(R, f64)>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
 
     std::thread::scope(|scope| {
@@ -93,7 +94,7 @@ where
             let f = &f;
             let configs = &configs;
             scope.spawn(move || loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let idx = cursor.next();
                 if idx >= n {
                     break;
                 }

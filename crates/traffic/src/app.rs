@@ -21,7 +21,10 @@ pub const APP_TOKEN: TimerToken = 1 << 63;
 pub const CLIENT_RADIO: IfaceId = IfaceId(0);
 
 /// A client-side application.
-pub trait App: Any {
+///
+/// `Send` for the same reason [`powerburst_net::Node`] is: a sharded
+/// world may host the owning node's shard on any worker thread.
+pub trait App: Any + Send {
     /// Called once at simulation start.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! powerburst run [--clients N] [--pattern P] [--interval I] [--secs S]
-//!                [--seed K] [--web N] [--ftp BYTES] [--live] [--psm]
-//!                [--static] [--admission] [--trace-out FILE]
-//!                [--metrics-out FILE] [--trace-events FILE]
-//!                [--fail-on-invariants]
+//!                [--seed K] [--threads N] [--web N] [--ftp BYTES]
+//!                [--live] [--psm] [--static] [--admission]
+//!                [--trace-out FILE] [--metrics-out FILE]
+//!                [--trace-events FILE] [--fail-on-invariants]
 //! powerburst bench [--secs S] [--seed K] [--threads N] [--repeat R]
 //!                  [--out FILE] [--metrics-out FILE] [--baseline FILE]
 //!                  [--fail-on-regression PCT]
@@ -61,7 +61,8 @@ USAGE:
   powerburst run [--clients N] [--pattern 56k|256k|512k|split|mix]
                  [--interval 100|500|var] [--secs S] [--seed K]
                  [--policy fixed|variable|channel|buffer]
-                 [--cells N] [--coord-pool PERMILLE] [--stagger-ms M]
+                 [--cells N] [--threads N] [--coord-pool PERMILLE]
+                 [--stagger-ms M]
                  [--web N] [--ftp BYTES] [--live] [--psm] [--static]
                  [--admission] [--trace-out FILE]
                  [--metrics-out FILE] [--trace-events FILE]
@@ -184,6 +185,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if cells > 1 {
         cfg = cfg.with_cells(cells);
     }
+    // Worker threads for the sharded event core (0 = PB_THREADS/auto).
+    // Outputs are byte-identical at every value; single-cell worlds
+    // always run sequentially regardless.
+    cfg = cfg.with_threads(f.parse("--threads", 0));
     if let Some(pool) = f.get("--coord-pool").and_then(|v| v.parse().ok()) {
         cfg = cfg.with_coord_pool(pool);
     }
@@ -347,7 +352,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let (again, _) = exp::bench_suite(&opt);
         report.keep_best(again);
     }
-    let out = f.get("--out").unwrap_or("BENCH_pr8.json");
+    let out = f.get("--out").unwrap_or("BENCH_pr10.json");
     if let Err(e) = std::fs::write(out, report.to_json()) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
